@@ -1,0 +1,43 @@
+//! E3 — Algorithm 5 vs the 1-D row-partitioned and 3-D cubic baselines at
+//! comparable processor counts, reporting both wall-clock (Criterion) and
+//! the communicated words (stderr).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use symtensor_bench::{bench_partition, bench_tensor, bench_vector};
+use symtensor_parallel::baselines::{sttsv_1d, sttsv_3d};
+use symtensor_parallel::{parallel_sttsv, Mode};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    // q = 3 (P = 30) vs g = 3 (P = 27) vs 1-D (P = 30).
+    let part = bench_partition(3, 2);
+    let n = part.dim();
+    let tensor = bench_tensor(n, 3);
+    let x = bench_vector(n);
+
+    let alg5 = parallel_sttsv(&tensor, &part, &x, Mode::Scheduled);
+    let cubic = sttsv_3d(&tensor, &x, 3);
+    let rows = sttsv_1d(&tensor, &x, 30);
+    eprintln!(
+        "[baselines] n={n}: alg5 {} words (P=30), 3d-cubic {} (P=27), 1d {} (P=30)",
+        alg5.report.bandwidth_cost(),
+        cubic.report.bandwidth_cost(),
+        rows.report.bandwidth_cost()
+    );
+
+    group.bench_with_input(BenchmarkId::new("alg5_scheduled", n), &n, |bench, _| {
+        bench.iter(|| parallel_sttsv(black_box(&tensor), &part, &x, Mode::Scheduled))
+    });
+    group.bench_with_input(BenchmarkId::new("cubic_3d_g3", n), &n, |bench, _| {
+        bench.iter(|| sttsv_3d(black_box(&tensor), &x, 3))
+    });
+    group.bench_with_input(BenchmarkId::new("rows_1d_p30", n), &n, |bench, _| {
+        bench.iter(|| sttsv_1d(black_box(&tensor), &x, 30))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E1/E2 — Algorithm 5 in its three communication modes. Criterion measures
+//! wall-clock on the thread backend; the bench also prints the measured
+//! word counts next to the Theorem 5.2 lower bound once per configuration
+//! (the primary reproduction artifact — word counts are exact and
+//! machine-independent).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use symtensor_bench::{bench_partition, bench_tensor, bench_vector};
+use symtensor_parallel::{bounds, parallel_sttsv, Mode};
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg5_modes");
+    group.sample_size(10);
+    for q in [2u64, 3] {
+        let part = bench_partition(q, 2);
+        let n = part.dim();
+        let tensor = bench_tensor(n, 2);
+        let x = bench_vector(n);
+        // Print the cost table once (Criterion output is wall-clock only).
+        for (label, mode) in [
+            ("scheduled", Mode::Scheduled),
+            ("alltoall_padded", Mode::AllToAllPadded),
+            ("alltoall_sparse", Mode::AllToAllSparse),
+        ] {
+            let run = parallel_sttsv(&tensor, &part, &x, mode);
+            let lb = bounds::lower_bound_words(n, part.num_procs());
+            eprintln!(
+                "[comm_optimality] q={q} n={n} {label}: {} words/rank, lower bound {lb:.1}, ratio {:.3}",
+                run.report.bandwidth_cost(),
+                run.report.bandwidth_cost() as f64 / lb
+            );
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("q{q}_n{n}")),
+                &mode,
+                |bench, &mode| bench.iter(|| parallel_sttsv(black_box(&tensor), &part, &x, mode)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E8 — end-to-end higher-order power method (Algorithm 1): sequential vs
+//! distributed with the communication-optimal kernel inside.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use symtensor_core::generate::random_odeco;
+use symtensor_core::hopm::{hopm, HopmOptions};
+use symtensor_parallel::hopm::parallel_hopm;
+use symtensor_parallel::{Mode, TetraPartition};
+use symtensor_steiner::spherical;
+
+fn bench_hopm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopm");
+    group.sample_size(10);
+    let n = 120;
+    let part = TetraPartition::new(spherical(2), n).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let odeco = random_odeco(n, 4, &mut rng);
+    let mut x0 = odeco.vectors[0].clone();
+    x0[1] += 0.1;
+    let opts = HopmOptions { tol: 1e-10, max_iters: 100 };
+
+    // Correctness gate before timing.
+    let seq = hopm(&odeco.tensor, &x0, opts);
+    let (par, _) = parallel_hopm(&odeco.tensor, &part, &x0, opts, Mode::Scheduled);
+    assert!((seq.lambda - par.lambda).abs() < 1e-7);
+    eprintln!(
+        "[hopm] n={n}: lambda {:.10} in {} (seq) / {} (par) iterations",
+        par.lambda, seq.iters, par.iters
+    );
+
+    group.bench_with_input(BenchmarkId::new("sequential", n), &n, |bench, _| {
+        bench.iter(|| hopm(black_box(&odeco.tensor), &x0, opts))
+    });
+    group.bench_with_input(BenchmarkId::new("parallel_p10", n), &n, |bench, _| {
+        bench.iter(|| parallel_hopm(black_box(&odeco.tensor), &part, &x0, opts, Mode::Scheduled))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hopm);
+criterion_main!(benches);

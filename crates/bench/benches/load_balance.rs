@@ -1,0 +1,51 @@
+//! E4 — computational load balance: time to run every rank's local kernels
+//! and the measured max/ideal ternary-multiplication ratio (§7.1: the
+//! imbalance sits only in lower-order terms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use symtensor_bench::{bench_partition, bench_tensor, bench_vector};
+use symtensor_parallel::blocks::OwnedBlocks;
+use symtensor_parallel::bounds;
+
+fn bench_local_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_kernels");
+    group.sample_size(10);
+    for (q, scale) in [(2u64, 2usize), (3, 1)] {
+        let part = bench_partition(q, scale);
+        let n = part.dim();
+        let b = part.block_size();
+        let tensor = bench_tensor(n, 4);
+        let x = bench_vector(n);
+        // Report the balance ratio once.
+        let max: u64 = (0..part.num_procs()).map(|p| part.ternary_mults(p)).max().unwrap();
+        eprintln!(
+            "[load_balance] q={q} n={n}: max rank work {max}, ideal {:.0}, ratio {:.4}",
+            bounds::comp_cost_leading(n, part.num_procs()),
+            max as f64 / bounds::comp_cost_leading(n, part.num_procs())
+        );
+        // Bench the heaviest rank's kernel execution (extraction excluded).
+        let heaviest = (0..part.num_procs())
+            .max_by_key(|&p| part.ternary_mults(p))
+            .unwrap();
+        let owned = OwnedBlocks::extract(&tensor, &part, heaviest);
+        let rp = part.r_set(heaviest).to_vec();
+        let x_full: Vec<Vec<f64>> =
+            rp.iter().map(|&i| x[part.block_range(i)].to_vec()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("heaviest_rank", format!("q{q}_n{n}")),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut y_acc: Vec<Vec<f64>> = vec![vec![0.0; b]; rp.len()];
+                    let pos = |i: usize| rp.binary_search(&i).unwrap();
+                    owned.compute(black_box(&x_full), &mut y_acc, pos)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_kernels);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E6 — point-to-point schedule construction: build time and the measured
+//! step count vs the closed form `q³/2 + 3q²/2 − 1` (Theorem 7.2; 12 steps
+//! for the P = 14 system of Figure 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use symtensor_bench::bench_partition;
+use symtensor_parallel::schedule::spherical_round_count;
+use symtensor_parallel::{CommSchedule, TetraPartition};
+use symtensor_steiner::sqs8;
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_build");
+    group.sample_size(10);
+    for q in [2u64, 3, 4, 5] {
+        let part = bench_partition(q, 1);
+        let schedule = CommSchedule::build(&part);
+        assert_eq!(schedule.num_rounds(), spherical_round_count(q as usize));
+        eprintln!(
+            "[schedule_steps] q={q} P={}: {} rounds (formula {}; all-to-all would use P-1 = {})",
+            part.num_procs(),
+            schedule.num_rounds(),
+            spherical_round_count(q as usize),
+            part.num_procs() - 1
+        );
+        group.bench_with_input(BenchmarkId::new("spherical", format!("q{q}")), &q, |bench, _| {
+            bench.iter(|| CommSchedule::build(black_box(&part)))
+        });
+    }
+    let part = TetraPartition::new(sqs8(), 56).unwrap();
+    let schedule = CommSchedule::build(&part);
+    assert_eq!(schedule.num_rounds(), 12);
+    eprintln!("[schedule_steps] SQS(8) P=14: {} rounds (Figure 1: 12)", schedule.num_rounds());
+    group.bench_function("sqs8", |bench| bench.iter(|| CommSchedule::build(black_box(&part))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

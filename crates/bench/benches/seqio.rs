@@ -1,0 +1,50 @@
+//! E10 — sequential I/O simulation throughput and the blocked-vs-row-major
+//! vector traffic comparison across cache sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use symtensor_cachesim::{sttsv_io_blocked, sttsv_io_rowmajor, LruCache};
+
+fn bench_lru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru_cache");
+    group.sample_size(20);
+    group.bench_function("access_1m_cyclic", |bench| {
+        bench.iter(|| {
+            let mut cache = LruCache::new(4096, 8);
+            for a in 0..1_000_000u64 {
+                cache.access(black_box(a % 8192));
+            }
+            cache.stats()
+        })
+    });
+    group.finish();
+}
+
+fn bench_traces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sttsv_io_trace");
+    group.sample_size(10);
+    let n = 96;
+    for cache_words in [128usize, 1024] {
+        // Report measured misses once.
+        let row = sttsv_io_rowmajor(n, cache_words, 1);
+        let blk = sttsv_io_blocked(n, 8, cache_words, 1);
+        eprintln!(
+            "[seqio] n={n} M={cache_words}: vector misses row-major {} vs blocked {}",
+            row.vector_misses, blk.vector_misses
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rowmajor", cache_words),
+            &cache_words,
+            |bench, &m| bench.iter(|| sttsv_io_rowmajor(black_box(n), m, 1)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("blocked_b8", cache_words),
+            &cache_words,
+            |bench, &m| bench.iter(|| sttsv_io_blocked(black_box(n), 8, m, 1)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lru, bench_traces);
+criterion_main!(benches);

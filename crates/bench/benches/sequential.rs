@@ -1,0 +1,27 @@
+//! E7 — sequential STTSV: Algorithm 3 (naive, `n³` ternary mults) vs
+//! Algorithm 4 (symmetric, `n²(n+1)/2`). The paper's claim: the symmetric
+//! kernel does ≈ half the work; wall-clock should track that.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use symtensor_bench::{bench_tensor, bench_vector};
+use symtensor_core::seq::{sttsv_naive, sttsv_sym};
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_sttsv");
+    group.sample_size(10);
+    for n in [40usize, 80, 160] {
+        let tensor = bench_tensor(n, 1);
+        let x = bench_vector(n);
+        group.bench_with_input(BenchmarkId::new("alg3_naive", n), &n, |bench, _| {
+            bench.iter(|| sttsv_naive(black_box(&tensor), black_box(&x)))
+        });
+        group.bench_with_input(BenchmarkId::new("alg4_symmetric", n), &n, |bench, _| {
+            bench.iter(|| sttsv_sym(black_box(&tensor), black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential);
+criterion_main!(benches);

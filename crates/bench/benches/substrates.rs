@@ -1,0 +1,101 @@
+//! Substrate microbenchmarks: spherical Steiner system construction
+//! (finite-geometry orbit computation), partition construction (including
+//! the diagonal-block matchings), Hopcroft–Karp, edge coloring and the
+//! mpsim all-to-all collective.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use symtensor_matching::{edge_color_regular, hopcroft_karp, BipartiteGraph};
+use symtensor_mpsim::Universe;
+use symtensor_parallel::TetraPartition;
+use symtensor_steiner::spherical;
+
+fn bench_steiner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner_construction");
+    group.sample_size(10);
+    for q in [2u64, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("spherical", q), &q, |bench, &q| {
+            bench.iter(|| spherical(black_box(q)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("partition_construction");
+    group.sample_size(10);
+    for q in [2u64, 3, 4] {
+        let system = spherical(q);
+        let qq = q as usize;
+        let n = (qq * qq + 1) * qq * (qq + 1);
+        group.bench_with_input(BenchmarkId::new("tetra_partition", q), &q, |bench, _| {
+            bench.iter(|| TetraPartition::new(black_box(system.clone()), n).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(20);
+    // Dense-ish random bipartite graph.
+    let n = 200;
+    let mut g = BipartiteGraph::new(n, n);
+    let mut state = 7u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for x in 0..n {
+        for _ in 0..8 {
+            g.add_edge(x, next() % n);
+        }
+    }
+    group.bench_function("hopcroft_karp_200x200", |bench| {
+        bench.iter(|| hopcroft_karp(black_box(&g)))
+    });
+
+    // Edge coloring of a d-regular union of permutations.
+    let d = 8;
+    let mut edges = Vec::new();
+    for shift in 0..d {
+        for x in 0..n {
+            edges.push((x, (x * 3 + shift * 17 + x / 7) % n));
+        }
+    }
+    // Make it regular: union of shifted permutations instead.
+    edges.clear();
+    for shift in 0..d {
+        for x in 0..n {
+            edges.push((x, (x + shift * 13) % n));
+        }
+    }
+    group.bench_function("edge_color_8_regular_200", |bench| {
+        bench.iter(|| edge_color_regular(n, black_box(&edges)))
+    });
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpsim_collectives");
+    group.sample_size(10);
+    for p in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("all_to_all_v", p), &p, |bench, &p| {
+            bench.iter(|| {
+                Universe::new(p).run(|comm| {
+                    let bufs: Vec<Vec<f64>> = (0..p).map(|d| vec![d as f64; 64]).collect();
+                    comm.all_to_all_v(black_box(bufs)).unwrap()
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("all_gather", p), &p, |bench, &p| {
+            bench.iter(|| {
+                Universe::new(p).run(|comm| {
+                    comm.all_gather(black_box(vec![comm.rank() as f64; 64])).unwrap()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steiner, bench_matching, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E9 — strong scaling of the simulated machine: Algorithm 5 wall-clock at
+//! fixed problem size across the processor counts the spherical family
+//! provides (P = 10, 30, 68), plus the sequential kernel as the one-core
+//! reference. Wall-clock here is shape-only (threads on one host), the
+//! word counts are the rigorous quantity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use symtensor_bench::{bench_tensor, bench_vector};
+use symtensor_core::seq::sttsv_sym;
+use symtensor_parallel::{parallel_sttsv, Mode, TetraPartition};
+use symtensor_steiner::spherical;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strong_scaling");
+    group.sample_size(10);
+    // n divisible by every m·λ₁ in the sweep: lcm(5·6, 10·12, 17·20) —
+    // use n = 2040 = lcm(30,120,...)? 2040/120 = 17 ✓, 2040/30 = 68 ✓,
+    // 2040/340 = 6 ✓. That tensor has 1.4G packed words — too big. Use
+    // per-q sizes at a fixed nominal n ≈ 360 instead and report seconds
+    // per (n³/2) model operation.
+    let seq_n = 360;
+    let tensor = bench_tensor(seq_n, 6);
+    let x = bench_vector(seq_n);
+    group.bench_with_input(BenchmarkId::new("sequential", seq_n), &seq_n, |bench, _| {
+        bench.iter(|| sttsv_sym(black_box(&tensor), &x))
+    });
+    for q in [2u64, 3] {
+        let part = TetraPartition::new(spherical(q), seq_n).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(format!("alg5_p{}", part.num_procs()), seq_n),
+            &seq_n,
+            |bench, _| {
+                bench.iter(|| parallel_sttsv(black_box(&tensor), &part, &x, Mode::Scheduled))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

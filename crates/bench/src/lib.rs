@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! Shared workload builders for the Criterion benches.
+//!
+//! One bench target exists per experiment in `DESIGN.md`'s index:
+//!
+//! | bench | experiment |
+//! |---|---|
+//! | `sequential` | E7: Algorithm 3 vs Algorithm 4 |
+//! | `comm_optimality` | E1/E2: Algorithm 5 modes vs the lower bound |
+//! | `baselines` | E3: Algorithm 5 vs 1-D / 3-D baselines |
+//! | `load_balance` | E4: per-rank ternary multiplication balance |
+//! | `schedule_steps` | E6: schedule construction and step counts |
+//! | `hopm` | E8: sequential vs parallel HOPM |
+//! | `wallclock` | E9: strong scaling of the thread backend |
+//! | `substrates` | Steiner construction, matching, mpsim collectives |
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symtensor_core::generate::random_symmetric;
+use symtensor_core::SymTensor3;
+use symtensor_parallel::TetraPartition;
+use symtensor_steiner::spherical;
+
+/// Deterministic random tensor for benches.
+pub fn bench_tensor(n: usize, seed: u64) -> SymTensor3 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_symmetric(n, &mut rng)
+}
+
+/// Deterministic input vector.
+pub fn bench_vector(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i as f64) * 0.013).sin() + 0.2).collect()
+}
+
+/// Partition for a spherical system with exact shard divisibility:
+/// `n = (q²+1)·q(q+1)·scale`.
+pub fn bench_partition(q: u64, scale: usize) -> TetraPartition {
+    let qq = q as usize;
+    let n = (qq * qq + 1) * qq * (qq + 1) * scale;
+    TetraPartition::new(spherical(q), n).expect("bench partition")
+}

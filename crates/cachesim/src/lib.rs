@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! A fully associative LRU cache simulator for sequential I/O analysis.
+//!
+//! The paper's related work (Hong & Kung's red–blue pebble game, Beaumont
+//! et al.'s I/O-optimal symmetric kernels) studies the **sequential** data
+//! movement of the same computations between a small fast memory of `M`
+//! words and slow memory. This crate provides the measurement substrate:
+//!
+//! * [`LruCache`] — a fully associative LRU cache with configurable
+//!   capacity and line size, counting hits/misses in `O(1)` per access,
+//! * [`trace`] — instrumented address streams of the sequential STTSV in
+//!   row-major (Algorithm 4) order and in tetrahedral-blocked order, so
+//!   experiments can compare their cache traffic.
+//!
+//! The blocked order is the sequential shadow of the parallel tetrahedral
+//! distribution: processing one `b×b×b` block touches only `3b` vector
+//! words for `b³` tensor words, which is exactly the reuse the paper's
+//! Lemma 4.2 bounds.
+
+pub mod lru;
+pub mod trace;
+
+pub use lru::{IoStats, LruCache};
+pub use trace::{sttsv_io_blocked, sttsv_io_rowmajor, AddressSpace};

@@ -1,0 +1,242 @@
+//! Fully associative LRU cache with O(1) accesses.
+//!
+//! Capacity and line size are in **words** (one word = one `f64` of the
+//! computation). An access to word address `a` touches line `a / line_size`;
+//! a miss charges `line_size` words of I/O (the transfer granularity).
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+/// Hit/miss counters of a simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Total word accesses issued.
+    pub accesses: u64,
+    /// Line misses.
+    pub misses: u64,
+    /// Words moved from slow memory: `misses × line_size`.
+    pub io_words: u64,
+}
+
+/// A fully associative LRU cache over word addresses.
+///
+/// Implementation: a hash map from line id to a slot in an intrusive
+/// doubly-linked list (stored in vectors) ordered by recency.
+pub struct LruCache {
+    line_size: u64,
+    capacity_lines: usize,
+    map: HashMap<u64, usize>,
+    // Linked-list arena.
+    lines: Vec<u64>,
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    free: Vec<usize>,
+    stats: IoStats,
+}
+
+impl LruCache {
+    /// A cache holding `capacity_words` words in lines of `line_size`
+    /// words. Capacity is rounded down to whole lines (at least one).
+    pub fn new(capacity_words: usize, line_size: usize) -> Self {
+        assert!(line_size >= 1, "line size must be positive");
+        let capacity_lines = (capacity_words / line_size).max(1);
+        LruCache {
+            line_size: line_size as u64,
+            capacity_lines,
+            map: HashMap::with_capacity(capacity_lines * 2),
+            lines: Vec::with_capacity(capacity_lines),
+            prev: Vec::with_capacity(capacity_lines),
+            next: Vec::with_capacity(capacity_lines),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.capacity_lines
+    }
+
+    /// Line size in words.
+    pub fn line_size(&self) -> usize {
+        self.line_size as usize
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Resets the counters but keeps cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Accesses word address `addr`; returns true on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_size;
+        self.stats.accesses += 1;
+        if let Some(&slot) = self.map.get(&line) {
+            self.touch(slot);
+            true
+        } else {
+            self.stats.misses += 1;
+            self.stats.io_words += self.line_size;
+            self.insert(line);
+            false
+        }
+    }
+
+    /// Accesses a contiguous word range (e.g. a whole vector shard).
+    pub fn access_range(&mut self, start: u64, len: u64) {
+        for a in start..start + len {
+            self.access(a);
+        }
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (p, n) = (self.prev[slot], self.next[slot]);
+        if p != NIL {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.prev[slot] = NIL;
+        self.next[slot] = self.head;
+        if self.head != NIL {
+            self.prev[self.head] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        self.detach(slot);
+        self.push_front(slot);
+    }
+
+    fn insert(&mut self, line: u64) {
+        let slot = if self.map.len() >= self.capacity_lines {
+            // Evict the LRU line.
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.detach(victim);
+            self.map.remove(&self.lines[victim]);
+            victim
+        } else if let Some(slot) = self.free.pop() {
+            slot
+        } else {
+            self.lines.push(0);
+            self.prev.push(NIL);
+            self.next.push(NIL);
+            self.lines.len() - 1
+        };
+        self.lines[slot] = line;
+        self.map.insert(line, slot);
+        self.push_front(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut cache = LruCache::new(64, 1);
+        assert!(!cache.access(5));
+        assert!(cache.access(5));
+        assert!(cache.access(5));
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().accesses, 3);
+    }
+
+    #[test]
+    fn line_granularity() {
+        let mut cache = LruCache::new(64, 8);
+        assert!(!cache.access(0));
+        // Same line.
+        assert!(cache.access(7));
+        // Next line.
+        assert!(!cache.access(8));
+        assert_eq!(cache.stats().io_words, 16);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut cache = LruCache::new(3, 1);
+        cache.access(1);
+        cache.access(2);
+        cache.access(3);
+        // Touch 1 so 2 becomes LRU.
+        cache.access(1);
+        cache.access(4); // evicts 2
+        assert!(cache.access(1));
+        assert!(cache.access(3));
+        assert!(cache.access(4));
+        assert!(!cache.access(2), "2 must have been evicted");
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_re_misses() {
+        let mut cache = LruCache::new(100, 1);
+        for round in 0..10 {
+            for a in 0..100u64 {
+                let hit = cache.access(a);
+                if round > 0 {
+                    assert!(hit, "round {round}, addr {a}");
+                }
+            }
+        }
+        assert_eq!(cache.stats().misses, 100);
+    }
+
+    #[test]
+    fn cyclic_overflow_thrashes() {
+        // Classic LRU pathology: cycling over capacity+1 lines misses
+        // every time.
+        let mut cache = LruCache::new(10, 1);
+        for _ in 0..5 {
+            for a in 0..11u64 {
+                cache.access(a);
+            }
+        }
+        assert_eq!(cache.stats().misses, 55);
+    }
+
+    #[test]
+    fn stats_reset_keeps_contents() {
+        let mut cache = LruCache::new(8, 1);
+        cache.access(1);
+        cache.reset_stats();
+        assert!(cache.access(1));
+        assert_eq!(cache.stats().misses, 0);
+        assert_eq!(cache.stats().accesses, 1);
+    }
+
+    #[test]
+    fn capacity_rounding() {
+        let cache = LruCache::new(17, 8);
+        assert_eq!(cache.capacity_lines(), 2);
+        let tiny = LruCache::new(3, 8);
+        assert_eq!(tiny.capacity_lines(), 1);
+    }
+}

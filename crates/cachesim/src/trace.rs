@@ -1,0 +1,286 @@
+//! Instrumented address streams of sequential STTSV.
+//!
+//! Both traces perform the lower-tetrahedron computation of the paper's
+//! Algorithm 4 (same iteration points, same operand set per point) but in
+//! different orders:
+//!
+//! * [`sttsv_io_rowmajor`] — the textbook `i ≥ j ≥ k` triple loop,
+//! * [`sttsv_io_blocked`] — tetrahedral-blocked: iterate `b³`-sized blocks
+//!   `(I ≥ J ≥ K)` of the packed tensor, finishing all work inside a block
+//!   before moving on. With a cache of `Ω(b³)` words, each block's `3b`
+//!   vector words are reused `b²`-fold — the sequential counterpart of the
+//!   parallel reuse Lemma 4.2 bounds.
+//!
+//! Tensor entries are compulsory traffic either way (each packed word is
+//! used exactly once), so the interesting quantity is the **vector**
+//! traffic, reported separately.
+
+use crate::lru::{IoStats, LruCache};
+
+/// Word-address layout of the computation's three arrays.
+#[derive(Clone, Copy, Debug)]
+pub struct AddressSpace {
+    /// First word address of the packed tensor.
+    pub tensor_base: u64,
+    /// First word address of the input vector `x`.
+    pub x_base: u64,
+    /// First word address of the output vector `y`.
+    pub y_base: u64,
+}
+
+impl AddressSpace {
+    /// Packed tensor at 0, then x, then y.
+    pub fn packed(n: usize) -> Self {
+        let tensor_words = (n * (n + 1) * (n + 2) / 6) as u64;
+        AddressSpace { tensor_base: 0, x_base: tensor_words, y_base: tensor_words + n as u64 }
+    }
+}
+
+#[inline]
+fn packed_index(i: usize, j: usize, k: usize) -> u64 {
+    (i * (i + 1) * (i + 2) / 6 + j * (j + 1) / 2 + k) as u64
+}
+
+/// Per-array I/O breakdown of a traced run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TracedIo {
+    /// Whole-run stats (tensor + vectors).
+    pub total: IoStats,
+    /// Misses attributable to vector (x/y) lines only.
+    pub vector_misses: u64,
+    /// Misses attributable to tensor lines only.
+    pub tensor_misses: u64,
+}
+
+/// Issues the operand accesses of one iteration point `(i, j, k)` of
+/// Algorithm 4: the tensor word plus the x/y words its updates touch.
+#[allow(clippy::too_many_arguments)]
+fn access_point(
+    cache: &mut LruCache,
+    space: &AddressSpace,
+    n: usize,
+    i: usize,
+    j: usize,
+    k: usize,
+    vector_misses: &mut u64,
+    tensor_misses: &mut u64,
+) {
+    debug_assert!(i >= j && j >= k && i < n);
+    let before = cache.stats().misses;
+    cache.access(space.tensor_base + packed_index(i, j, k));
+    *tensor_misses += cache.stats().misses - before;
+
+    let before = cache.stats().misses;
+    // Operand set per the Algorithm 4 cases (reads of x and read-modify-
+    // writes of y at the distinct indices involved).
+    cache.access(space.x_base + i as u64);
+    cache.access(space.y_base + i as u64);
+    if j != i {
+        cache.access(space.x_base + j as u64);
+        cache.access(space.y_base + j as u64);
+    }
+    if k != j {
+        cache.access(space.x_base + k as u64);
+        cache.access(space.y_base + k as u64);
+    }
+    *vector_misses += cache.stats().misses - before;
+}
+
+/// Row-major (textbook) order: the `i ≥ j ≥ k` triple loop of Algorithm 4.
+pub fn sttsv_io_rowmajor(n: usize, cache_words: usize, line_size: usize) -> TracedIo {
+    let space = AddressSpace::packed(n);
+    let mut cache = LruCache::new(cache_words, line_size);
+    let mut vector_misses = 0;
+    let mut tensor_misses = 0;
+    for i in 0..n {
+        for j in 0..=i {
+            for k in 0..=j {
+                access_point(&mut cache, &space, n, i, j, k, &mut vector_misses, &mut tensor_misses);
+            }
+        }
+    }
+    TracedIo { total: cache.stats(), vector_misses, tensor_misses }
+}
+
+/// Tetrahedral-blocked order: blocks `(I ≥ J ≥ K)` of size `b` (the last
+/// block may be ragged when `b ∤ n`), all points inside a block before the
+/// next block.
+pub fn sttsv_io_blocked(n: usize, b: usize, cache_words: usize, line_size: usize) -> TracedIo {
+    assert!(b >= 1);
+    let space = AddressSpace::packed(n);
+    let mut cache = LruCache::new(cache_words, line_size);
+    let mut vector_misses = 0;
+    let mut tensor_misses = 0;
+    let m = n.div_ceil(b);
+    let range = |blk: usize| blk * b..((blk + 1) * b).min(n);
+    for bi in 0..m {
+        for bj in 0..=bi {
+            for bk in 0..=bj {
+                for i in range(bi) {
+                    for j in range(bj) {
+                        if j > i {
+                            break;
+                        }
+                        for k in range(bk) {
+                            if k > j {
+                                break;
+                            }
+                            access_point(
+                                &mut cache,
+                                &space,
+                                n,
+                                i,
+                                j,
+                                k,
+                                &mut vector_misses,
+                                &mut tensor_misses,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    TracedIo { total: cache.stats(), vector_misses, tensor_misses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_orders_issue_the_same_access_count() {
+        let n = 24;
+        let cache = 1 << 20; // effectively infinite
+        let row = sttsv_io_rowmajor(n, cache, 1);
+        let blk = sttsv_io_blocked(n, 6, cache, 1);
+        assert_eq!(row.total.accesses, blk.total.accesses);
+        // Iteration points: n(n+1)(n+2)/6, each touching 1 tensor word +
+        // 2·(distinct indices) vector words.
+        let points = (n * (n + 1) * (n + 2) / 6) as u64;
+        assert!(row.total.accesses > points);
+    }
+
+    #[test]
+    fn infinite_cache_sees_only_compulsory_misses() {
+        let n = 20;
+        let row = sttsv_io_rowmajor(n, 1 << 22, 1);
+        let tensor_words = (n * (n + 1) * (n + 2) / 6) as u64;
+        // Every tensor word missed exactly once, every vector word once.
+        assert_eq!(row.tensor_misses, tensor_words);
+        assert_eq!(row.vector_misses, 2 * n as u64);
+        assert_eq!(row.total.misses, tensor_words + 2 * n as u64);
+    }
+
+    #[test]
+    fn tensor_traffic_is_compulsory_in_both_orders() {
+        // The packed tensor is streamed once regardless of order (each word
+        // used at exactly one iteration point).
+        let n = 24;
+        for cache_words in [64usize, 512, 4096] {
+            let row = sttsv_io_rowmajor(n, cache_words, 1);
+            let blk = sttsv_io_blocked(n, 4, cache_words, 1);
+            let tensor_words = (n * (n + 1) * (n + 2) / 6) as u64;
+            assert_eq!(row.tensor_misses, tensor_words);
+            assert_eq!(blk.tensor_misses, tensor_words);
+        }
+    }
+
+    #[test]
+    fn blocked_order_cuts_vector_traffic_in_small_caches() {
+        // The regime where blocking matters: the cache cannot hold the two
+        // vectors (2n words) but easily holds a block's vector working set
+        // (6b words). Row-major then thrashes the vectors on every sweep
+        // while the blocked order reloads only 6b words per block visit.
+        let n = 96;
+        let b = 8;
+        let cache_words = 128; // < 2n = 192, ≫ 6b = 48
+        let row = sttsv_io_rowmajor(n, cache_words, 1);
+        let blk = sttsv_io_blocked(n, b, cache_words, 1);
+        assert!(
+            blk.vector_misses * 2 < row.vector_misses,
+            "blocked {} vs row-major {}",
+            blk.vector_misses,
+            row.vector_misses
+        );
+    }
+
+    #[test]
+    fn rowmajor_wins_when_vectors_fit_entirely() {
+        // Conversely, when the cache holds both vectors outright, the
+        // textbook order's perfect streaming of the tensor is optimal and
+        // blocking gains nothing.
+        let n = 48;
+        let cache_words = 4 * n; // both vectors + slack
+        let row = sttsv_io_rowmajor(n, cache_words, 1);
+        let blk = sttsv_io_blocked(n, 4, cache_words, 1);
+        assert!(row.vector_misses <= blk.vector_misses);
+    }
+
+    #[test]
+    fn blocked_vector_traffic_tracks_block_visit_model() {
+        // Model: each block visit re-loads ≤ 6b vector words (x and y of
+        // three row blocks); visits = C(m+2, 3).
+        let n = 48;
+        let b = 4;
+        let m = n / b;
+        let blk = sttsv_io_blocked(n, b, 2 * (b * b * b + 6 * b), 1);
+        let visits = (m * (m + 1) * (m + 2) / 6) as u64;
+        let model_upper = visits * 6 * b as u64;
+        assert!(
+            blk.vector_misses <= model_upper,
+            "measured {} vs model bound {model_upper}",
+            blk.vector_misses
+        );
+    }
+
+    #[test]
+    fn ragged_blocks_cover_the_same_points() {
+        // b ∤ n: the blocked trace must still touch every tensor word once.
+        let n = 25;
+        let blk = sttsv_io_blocked(n, 4, 1 << 22, 1);
+        let tensor_words = (n * (n + 1) * (n + 2) / 6) as u64;
+        assert_eq!(blk.tensor_misses, tensor_words);
+    }
+
+    #[test]
+    fn larger_caches_never_increase_misses() {
+        // LRU inclusion property, checked end-to-end on the real trace.
+        let n = 30;
+        let mut prev = u64::MAX;
+        for cache_words in [32usize, 128, 512, 2048, 8192] {
+            let row = sttsv_io_rowmajor(n, cache_words, 1);
+            assert!(row.total.misses <= prev, "misses increased at {cache_words}");
+            prev = row.total.misses;
+        }
+    }
+}
+
+#[cfg(test)]
+mod line_size_tests {
+    use super::*;
+
+    #[test]
+    fn larger_lines_reduce_misses_on_contiguous_streams() {
+        // The packed tensor is streamed contiguously in row-major order,
+        // so an L-word line cuts its compulsory misses by ~L.
+        let n = 32;
+        let big_cache = 1 << 22;
+        let l1 = sttsv_io_rowmajor(n, big_cache, 1);
+        let l8 = sttsv_io_rowmajor(n, big_cache, 8);
+        assert!(l8.tensor_misses * 6 <= l1.tensor_misses,
+            "8-word lines must cut streaming misses ~8x: {} vs {}",
+            l8.tensor_misses, l1.tensor_misses);
+        // I/O words = misses × line size, so the word traffic is similar.
+        assert!(l8.total.io_words <= l1.total.io_words * 2);
+    }
+
+    #[test]
+    fn io_words_equals_misses_times_line_size() {
+        let n = 20;
+        for line in [1usize, 4, 8] {
+            let out = sttsv_io_rowmajor(n, 256, line);
+            assert_eq!(out.total.io_words, out.total.misses * line as u64);
+        }
+    }
+}

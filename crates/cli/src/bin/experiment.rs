@@ -1,0 +1,376 @@
+//! Paper-vs-measured experiment driver.
+//!
+//! Usage: `experiment [comm|baselines|balance|memory|schedule|hopm|all]`
+//!
+//! Each subcommand executes the relevant algorithms on the simulated
+//! machine, prints measured quantities next to the paper's closed forms,
+//! and asserts the claims it verifies. `EXPERIMENTS.md` records the output.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symtensor_core::generate::{random_odeco, random_symmetric};
+use symtensor_core::hopm::HopmOptions;
+use symtensor_parallel::baselines::{baseline_1d_words, baseline_3d_words, sttsv_1d, sttsv_3d};
+use symtensor_parallel::bounds;
+use symtensor_parallel::hopm::parallel_hopm;
+use symtensor_parallel::schedule::spherical_round_count;
+use symtensor_parallel::{parallel_sttsv, CommSchedule, Mode, TetraPartition};
+use symtensor_steiner::spherical;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match arg.as_str() {
+        "comm" => comm(),
+        "baselines" => baselines(),
+        "balance" => balance(),
+        "memory" => memory(),
+        "schedule" => schedule(),
+        "hopm" => hopm(),
+        "seqio" => seqio(),
+        "ablation" => ablation(),
+        "triangle" => triangle(),
+        "all" => {
+            comm();
+            baselines();
+            balance();
+            memory();
+            schedule();
+            hopm();
+            seqio();
+            ablation();
+            triangle();
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!(
+                "usage: experiment [comm|baselines|balance|memory|schedule|hopm|seqio|ablation|all]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// E1/E2: measured per-processor communication of Algorithm 5 vs the
+/// Theorem 5.2 lower bound, in scheduled and padded-All-to-All modes.
+fn comm() {
+    println!("== E1/E2: communication optimality (measured vs Theorem 5.2 bound) ==");
+    println!(
+        "{:>3} {:>5} {:>6} | {:>12} {:>12} {:>12} | {:>9} {:>9}",
+        "q", "P", "n", "LB (words)", "sched", "all-to-all", "sch/LB", "a2a/LB"
+    );
+    let mut rng = StdRng::seed_from_u64(1001);
+    for q in [2usize, 3] {
+        let p = bounds::spherical_procs(q);
+        let m = q * q + 1;
+        let lam1 = q * (q + 1);
+        for scale in [1usize, 2, 4] {
+            let n = m * lam1 * scale;
+            let part = TetraPartition::new(spherical(q as u64), n).unwrap();
+            let tensor = random_symmetric(n, &mut rng);
+            let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.01).sin()).collect();
+            let sched = parallel_sttsv(&tensor, &part, &x, Mode::Scheduled);
+            let a2a = parallel_sttsv(&tensor, &part, &x, Mode::AllToAllPadded);
+            let lb = bounds::lower_bound_words(n, p);
+            let sw = sched.report.bandwidth_cost() as f64;
+            let aw = a2a.report.bandwidth_cost() as f64;
+            println!(
+                "{q:>3} {p:>5} {n:>6} | {lb:>12.1} {sw:>12.0} {aw:>12.0} | {:>9.3} {:>9.3}",
+                sw / lb,
+                aw / lb
+            );
+            assert!(sw >= lb * 0.999, "no algorithm may beat the bound");
+            assert_eq!(sw as usize, bounds::scheduled_words_total(n, q));
+            assert_eq!(aw as usize, bounds::alltoall_words_total(n, q));
+        }
+    }
+    // Larger q via closed forms (execution at q ≥ 5 is thread-heavy;
+    // the formulas are validated against measurement at q ≤ 3 above).
+    println!("-- closed-form extension (validated formulas) --");
+    for q in [4usize, 5, 7, 9, 13] {
+        let p = bounds::spherical_procs(q);
+        let n = (q * q + 1) * q * (q + 1) * 4;
+        let lb = bounds::lower_bound_words(n, p);
+        let sw = bounds::scheduled_words_total(n, q) as f64;
+        let aw = bounds::alltoall_words_total(n, q) as f64;
+        println!(
+            "{q:>3} {p:>5} {n:>6} | {lb:>12.1} {sw:>12.0} {aw:>12.0} | {:>9.3} {:>9.3}",
+            sw / lb,
+            aw / lb
+        );
+    }
+    println!();
+}
+
+/// E3: Algorithm 5 vs the 1-D and 3-D baselines, showing the crossover:
+/// at P = 10 (q = 2) the 1-D all-gather is still cheapest (its cost is
+/// n(1−1/P) vs Algorithm 5's 2n(q+1)/(q²+1) = n at q = 2), but from
+/// q = 3 (P ≈ 30) on, Algorithm 5 wins and its lead grows like P^{1/3}.
+fn baselines() {
+    println!("== E3: Algorithm 5 vs baselines (max per-rank words moved, per n) ==");
+    println!(
+        "{:>6} {:>5} | {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9}",
+        "n", "~P", "alg5", "3d-cubic", "1d-rows", "alg5/n", "3d/n", "1d/n"
+    );
+    let mut rng = StdRng::seed_from_u64(1002);
+    // Measured rows: q = 2 vs g = 2 vs 1-D P = 10, then q = 3 vs g = 3 vs
+    // 1-D P = 30 (the closest sizes the three families allow).
+    for (q, g, p1d, n) in [(2usize, 2usize, 10usize, 120usize), (3, 3, 30, 240)] {
+        let part = TetraPartition::new(spherical(q as u64), n).unwrap();
+        let tensor = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.02).cos()).collect();
+        let alg5 = parallel_sttsv(&tensor, &part, &x, Mode::Scheduled);
+        let cubic = sttsv_3d(&tensor, &x, g);
+        let rows = sttsv_1d(&tensor, &x, p1d);
+        let (a, c, r) = (
+            alg5.report.bandwidth_cost(),
+            cubic.report.bandwidth_cost(),
+            rows.report.bandwidth_cost(),
+        );
+        println!(
+            "{:>6} {:>5} | {:>10} {:>10} {:>10} | {:>9.3} {:>9.3} {:>9.3}",
+            n,
+            p1d,
+            a,
+            c,
+            r,
+            a as f64 / n as f64,
+            c as f64 / n as f64,
+            r as f64 / n as f64,
+        );
+        if q == 2 {
+            // Crossover: at P = 10 the 1-D baseline still wins.
+            assert!(r < a, "1-D must win at q = 2");
+        } else {
+            // From q = 3 Algorithm 5 beats both baselines.
+            assert!(a < c && a < r, "alg5 must win at q = 3: {a} vs {c} vs {r}");
+        }
+        let _ = (baseline_3d_words(n, g), baseline_1d_words(n, p1d));
+    }
+    // Model rows for larger machines: the gap grows like P^{1/3}.
+    println!("-- closed-form extension --");
+    for q in [5usize, 7, 9, 13] {
+        let p = bounds::spherical_procs(q);
+        let g = (p as f64).cbrt().round() as usize;
+        let n = (q * q + 1) * q * (q + 1) * 4;
+        let a = bounds::scheduled_words_total(n, q) as f64;
+        let c = baseline_3d_words(n, g);
+        let r = baseline_1d_words(n, p);
+        println!(
+            "{:>6} {:>5} | {:>10.0} {:>10.0} {:>10.0} | {:>9.3} {:>9.3} {:>9.3}",
+            n,
+            p,
+            a,
+            c,
+            r,
+            a / n as f64,
+            c / n as f64,
+            r / n as f64,
+        );
+        assert!(a < c && c < r);
+    }
+    println!();
+}
+
+/// E4: computational load balance — max per-rank ternary mults vs n³/(2P).
+fn balance() {
+    println!("== E4: computational load balance (ternary multiplications) ==");
+    println!(
+        "{:>3} {:>5} {:>6} | {:>14} {:>14} {:>8}",
+        "q", "P", "n", "max per rank", "n^3/(2P)", "ratio"
+    );
+    let mut rng = StdRng::seed_from_u64(1003);
+    for (q, scale) in [(2usize, 4usize), (2, 8), (3, 1), (3, 2)] {
+        let p = bounds::spherical_procs(q);
+        let n = (q * q + 1) * q * (q + 1) * scale;
+        let part = TetraPartition::new(spherical(q as u64), n).unwrap();
+        let tensor = random_symmetric(n, &mut rng);
+        let x = vec![1.0; n];
+        let run = parallel_sttsv(&tensor, &part, &x, Mode::AllToAllSparse);
+        let max = *run.ternary_per_rank.iter().max().unwrap() as f64;
+        let ideal = bounds::comp_cost_leading(n, p);
+        println!("{q:>3} {p:>5} {n:>6} | {max:>14.0} {ideal:>14.1} {:>8.4}", max / ideal);
+        assert!(max / ideal < 1.35, "imbalance must stay bounded");
+        let total: u64 = run.ternary_per_rank.iter().sum();
+        let n64 = n as u64;
+        assert_eq!(total, n64 * n64 * (n64 + 1) / 2, "total work = n²(n+1)/2");
+    }
+    println!("(ratio → 1 as b grows; the paper notes imbalance only in lower-order terms)");
+    println!();
+}
+
+/// E5: memory footprint — per-rank tensor and vector words vs §6.1.3.
+fn memory() {
+    println!("== E5: per-processor memory (words) vs §6.1.3 ==");
+    println!(
+        "{:>3} {:>5} {:>6} | {:>12} {:>12} {:>8} | {:>8} {:>8}",
+        "q", "P", "n", "max tensor", "n^3/(6P)", "ratio", "vec", "n/P"
+    );
+    for (q, scale) in [(2usize, 4usize), (3, 1), (3, 3)] {
+        let p = bounds::spherical_procs(q);
+        let n = (q * q + 1) * q * (q + 1) * scale;
+        let part = TetraPartition::new(spherical(q as u64), n).unwrap();
+        let max_tensor = (0..p).map(|pr| part.tensor_words(pr)).max().unwrap() as f64;
+        let ideal = (n as f64).powi(3) / (6.0 * p as f64);
+        let vec_words = part.vector_words(0);
+        for pr in 0..p {
+            assert_eq!(part.vector_words(pr), n / p, "each rank owns exactly n/P per vector");
+        }
+        println!(
+            "{q:>3} {p:>5} {n:>6} | {max_tensor:>12.0} {ideal:>12.1} {:>8.4} | {vec_words:>8} {:>8}",
+            max_tensor / ideal,
+            n / p
+        );
+    }
+    println!();
+}
+
+/// E6: point-to-point schedule length vs `q³/2 + 3q²/2 − 1`.
+fn schedule() {
+    println!("== E6: schedule length (steps) vs q³/2 + 3q²/2 − 1 ==");
+    println!("{:>8} {:>5} | {:>9} {:>9} {:>7}", "system", "P", "measured", "formula", "P-1");
+    for q in [2usize, 3, 4, 5] {
+        let m = q * q + 1;
+        let part = TetraPartition::new(spherical(q as u64), m * q * (q + 1)).unwrap();
+        let sched = CommSchedule::build(&part);
+        let formula = spherical_round_count(q);
+        println!(
+            "{:>8} {:>5} | {:>9} {:>9} {:>7}",
+            format!("q={q}"),
+            part.num_procs(),
+            sched.num_rounds(),
+            formula,
+            part.num_procs() - 1
+        );
+        assert_eq!(sched.num_rounds(), formula);
+    }
+    let part = TetraPartition::new(symtensor_steiner::sqs8(), 56).unwrap();
+    let sched = CommSchedule::build(&part);
+    println!("{:>8} {:>5} | {:>9} {:>9} {:>7}", "SQS(8)", 14, sched.num_rounds(), 12, 13);
+    assert_eq!(sched.num_rounds(), 12);
+    println!();
+}
+
+/// E8: end-to-end HOPM with the communication-optimal kernel.
+fn hopm() {
+    println!("== E8: parallel HOPM on an odeco tensor (q = 2, P = 10) ==");
+    let n = 60;
+    let part = TetraPartition::new(spherical(2), n).unwrap();
+    let mut rng = StdRng::seed_from_u64(1004);
+    let odeco = random_odeco(n, 5, &mut rng);
+    let mut x0 = odeco.vectors[0].clone();
+    x0[3] += 0.05;
+    let opts = HopmOptions { tol: 1e-12, max_iters: 500 };
+    let (res, report) = parallel_hopm(&odeco.tensor, &part, &x0, opts, Mode::Scheduled);
+    println!(
+        "converged: {} in {} iterations; lambda = {:.12} (planted {:.12}); residual = {:.2e}",
+        res.converged,
+        res.iters,
+        res.lambda,
+        odeco.eigenvalues[0],
+        res.residual
+    );
+    println!(
+        "per-iteration comm ≈ {} words/rank (2 × scheduled STTSV cost {} + O(1) reductions)",
+        report.bandwidth_cost() / (res.iters as u64 + 1).max(1),
+        bounds::scheduled_words_total(n, 2)
+    );
+    assert!(res.converged);
+    assert!((res.lambda - odeco.eigenvalues[0]).abs() < 1e-8);
+    println!();
+}
+
+/// E10 (extension): sequential I/O of STTSV under an LRU cache — blocked
+/// (tetrahedral) vs row-major order. The sequential shadow of the paper's
+/// reuse analysis: blocking pays exactly when the cache is smaller than
+/// the vectors but holds a block's working set.
+fn seqio() {
+    use symtensor_cachesim::{sttsv_io_blocked, sttsv_io_rowmajor};
+    println!("== E10: sequential vector I/O (LRU cache, line = 1 word) ==");
+    println!(
+        "{:>5} {:>7} | {:>12} {:>12} {:>8}",
+        "n", "cache", "row-major", "blocked b=8", "ratio"
+    );
+    let n = 96;
+    for cache_words in [64usize, 128, 192, 512, 4096] {
+        let row = sttsv_io_rowmajor(n, cache_words, 1);
+        let blk = sttsv_io_blocked(n, 8, cache_words, 1);
+        println!(
+            "{n:>5} {cache_words:>7} | {:>12} {:>12} {:>8.2}",
+            row.vector_misses,
+            blk.vector_misses,
+            row.vector_misses as f64 / blk.vector_misses.max(1) as f64
+        );
+        // Tensor traffic is compulsory either way.
+        assert_eq!(row.tensor_misses, blk.tensor_misses);
+    }
+    println!("(blocking wins while the cache is smaller than the two vectors = {} words)", 2 * n);
+    println!();
+}
+
+/// Ablation: matching-based diagonal assignment (the paper's §6.1.3) vs
+/// least-loaded greedy.
+fn ablation() {
+    use symtensor_parallel::ablation::GreedyDiagonals;
+    println!("== Ablation: diagonal-block assignment (matching vs greedy) ==");
+    println!(
+        "{:>8} {:>5} | {:>14} {:>18} {:>14}",
+        "system", "P", "matching |N_p|", "greedy |N_p| range", "greedy max D_p"
+    );
+    for (label, system, d) in [
+        ("q=2", spherical(2), 2usize),
+        ("q=3", spherical(3), 3),
+        ("SQS(8)", symtensor_steiner::sqs8(), 4),
+    ] {
+        let greedy = GreedyDiagonals::assign(&system);
+        assert!(greedy.verify_compatibility(&system));
+        println!(
+            "{label:>8} {:>5} | {:>14} {:>18} {:>14}",
+            system.num_blocks(),
+            format!("= {d}"),
+            format!("[{}, {}]", greedy.min_non_central(), greedy.max_non_central()),
+            greedy.max_central()
+        );
+    }
+    println!("(the matching guarantees perfect balance; greedy only approximates it)");
+    println!();
+}
+
+/// Extension: the 2-D (matrix) triangle scheme next to the 3-D tetrahedral
+/// one — both meet their respective lower bounds' leading terms, with the
+/// P-scaling moving from P^{1/2} to P^{1/3}.
+fn triangle() {
+    use symtensor_core::symmat::{random_symmetric_matrix, symv_sym};
+    use symtensor_parallel::triangle::{
+        parallel_symv, symv_lower_bound, symv_words_per_vector, TrianglePartition,
+    };
+    println!("== 2-D vs 3-D: triangle (SYMV) next to tetrahedral (STTSV) ==");
+    println!(
+        "{:>4} {:>5} {:>6} | {:>12} {:>12} {:>8}",
+        "q", "P", "n", "measured", "2-D bound", "ratio"
+    );
+    let mut rng = StdRng::seed_from_u64(1005);
+    for q in [2usize, 3, 4] {
+        let m = q * q + q + 1;
+        let n = m * (q + 1) * 2;
+        let part = TrianglePartition::new(q as u64, n).unwrap();
+        part.verify().unwrap();
+        let matrix = random_symmetric_matrix(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.03).cos()).collect();
+        let run = parallel_symv(&matrix, &part, &x);
+        let (y_ref, _) = symv_sym(&matrix, &x);
+        for (got, want) in run.y.iter().zip(&y_ref) {
+            assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
+        }
+        let lb = symv_lower_bound(n, part.num_procs());
+        let measured = run.report.bandwidth_cost() as f64;
+        println!(
+            "{q:>4} {:>5} {n:>6} | {measured:>12.0} {lb:>12.1} {:>8.3}",
+            part.num_procs(),
+            measured / lb
+        );
+        assert_eq!(measured as usize, 2 * symv_words_per_vector(n, q));
+        assert!(measured >= lb * 0.999);
+    }
+    println!("(2-D comm scales as n/P^(1/2); the paper's 3-D scheme as n/P^(1/3))");
+    println!();
+}

@@ -1,0 +1,75 @@
+//! Parameter-sweep driver emitting JSON records for plotting/analysis:
+//! measured communication, work and schedule data across `q` and `n`.
+//!
+//! Usage: `sweep [output.json]` — writes a JSON array; defaults to stdout.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+use symtensor_core::generate::random_symmetric;
+use symtensor_parallel::baselines::{baseline_1d_words, baseline_3d_words};
+use symtensor_parallel::schedule::spherical_round_count;
+use symtensor_parallel::{bounds, parallel_sttsv, Mode, TetraPartition};
+use symtensor_steiner::spherical;
+
+fn main() {
+    let mut records = Vec::new();
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // Measured sweep: q ∈ {2, 3}, several scales, all three modes.
+    for q in [2usize, 3] {
+        let p = bounds::spherical_procs(q);
+        let unit = (q * q + 1) * q * (q + 1);
+        for scale in [1usize, 2, 4] {
+            let n = unit * scale;
+            let part = TetraPartition::new(spherical(q as u64), n).unwrap();
+            let tensor = random_symmetric(n, &mut rng);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+            for (label, mode) in [
+                ("scheduled", Mode::Scheduled),
+                ("alltoall_padded", Mode::AllToAllPadded),
+                ("alltoall_sparse", Mode::AllToAllSparse),
+            ] {
+                let run = parallel_sttsv(&tensor, &part, &x, mode);
+                records.push(json!({
+                    "kind": "measured",
+                    "q": q, "P": p, "n": n, "mode": label,
+                    "max_words": run.report.bandwidth_cost(),
+                    "total_words": run.report.total_words_sent(),
+                    "max_rounds": run.report.max_rounds(),
+                    "max_msgs": run.report.max_msgs_sent(),
+                    "lower_bound": bounds::lower_bound_words(n, p),
+                    "max_ternary": run.ternary_per_rank.iter().max(),
+                    "ideal_ternary": bounds::comp_cost_leading(n, p),
+                }));
+            }
+        }
+    }
+
+    // Model sweep: larger q via validated closed forms.
+    for q in [4usize, 5, 7, 9, 11, 13] {
+        let p = bounds::spherical_procs(q);
+        let unit = (q * q + 1) * q * (q + 1);
+        let n = unit * 4;
+        let g = (p as f64).cbrt().round() as usize;
+        records.push(json!({
+            "kind": "model",
+            "q": q, "P": p, "n": n,
+            "scheduled_words": bounds::scheduled_words_total(n, q),
+            "alltoall_words": bounds::alltoall_words_total(n, q),
+            "lower_bound": bounds::lower_bound_words(n, p),
+            "baseline_3d_words": baseline_3d_words(n, g),
+            "baseline_1d_words": baseline_1d_words(n, p),
+            "schedule_rounds": spherical_round_count(q),
+        }));
+    }
+
+    let out = serde_json::to_string_pretty(&records).expect("serialize");
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &out).expect("write output file");
+            eprintln!("wrote {} records to {path}", records.len());
+        }
+        None => println!("{out}"),
+    }
+}

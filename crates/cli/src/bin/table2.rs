@@ -1,0 +1,28 @@
+//! Regenerates the paper's **Table 2**: the row-block sets Q_i (processors
+//! among which row block i of each vector is distributed) for the m = 10,
+//! P = 30 tetrahedral partition of Table 1.
+
+use symtensor_cli::render_rowblock_table;
+use symtensor_parallel::TetraPartition;
+use symtensor_steiner::spherical;
+
+fn main() {
+    let part = TetraPartition::new(spherical(3), 120).expect("partition");
+    println!(
+        "Table 2: row block sets of the tetrahedral block partition (m = {}, P = {})",
+        part.num_row_blocks(),
+        part.num_procs()
+    );
+    println!("Row block i of a vector is evenly distributed among the processors of Q_i.");
+    println!();
+    print!("{}", render_rowblock_table(&part));
+    println!();
+    println!(
+        "Invariant (Lemma 6.4): every |Q_i| = q(q+1) = {} processors.",
+        part.lambda1()
+    );
+    for i in 0..part.num_row_blocks() {
+        assert_eq!(part.q_set(i).len(), part.lambda1());
+    }
+    println!("Verified.");
+}

@@ -1,0 +1,240 @@
+//! Workload generators: random symmetric tensors and odeco (orthogonally
+//! decomposable) tensors with known ℤ-eigenpairs.
+//!
+//! Odeco tensors `𝓐 = Σ_ℓ λ_ℓ v_ℓ ∘ v_ℓ ∘ v_ℓ` with orthonormal `v_ℓ` are
+//! the standard correctness workload for the higher-order power method: each
+//! `(λ_ℓ, v_ℓ)` is a ℤ-eigenpair, and HOPM converges to one of them (for
+//! generic starts, the one with the largest `|λ_ℓ|·|⟨v_ℓ, x₀⟩|` basin).
+
+use crate::ops::{orthonormalize_columns, Matrix};
+use crate::storage::SymTensor3;
+use rand::Rng;
+
+/// A uniformly random symmetric tensor with packed entries in `[-1, 1)`.
+pub fn random_symmetric<R: Rng>(n: usize, rng: &mut R) -> SymTensor3 {
+    let mut t = SymTensor3::zeros(n);
+    for v in t.packed_mut() {
+        *v = rng.gen::<f64>() * 2.0 - 1.0;
+    }
+    t
+}
+
+/// An odeco tensor together with its planted eigenpairs.
+#[derive(Clone, Debug)]
+pub struct OdecoTensor {
+    /// The assembled symmetric tensor.
+    pub tensor: SymTensor3,
+    /// Eigenvalues `λ_ℓ`, sorted descending by absolute value.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors, `vectors[ℓ]` matching `eigenvalues[ℓ]`.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Builds a random odeco tensor `Σ_ℓ λ_ℓ v_ℓ∘v_ℓ∘v_ℓ` of dimension `n` with
+/// `r ≤ n` terms. Eigenvalues are drawn from `[1, 2)` and sorted descending,
+/// so `(λ₀, v₀)` is the dominant eigenpair HOPM should find from a start
+/// correlated with `v₀`.
+pub fn random_odeco<R: Rng>(n: usize, r: usize, rng: &mut R) -> OdecoTensor {
+    assert!(r >= 1 && r <= n, "need 1 <= r <= n");
+    let mut m = Matrix::zeros(n, r);
+    for row in 0..n {
+        for col in 0..r {
+            m.set(row, col, rng.gen::<f64>() - 0.5);
+        }
+    }
+    let q = orthonormalize_columns(&m);
+    let mut eigenvalues: Vec<f64> = (0..r).map(|_| 1.0 + rng.gen::<f64>()).collect();
+    eigenvalues.sort_by(|a, b| b.abs().partial_cmp(&a.abs()).unwrap());
+    let vectors: Vec<Vec<f64>> = (0..r).map(|c| q.col(c)).collect();
+
+    let mut tensor = SymTensor3::zeros(n);
+    for i in 0..n {
+        for j in 0..=i {
+            for k in 0..=j {
+                let mut acc = 0.0;
+                for (lam, v) in eigenvalues.iter().zip(&vectors) {
+                    acc += lam * v[i] * v[j] * v[k];
+                }
+                tensor.set(i, j, k, acc);
+            }
+        }
+    }
+    OdecoTensor { tensor, eigenvalues, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{dot, norm2};
+    use crate::seq::sttsv_sym;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_symmetric_is_symmetric_by_construction() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = random_symmetric(6, &mut rng);
+        assert!(t.to_dense().is_symmetric(0.0));
+    }
+
+    #[test]
+    fn odeco_eigenpairs_satisfy_eigen_equation() {
+        // A ×₂ v ×₃ v = λ v for each planted pair.
+        let mut rng = StdRng::seed_from_u64(6);
+        let odeco = random_odeco(9, 4, &mut rng);
+        for (lam, v) in odeco.eigenvalues.iter().zip(&odeco.vectors) {
+            let (y, _) = sttsv_sym(&odeco.tensor, v);
+            for i in 0..v.len() {
+                assert!(
+                    (y[i] - lam * v[i]).abs() < 1e-10,
+                    "eigen equation fails at {i}: {} vs {}",
+                    y[i],
+                    lam * v[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn odeco_vectors_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let odeco = random_odeco(8, 5, &mut rng);
+        for a in 0..5 {
+            for b in 0..5 {
+                let d = dot(&odeco.vectors[a], &odeco.vectors[b]);
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-10);
+            }
+        }
+        for v in &odeco.vectors {
+            assert!((norm2(v) - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn odeco_eigenvalues_sorted_descending() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let odeco = random_odeco(10, 6, &mut rng);
+        for w in odeco.eigenvalues.windows(2) {
+            assert!(w[0].abs() >= w[1].abs());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= r <= n")]
+    fn rejects_too_many_terms() {
+        let mut rng = StdRng::seed_from_u64(9);
+        random_odeco(3, 4, &mut rng);
+    }
+}
+
+/// The symmetric adjacency tensor of a 3-uniform hypergraph on `n`
+/// vertices: `a_{ijk} = 1` for every permutation of each hyperedge
+/// `{i, j, k}`, zero elsewhere. STTSV on this tensor is the "tensor times
+/// same vector" kernel of hypergraph centrality computations (Benson-style
+/// ℤ-eigenvector centrality), one of the applications motivating fast
+/// STTSV (cf. Shivakumar et al., cited in the paper's introduction).
+///
+/// # Panics
+/// Panics if an edge has repeated or out-of-range vertices.
+pub fn hypergraph_adjacency(n: usize, edges: &[[usize; 3]]) -> SymTensor3 {
+    let mut t = SymTensor3::zeros(n);
+    for (e, edge) in edges.iter().enumerate() {
+        let [a, b, c] = *edge;
+        assert!(a < n && b < n && c < n, "edge {e} out of range");
+        assert!(a != b && b != c && a != c, "edge {e} has repeated vertices");
+        t.set(a, b, c, 1.0);
+    }
+    t
+}
+
+/// A random 3-uniform hypergraph with `m` distinct hyperedges.
+pub fn random_hypergraph<R: Rng>(n: usize, m: usize, rng: &mut R) -> Vec<[usize; 3]> {
+    assert!(n >= 3, "need at least 3 vertices");
+    let max_edges = n * (n - 1) * (n - 2) / 6;
+    assert!(m <= max_edges, "at most C(n,3) = {max_edges} distinct edges");
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let mut v = [rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(0..n)];
+        v.sort_unstable();
+        if v[0] != v[1] && v[1] != v[2] && seen.insert(v) {
+            edges.push(v);
+        }
+    }
+    edges
+}
+
+/// A banded symmetric tensor: entry `(i, j, k)` is nonzero iff
+/// `max(i,j,k) − min(i,j,k) ≤ bandwidth`, with values decaying with the
+/// spread. Models the locality structure of discretized operators.
+pub fn banded_symmetric(n: usize, bandwidth: usize) -> SymTensor3 {
+    let mut t = SymTensor3::zeros(n);
+    for i in 0..n {
+        for j in i.saturating_sub(bandwidth)..=i {
+            for k in j.saturating_sub(bandwidth.saturating_sub(i - j))..=j {
+                if i - k <= bandwidth {
+                    t.set(i, j, k, 1.0 / (1.0 + (i - k) as f64));
+                }
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod workload_tests {
+    use super::*;
+    use crate::seq::sttsv_sym;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hypergraph_tensor_counts_wedges() {
+        // STTSV with x = 1 gives twice the vertex degree in each slot:
+        // y_i = Σ_{jk} a_{ijk} = 2·deg(i) (each edge {i,j,k} contributes
+        // its two orderings (j,k) and (k,j)).
+        let edges = [[0usize, 1, 2], [1, 2, 3], [0, 2, 3]];
+        let t = hypergraph_adjacency(4, &edges);
+        let (y, _) = sttsv_sym(&t, &[1.0; 4]);
+        let degrees = [2.0, 2.0, 3.0, 2.0];
+        for i in 0..4 {
+            assert_eq!(y[i], 2.0 * degrees[i], "vertex {i}");
+        }
+    }
+
+    #[test]
+    fn random_hypergraph_is_well_formed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let edges = random_hypergraph(12, 30, &mut rng);
+        assert_eq!(edges.len(), 30);
+        let set: std::collections::HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), 30, "edges must be distinct");
+        for e in &edges {
+            assert!(e[0] < e[1] && e[1] < e[2]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated vertices")]
+    fn degenerate_edge_rejected() {
+        hypergraph_adjacency(5, &[[1, 1, 2]]);
+    }
+
+    #[test]
+    fn banded_tensor_respects_band() {
+        let n = 10;
+        let w = 2;
+        let t = banded_symmetric(n, w);
+        for (i, j, k, v) in t.iter_lower() {
+            let spread = i - k;
+            if spread > w {
+                assert_eq!(v, 0.0, "({i},{j},{k}) outside band must be zero");
+            }
+        }
+        // Entries inside the band are populated.
+        assert!(t.get(3, 2, 1) != 0.0);
+        assert!(t.get(5, 5, 5) != 0.0);
+        assert_eq!(t.get(9, 5, 0), 0.0);
+    }
+}

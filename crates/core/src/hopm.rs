@@ -1,0 +1,408 @@
+//! The higher-order power method (the paper's Algorithm 1) and its shifted
+//! variant, whose bottleneck is the STTSV kernel this library optimizes.
+//!
+//! A ℤ-eigenpair of a symmetric 3-tensor is `(λ, x)` with `‖x‖ = 1` and
+//! `𝓐 ×₂ x ×₃ x = λ x`. HOPM iterates `x ← normalize(𝓐 ×₂ x ×₃ x)`;
+//! the shifted variant (S-HOPM, Kolda & Mayo) iterates
+//! `x ← normalize(𝓐 ×₂ x ×₃ x + α x)`, which is guaranteed monotone for a
+//! large enough shift `α`.
+
+use crate::ops::{contract_all, norm2};
+use crate::seq::sttsv_sym;
+use crate::storage::SymTensor3;
+
+/// Stopping controls for the power iterations.
+#[derive(Clone, Copy, Debug)]
+pub struct HopmOptions {
+    /// Stop when `‖x_{t+1} − x_t‖ < tol` (sign-aligned).
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for HopmOptions {
+    fn default() -> Self {
+        HopmOptions { tol: 1e-12, max_iters: 1000 }
+    }
+}
+
+/// Result of a power-method run.
+#[derive(Clone, Debug)]
+pub struct HopmResult {
+    /// The eigenvalue estimate `λ = 𝓐 ×₁ x ×₂ x ×₃ x`.
+    pub lambda: f64,
+    /// The unit eigenvector estimate.
+    pub x: Vec<f64>,
+    /// Iterations executed.
+    pub iters: usize,
+    /// Whether the tolerance was met before the iteration cap.
+    pub converged: bool,
+    /// Final eigen-residual `‖𝓐 ×₂ x ×₃ x − λ x‖`.
+    pub residual: f64,
+}
+
+/// Algorithm 1: plain higher-order power method on a symmetric tensor.
+///
+/// # Panics
+/// Panics if `x0` has length ≠ `tensor.dim()` or zero norm.
+pub fn hopm(tensor: &SymTensor3, x0: &[f64], opts: HopmOptions) -> HopmResult {
+    power_iterate(tensor, x0, 0.0, opts)
+}
+
+/// Shifted symmetric HOPM: iterates with `𝓐 ×₂ x ×₃ x + α x`. With
+/// `α > 0` large enough the associated functional is convex on the sphere
+/// and the iteration converges monotonically (S-HOPM).
+pub fn shifted_hopm(tensor: &SymTensor3, x0: &[f64], alpha: f64, opts: HopmOptions) -> HopmResult {
+    power_iterate(tensor, x0, alpha, opts)
+}
+
+fn power_iterate(tensor: &SymTensor3, x0: &[f64], alpha: f64, opts: HopmOptions) -> HopmResult {
+    let n = tensor.dim();
+    assert_eq!(x0.len(), n, "start vector length mismatch");
+    let nrm0 = norm2(x0);
+    assert!(nrm0 > 0.0, "start vector must be nonzero");
+    let mut x: Vec<f64> = x0.iter().map(|&v| v / nrm0).collect();
+    let mut iters = 0;
+    let mut converged = false;
+    while iters < opts.max_iters {
+        let (mut y, _) = sttsv_sym(tensor, &x);
+        if alpha != 0.0 {
+            for (yi, &xi) in y.iter_mut().zip(&x) {
+                *yi += alpha * xi;
+            }
+        }
+        let nrm = norm2(&y);
+        if nrm == 0.0 {
+            // x is in the kernel; λ = 0 and x is (vacuously) stationary.
+            break;
+        }
+        for yi in &mut y {
+            *yi /= nrm;
+        }
+        iters += 1;
+        // Sign-aligned step difference (eigenvectors are sign-ambiguous for
+        // the unshifted iteration when λ < 0).
+        let diff_pos: f64 =
+            x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let diff_neg: f64 =
+            x.iter().zip(&y).map(|(a, b)| (a + b) * (a + b)).sum::<f64>().sqrt();
+        let diff = diff_pos.min(diff_neg);
+        x = y;
+        if diff < opts.tol {
+            converged = true;
+            break;
+        }
+    }
+    let lambda = contract_all(tensor, &x);
+    let (ax, _) = sttsv_sym(tensor, &x);
+    let residual =
+        ax.iter().zip(&x).map(|(a, xi)| (a - lambda * xi) * (a - lambda * xi)).sum::<f64>().sqrt();
+    HopmResult { lambda, x, iters, converged, residual }
+}
+
+/// A safe shift for S-HOPM: `α = (d − 1)·max|a_{ijk}|·n^{(d−1)/2}` style
+/// bound specialized to `d = 3`; any `α` exceeding the spectral radius of
+/// the Hessian works, and this crude bound always does.
+pub fn safe_shift(tensor: &SymTensor3) -> f64 {
+    let n = tensor.dim() as f64;
+    let max_abs = tensor.packed().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    2.0 * max_abs * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_odeco, random_symmetric};
+    use crate::ops::dot;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hopm_recovers_dominant_odeco_eigenpair() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let odeco = random_odeco(10, 4, &mut rng);
+        // Start near the dominant eigenvector to fix the basin.
+        let mut x0 = odeco.vectors[0].clone();
+        x0[1] += 0.1;
+        let res = hopm(&odeco.tensor, &x0, HopmOptions::default());
+        assert!(res.converged, "HOPM did not converge");
+        assert!((res.lambda - odeco.eigenvalues[0]).abs() < 1e-8, "lambda {} vs {}", res.lambda, odeco.eigenvalues[0]);
+        let align = dot(&res.x, &odeco.vectors[0]).abs();
+        assert!(align > 1.0 - 1e-8, "eigenvector alignment {align}");
+        assert!(res.residual < 1e-8);
+    }
+
+    #[test]
+    fn hopm_finds_some_eigenpair_of_random_tensor() {
+        // On a generic symmetric tensor, S-HOPM converges to *an*
+        // eigenpair; verify the eigen equation holds at the fixed point.
+        let mut rng = StdRng::seed_from_u64(22);
+        let t = random_symmetric(8, &mut rng);
+        let x0: Vec<f64> = (0..8).map(|i| ((i + 1) as f64).sin()).collect();
+        let res = shifted_hopm(&t, &x0, safe_shift(&t), HopmOptions { tol: 1e-13, max_iters: 20000 });
+        assert!(res.converged);
+        assert!(res.residual < 1e-6, "residual {}", res.residual);
+    }
+
+    #[test]
+    fn eigenvalue_of_rank_one_tensor() {
+        // A = λ v∘v∘v: unique nonzero eigenpair is (λ, v).
+        let n = 6;
+        let mut rng = StdRng::seed_from_u64(23);
+        let odeco = random_odeco(n, 1, &mut rng);
+        let x0 = vec![1.0; n];
+        // Generic start has nonzero overlap with v almost surely.
+        let res = hopm(&odeco.tensor, &x0, HopmOptions::default());
+        if res.converged {
+            assert!((res.lambda - odeco.eigenvalues[0]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn result_is_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let odeco = random_odeco(7, 3, &mut rng);
+        let res = hopm(&odeco.tensor, &odeco.vectors[1].clone(), HopmOptions::default());
+        assert!((crate::ops::norm2(&res.x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_tensor_terminates() {
+        let t = SymTensor3::zeros(5);
+        let res = hopm(&t, &[1.0, 0.0, 0.0, 0.0, 0.0], HopmOptions::default());
+        assert_eq!(res.lambda, 0.0);
+        assert!(res.iters <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_start_vector_panics() {
+        let t = SymTensor3::zeros(3);
+        hopm(&t, &[0.0; 3], HopmOptions::default());
+    }
+}
+
+/// Adaptive-shift power method (a lightweight take on Kolda–Mayo's GEAP
+/// adaptive shifting): starts from a conservative shift and shrinks it
+/// geometrically while the Rayleigh quotient `λ_t = 𝓐 x x x` increases
+/// monotonically, doubling it back on any decrease. Large shifts guarantee
+/// monotone convergence but slow it down (the iteration map flattens);
+/// adapting recovers most of the unshifted method's speed while keeping
+/// the monotone safety net.
+pub fn adaptive_shifted_hopm(tensor: &SymTensor3, x0: &[f64], opts: HopmOptions) -> HopmResult {
+    let n = tensor.dim();
+    assert_eq!(x0.len(), n, "start vector length mismatch");
+    let nrm0 = norm2(x0);
+    assert!(nrm0 > 0.0, "start vector must be nonzero");
+    let mut x: Vec<f64> = x0.iter().map(|&v| v / nrm0).collect();
+    let alpha_max = safe_shift(tensor);
+    let mut alpha = alpha_max;
+    let mut prev_lambda = contract_all(tensor, &x);
+    let mut iters = 0;
+    let mut converged = false;
+    while iters < opts.max_iters {
+        let (mut y, _) = sttsv_sym(tensor, &x);
+        for (yi, &xi) in y.iter_mut().zip(&x) {
+            *yi += alpha * xi;
+        }
+        let nrm = norm2(&y);
+        if nrm == 0.0 {
+            break;
+        }
+        for yi in &mut y {
+            *yi /= nrm;
+        }
+        iters += 1;
+        let lambda = contract_all(tensor, &y);
+        if lambda + 1e-13 >= prev_lambda {
+            // Monotone step: accept and relax the shift toward the raw
+            // iteration (the safe shift is guaranteed monotone, so
+            // backtracking below can always restore progress).
+            let diff: f64 =
+                x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            x = y;
+            prev_lambda = lambda;
+            // Relax the shift, but keep it at the |λ| scale: below that the
+            // fixed point can lose local stability and the iteration
+            // cycles instead of converging.
+            alpha = (alpha * 0.6).max(lambda.abs());
+            if diff < opts.tol {
+                converged = true;
+                break;
+            }
+        } else {
+            // Rejected: restore safety and retry from the same x.
+            alpha = (alpha * 8.0).min(alpha_max);
+        }
+    }
+    let lambda = contract_all(tensor, &x);
+    let (ax, _) = sttsv_sym(tensor, &x);
+    let residual =
+        ax.iter().zip(&x).map(|(a, xi)| (a - lambda * xi) * (a - lambda * xi)).sum::<f64>().sqrt();
+    HopmResult { lambda, x, iters, converged, residual }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+    use crate::generate::{random_odeco, random_symmetric};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn adaptive_converges_on_random_tensors() {
+        let mut rng = StdRng::seed_from_u64(26);
+        for trial in 0..5 {
+            let t = random_symmetric(8, &mut rng);
+            let x0: Vec<f64> = (0..8).map(|i| ((i + trial + 1) as f64).sin()).collect();
+            let opts = HopmOptions { tol: 1e-12, max_iters: 20000 };
+            let res = adaptive_shifted_hopm(&t, &x0, opts);
+            assert!(res.converged, "trial {trial}");
+            assert!(res.residual < 1e-6, "trial {trial}: residual {}", res.residual);
+        }
+    }
+
+    #[test]
+    fn adaptive_is_no_slower_than_fixed_safe_shift() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let t = random_symmetric(10, &mut rng);
+        let x0: Vec<f64> = (0..10).map(|i| (i as f64 * 0.9).cos() + 0.2).collect();
+        let opts = HopmOptions { tol: 1e-11, max_iters: 50000 };
+        let fixed = shifted_hopm(&t, &x0, safe_shift(&t), opts);
+        let adaptive = adaptive_shifted_hopm(&t, &x0, opts);
+        assert!(fixed.converged && adaptive.converged);
+        assert!(
+            adaptive.iters <= fixed.iters,
+            "adaptive {} iters vs fixed {} iters",
+            adaptive.iters,
+            fixed.iters
+        );
+    }
+
+    #[test]
+    fn adaptive_matches_plain_hopm_on_odeco() {
+        let mut rng = StdRng::seed_from_u64(28);
+        let odeco = random_odeco(9, 3, &mut rng);
+        let mut x0 = odeco.vectors[0].clone();
+        x0[2] += 0.1;
+        let opts = HopmOptions::default();
+        let res = adaptive_shifted_hopm(&odeco.tensor, &x0, opts);
+        assert!(res.converged);
+        assert!((res.lambda - odeco.eigenvalues[0]).abs() < 1e-8);
+    }
+}
+
+/// Successive deflation for (near-)odeco tensors: finds `r` eigenpairs by
+/// repeatedly running HOPM from several random starts, keeping the best
+/// converged pair, and subtracting `λ·v∘v∘v`. For exactly odeco tensors
+/// the deflated tensor remains odeco with the found pair removed, so this
+/// recovers the entire planted decomposition.
+pub fn deflate_odeco(
+    tensor: &SymTensor3,
+    r: usize,
+    starts_per_round: usize,
+    opts: HopmOptions,
+    seed: u64,
+) -> Vec<HopmResult> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let n = tensor.dim();
+    assert!(starts_per_round >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut work = tensor.clone();
+    let mut found = Vec::with_capacity(r);
+    for _ in 0..r {
+        let mut best: Option<HopmResult> = None;
+        for _ in 0..starts_per_round {
+            let x0: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+            let res = hopm(&work, &x0, opts);
+            if !res.converged {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some(b) => res.lambda.abs() > b.lambda.abs(),
+            };
+            if better {
+                best = Some(res);
+            }
+        }
+        let Some(pair) = best else { break };
+        // Deflate: A ← A − λ·v∘v∘v.
+        for i in 0..n {
+            for j in 0..=i {
+                for k in 0..=j {
+                    let update = pair.lambda * pair.x[i] * pair.x[j] * pair.x[k];
+                    work.add_assign(i, j, k, -update);
+                }
+            }
+        }
+        found.push(pair);
+    }
+    found
+}
+
+#[cfg(test)]
+mod deflate_tests {
+    use super::*;
+    use crate::generate::random_odeco;
+    use crate::ops::dot;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deflation_recovers_all_planted_eigenpairs() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let odeco = random_odeco(9, 3, &mut rng);
+        let opts = HopmOptions { tol: 1e-12, max_iters: 2000 };
+        let found = deflate_odeco(&odeco.tensor, 3, 6, opts, 777);
+        assert_eq!(found.len(), 3, "all three pairs recovered");
+        // Match each found pair to a distinct planted pair.
+        let mut used = [false; 3];
+        for pair in &found {
+            let hit = odeco
+                .eigenvalues
+                .iter()
+                .zip(&odeco.vectors)
+                .enumerate()
+                .find(|(idx, (lam, v))| {
+                    !used[*idx]
+                        && (pair.lambda - **lam).abs() < 1e-6
+                        && dot(&pair.x, v).abs() > 1.0 - 1e-6
+                });
+            let (idx, _) = hit.unwrap_or_else(|| {
+                panic!("found pair λ = {} matches no planted pair", pair.lambda)
+            });
+            used[idx] = true;
+        }
+    }
+
+    #[test]
+    fn deflated_residual_tensor_is_small() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let odeco = random_odeco(8, 2, &mut rng);
+        let opts = HopmOptions { tol: 1e-13, max_iters: 3000 };
+        let found = deflate_odeco(&odeco.tensor, 2, 6, opts, 778);
+        assert_eq!(found.len(), 2);
+        // Rebuild and compare.
+        let n = 8;
+        let mut rebuilt = SymTensor3::zeros(n);
+        for pair in &found {
+            for i in 0..n {
+                for j in 0..=i {
+                    for k in 0..=j {
+                        rebuilt.add_assign(i, j, k, pair.lambda * pair.x[i] * pair.x[j] * pair.x[k]);
+                    }
+                }
+            }
+        }
+        let diff: f64 = rebuilt
+            .packed()
+            .iter()
+            .zip(odeco.tensor.packed())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(diff < 1e-8, "reconstruction error {diff}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Binary serialization of packed symmetric tensors.
+//!
+//! A minimal self-describing little-endian format (no external
+//! dependencies) so large tensors can be generated once and reused across
+//! benchmark runs:
+//!
+//! ```text
+//! magic  "SYMT3\0\0\0"   (8 bytes)
+//! n      u64 LE
+//! data   n(n+1)(n+2)/6 × f64 LE (packed lower tetrahedron)
+//! ```
+
+use crate::storage::SymTensor3;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SYMT3\0\0\0";
+
+/// Serialization errors.
+#[derive(Debug)]
+pub enum TensorIoError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the expected magic bytes.
+    BadMagic,
+    /// The header length disagrees with the payload.
+    Truncated {
+        /// Packed words the header promised.
+        expected_words: usize,
+    },
+}
+
+impl std::fmt::Display for TensorIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorIoError::Io(e) => write!(f, "I/O error: {e}"),
+            TensorIoError::BadMagic => write!(f, "not a SYMT3 tensor stream"),
+            TensorIoError::Truncated { expected_words } => {
+                write!(f, "truncated stream: expected {expected_words} packed words")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorIoError {}
+
+impl From<io::Error> for TensorIoError {
+    fn from(e: io::Error) -> Self {
+        TensorIoError::Io(e)
+    }
+}
+
+/// Writes a tensor to any `Write` sink.
+pub fn write_tensor<W: Write>(tensor: &SymTensor3, mut sink: W) -> Result<(), TensorIoError> {
+    sink.write_all(MAGIC)?;
+    sink.write_all(&(tensor.dim() as u64).to_le_bytes())?;
+    for &v in tensor.packed() {
+        sink.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a tensor from any `Read` source.
+pub fn read_tensor<R: Read>(mut source: R) -> Result<SymTensor3, TensorIoError> {
+    let mut magic = [0u8; 8];
+    source.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TensorIoError::BadMagic);
+    }
+    let mut nb = [0u8; 8];
+    source.read_exact(&mut nb)?;
+    let n = u64::from_le_bytes(nb) as usize;
+    let words = n * (n + 1) * (n + 2) / 6;
+    let mut data = Vec::with_capacity(words);
+    let mut buf = [0u8; 8];
+    for _ in 0..words {
+        source
+            .read_exact(&mut buf)
+            .map_err(|_| TensorIoError::Truncated { expected_words: words })?;
+        data.push(f64::from_le_bytes(buf));
+    }
+    Ok(SymTensor3::from_packed(n, data))
+}
+
+/// Saves a tensor to a file (buffered).
+pub fn save_tensor<P: AsRef<Path>>(tensor: &SymTensor3, path: P) -> Result<(), TensorIoError> {
+    let file = std::fs::File::create(path)?;
+    write_tensor(tensor, io::BufWriter::new(file))
+}
+
+/// Loads a tensor from a file (buffered).
+pub fn load_tensor<P: AsRef<Path>>(path: P) -> Result<SymTensor3, TensorIoError> {
+    let file = std::fs::File::open(path)?;
+    read_tensor(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_symmetric;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let mut rng = StdRng::seed_from_u64(70);
+        for n in [0usize, 1, 5, 20] {
+            let t = random_symmetric(n, &mut rng);
+            let mut buf = Vec::new();
+            write_tensor(&t, &mut buf).unwrap();
+            assert_eq!(buf.len(), 16 + 8 * t.packed_len());
+            let back = read_tensor(buf.as_slice()).unwrap();
+            assert_eq!(back, t);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let t = random_symmetric(12, &mut rng);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("symtensor_io_test_{}.symt3", std::process::id()));
+        save_tensor(&t, &path).unwrap();
+        let back = load_tensor(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOTATNSR________".to_vec();
+        assert!(matches!(read_tensor(buf.as_slice()), Err(TensorIoError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let t = random_symmetric(6, &mut rng);
+        let mut buf = Vec::new();
+        write_tensor(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 9);
+        assert!(matches!(read_tensor(buf.as_slice()), Err(TensorIoError::Truncated { .. })));
+    }
+
+    #[test]
+    fn empty_stream_is_an_io_error() {
+        let empty: &[u8] = &[];
+        assert!(matches!(read_tensor(empty), Err(TensorIoError::Io(_))));
+    }
+}

@@ -1,0 +1,175 @@
+//! Symmetric Matricized-Tensor Times Khatri–Rao Product (MTTKRP) — the
+//! paper's Section 8 target for generalizing its bounds.
+//!
+//! Mode-1 MTTKRP for a symmetric 3-tensor and factor matrix `X ∈ ℝ^{n×r}`:
+//!
+//! ```text
+//! Y_{iℓ} = Σ_{j,k} a_{ijk} · X_{jℓ} · X_{kℓ}
+//! ```
+//!
+//! For each fixed column `ℓ` this is exactly one STTSV, so the symmetric
+//! MTTKRP is `r` STTSV invocations sharing the tensor — which is why the
+//! communication-optimal STTSV algorithm transfers to MTTKRP (and why the
+//! parallel variant in `symtensor-parallel` amortizes one gather/reduce
+//! schedule over all `r` columns).
+
+use crate::ops::Matrix;
+use crate::seq::{sttsv_sym, OpCount};
+use crate::storage::SymTensor3;
+
+/// Column-by-column symmetric MTTKRP: `r` independent STTSV calls.
+/// Returns the `n × r` result and the summed operation counts.
+pub fn mttkrp_sym(tensor: &SymTensor3, x_mat: &Matrix) -> (Matrix, OpCount) {
+    let n = tensor.dim();
+    assert_eq!(x_mat.rows(), n, "factor matrix must have n rows");
+    let r = x_mat.cols();
+    let mut y = Matrix::zeros(n, r);
+    let mut total = OpCount::default();
+    for l in 0..r {
+        let xl = x_mat.col(l);
+        let (yl, ops) = sttsv_sym(tensor, &xl);
+        y.set_col(l, &yl);
+        total.ternary_mults += ops.ternary_mults;
+        total.points += ops.points;
+    }
+    (y, total)
+}
+
+/// Fused symmetric MTTKRP: one sweep over the lower tetrahedron updating
+/// all `r` columns per element (better arithmetic intensity on the packed
+/// tensor — each `a_{ijk}` is read once instead of `r` times).
+pub fn mttkrp_sym_fused(tensor: &SymTensor3, x_mat: &Matrix) -> (Matrix, OpCount) {
+    let n = tensor.dim();
+    assert_eq!(x_mat.rows(), n);
+    let r = x_mat.cols();
+    let mut y = Matrix::zeros(n, r);
+    let mut ops = OpCount::default();
+    for i in 0..n {
+        for j in 0..=i {
+            for k in 0..=j {
+                let a = tensor.get_sorted(i, j, k);
+                ops.points += 1;
+                for l in 0..r {
+                    let (xi, xj, xk) = (x_mat.get(i, l), x_mat.get(j, l), x_mat.get(k, l));
+                    if i != j && j != k {
+                        y.set(i, l, y.get(i, l) + 2.0 * a * xj * xk);
+                        y.set(j, l, y.get(j, l) + 2.0 * a * xi * xk);
+                        y.set(k, l, y.get(k, l) + 2.0 * a * xi * xj);
+                    } else if i == j && j != k {
+                        y.set(i, l, y.get(i, l) + 2.0 * a * xj * xk);
+                        y.set(k, l, y.get(k, l) + a * xi * xj);
+                    } else if i != j && j == k {
+                        y.set(i, l, y.get(i, l) + a * xj * xk);
+                        y.set(j, l, y.get(j, l) + 2.0 * a * xi * xk);
+                    } else {
+                        y.set(i, l, y.get(i, l) + a * xj * xk);
+                    }
+                }
+                ops.ternary_mults += r as u64
+                    * if i != j && j != k {
+                        3
+                    } else if i == j && j == k {
+                        1
+                    } else {
+                        2
+                    };
+            }
+        }
+    }
+    (y, ops)
+}
+
+/// Dense reference MTTKRP over the full cube (tests only).
+pub fn mttkrp_dense_reference(tensor: &SymTensor3, x_mat: &Matrix) -> Matrix {
+    let n = tensor.dim();
+    let r = x_mat.cols();
+    let mut y = Matrix::zeros(n, r);
+    for l in 0..r {
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                for k in 0..n {
+                    acc += tensor.get(i, j, k) * x_mat.get(j, l) * x_mat.get(k, l);
+                }
+            }
+            y.set(i, l, acc);
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::generate::random_symmetric;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_factor<R: Rng>(n: usize, r: usize, rng: &mut R) -> Matrix {
+        let mut m = Matrix::zeros(n, r);
+        for row in 0..n {
+            for col in 0..r {
+                m.set(row, col, rng.gen::<f64>() - 0.5);
+            }
+        }
+        m
+    }
+
+    fn assert_matrix_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for row in 0..a.rows() {
+            for col in 0..a.cols() {
+                let (x, y) = (a.get(row, col), b.get(row, col));
+                assert!((x - y).abs() < tol * (1.0 + x.abs()), "[{row},{col}]: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnwise_matches_dense_reference() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let t = random_symmetric(9, &mut rng);
+        let x = random_factor(9, 4, &mut rng);
+        let (y, ops) = mttkrp_sym(&t, &x);
+        let y_ref = mttkrp_dense_reference(&t, &x);
+        assert_matrix_close(&y, &y_ref, 1e-10);
+        // r STTSVs worth of work.
+        assert_eq!(ops.ternary_mults, 4 * (9u64 * 9 * 10 / 2));
+    }
+
+    #[test]
+    fn fused_matches_columnwise() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = random_symmetric(11, &mut rng);
+        let x = random_factor(11, 3, &mut rng);
+        let (y_col, ops_col) = mttkrp_sym(&t, &x);
+        let (y_fused, ops_fused) = mttkrp_sym_fused(&t, &x);
+        assert_matrix_close(&y_col, &y_fused, 1e-10);
+        assert_eq!(ops_col.ternary_mults, ops_fused.ternary_mults);
+        // Fused sweeps the tetrahedron once, columnwise r times.
+        assert_eq!(ops_fused.points * 3, ops_col.points);
+    }
+
+    #[test]
+    fn single_column_is_sttsv() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let n = 8;
+        let t = random_symmetric(n, &mut rng);
+        let x = random_factor(n, 1, &mut rng);
+        let (y, _) = mttkrp_sym(&t, &x);
+        let (y_ref, _) = crate::seq::sttsv_sym(&t, &x.col(0));
+        for i in 0..n {
+            assert!((y.get(i, 0) - y_ref[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_columns_yield_empty_result() {
+        let t = random_symmetric(5, &mut StdRng::seed_from_u64(44));
+        let x = Matrix::zeros(5, 0);
+        let (y, ops) = mttkrp_sym(&t, &x);
+        assert_eq!(y.cols(), 0);
+        assert_eq!(ops.ternary_mults, 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Contractions and small dense linear algebra used by the driver
+//! algorithms (HOPM and the CP gradient).
+
+use crate::storage::SymTensor3;
+
+/// Tensor-times-vector in one mode: `(𝓐 ×_mode x)_{ik} = Σ_j a_{ijk} x_j`.
+/// Because `𝓐` is fully symmetric the result is independent of `mode`; the
+/// output is a symmetric `n × n` matrix returned densely row-major.
+pub fn ttv(tensor: &SymTensor3, x: &[f64]) -> Vec<f64> {
+    let n = tensor.dim();
+    assert_eq!(x.len(), n);
+    let mut out = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..=i {
+            let mut acc = 0.0;
+            for (j, &xj) in x.iter().enumerate() {
+                acc += tensor.get(i, j, k) * xj;
+            }
+            out[i * n + k] = acc;
+            out[k * n + i] = acc;
+        }
+    }
+    out
+}
+
+/// Full contraction `𝓐 ×₁ x ×₂ x ×₃ x = Σ_{ijk} a_{ijk} x_i x_j x_k` — the
+/// Rayleigh quotient numerator used to extract the eigenvalue in
+/// Algorithm 1.
+pub fn contract_all(tensor: &SymTensor3, x: &[f64]) -> f64 {
+    let n = tensor.dim();
+    assert_eq!(x.len(), n);
+    let mut total = 0.0;
+    // Use symmetry: each lower-tetra entry contributes with its multiplicity.
+    for (i, j, k, a) in tensor.iter_lower() {
+        let mult = crate::storage::multiplicity(i, j, k) as f64;
+        total += mult * a * x[i] * x[j] * x[k];
+    }
+    total
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|&v| v * v).sum::<f64>().sqrt()
+}
+
+/// Dot product.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+/// A small dense row-major matrix, just enough linear algebra for
+/// Algorithm 2 (Gram matrices, elementwise products, matmul) and for
+/// generating orthonormal bases.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// The zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from equal-length rows.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Matrix { rows: r, cols: c, data: rows.into_iter().flatten().collect() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Column `c` as a vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Writes a vector into column `c`.
+    pub fn set_col(&mut self, c: usize, v: &[f64]) {
+        assert_eq!(v.len(), self.rows);
+        for (r, &val) in v.iter().enumerate() {
+            self.set(r, c, val);
+        }
+    }
+
+    /// Gram matrix `AᵀA` (`cols × cols`).
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for a in 0..self.cols {
+            for b in 0..=a {
+                let mut acc = 0.0;
+                for r in 0..self.rows {
+                    acc += self.get(r, a) * self.get(r, b);
+                }
+                g.set(a, b, acc);
+                g.set(b, a, acc);
+            }
+        }
+        g
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect(),
+        }
+    }
+
+    /// Matrix product `self · other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for inner in 0..self.cols {
+                let lhs = self.get(r, inner);
+                if lhs == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * other.cols + c] += lhs * other.get(inner, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise subtraction `self − other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Gram–Schmidt orthonormalization of the columns of `m` (in place on a
+/// copy); returns the orthonormal matrix. Columns that become numerically
+/// zero cause a panic — callers supply random full-rank input.
+pub fn orthonormalize_columns(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for c in 0..out.cols() {
+        let mut v = out.col(c);
+        for prev in 0..c {
+            let u = out.col(prev);
+            let proj = dot(&v, &u);
+            for (vi, &ui) in v.iter_mut().zip(&u) {
+                *vi -= proj * ui;
+            }
+        }
+        let nrm = norm2(&v);
+        assert!(nrm > 1e-12, "rank-deficient input to Gram-Schmidt");
+        for vi in &mut v {
+            *vi /= nrm;
+        }
+        out.set_col(c, &v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_symmetric;
+    use crate::seq::sttsv_sym;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ttv_then_contract_matches_sttsv() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 7;
+        let t = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).recip()).collect();
+        // (A ×₂ x ×₃ x)_i = Σ_k (A ×₂ x)_{ik} x_k.
+        let m = ttv(&t, &x);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            for k in 0..n {
+                y[i] += m[i * n + k] * x[k];
+            }
+        }
+        let (y_ref, _) = sttsv_sym(&t, &x);
+        for i in 0..n {
+            assert!((y[i] - y_ref[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn contract_all_is_x_dot_sttsv() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 6;
+        let t = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
+        let (y, _) = sttsv_sym(&t, &x);
+        let expected = dot(&x, &y);
+        assert!((contract_all(&t, &x) - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gram_matrix() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let g = m.gram();
+        assert_eq!(g.get(0, 0), 35.0);
+        assert_eq!(g.get(0, 1), 44.0);
+        assert_eq!(g.get(1, 0), 44.0);
+        assert_eq!(g.get(1, 1), 56.0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let mut id = Matrix::zeros(2, 2);
+        id.set(0, 0, 1.0);
+        id.set(1, 1, 1.0);
+        assert_eq!(m.matmul(&id), m);
+    }
+
+    #[test]
+    fn hadamard_squares() {
+        let m = Matrix::from_rows(vec![vec![2.0, -3.0]]);
+        let h = m.hadamard(&m);
+        assert_eq!(h.get(0, 0), 4.0);
+        assert_eq!(h.get(0, 1), 9.0);
+    }
+
+    #[test]
+    fn orthonormalization_produces_identity_gram() {
+        let mut rng = StdRng::seed_from_u64(13);
+        use rand::Rng;
+        let n = 8;
+        let r = 4;
+        let mut m = Matrix::zeros(n, r);
+        for row in 0..n {
+            for col in 0..r {
+                m.set(row, col, rng.gen::<f64>() - 0.5);
+            }
+        }
+        let q = orthonormalize_columns(&m);
+        let g = q.gram();
+        for a in 0..r {
+            for b in 0..r {
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((g.get(a, b) - expect).abs() < 1e-10, "gram[{a},{b}]");
+            }
+        }
+    }
+}

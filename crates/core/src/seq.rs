@@ -1,0 +1,352 @@
+//! Sequential STTSV kernels: the paper's Algorithm 3 and Algorithm 4.
+//!
+//! STTSV computes `y = 𝓐 ×₂ x ×₃ x`, i.e. `y_i = Σ_{j,k} a_{ijk} x_j x_k`.
+//! The unit of work is the **ternary multiplication** `a_{ijk}·x_j·x_k`.
+//!
+//! * [`sttsv_naive`] (Algorithm 3) visits the full `n³` iteration space and
+//!   performs `n³` ternary multiplications.
+//! * [`sttsv_sym`] (Algorithm 4) visits only the lower tetrahedron
+//!   (`n(n+1)(n+2)/6` points) and performs all updates an element
+//!   contributes at once — `n²(n+1)/2` ternary multiplications, roughly half
+//!   of Algorithm 3.
+//!
+//! Both return an [`OpCount`] so tests and benchmarks can verify the paper's
+//! operation counts exactly.
+
+use crate::storage::SymTensor3;
+
+/// Exact operation counts for a kernel invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCount {
+    /// Ternary multiplications `a·x·x` performed (the paper's work unit).
+    pub ternary_mults: u64,
+    /// Iteration-space points visited.
+    pub points: u64,
+}
+
+/// Algorithm 3: naive STTSV over the full cube, ignoring symmetry.
+///
+/// Performs exactly `n³` ternary multiplications.
+pub fn sttsv_naive(tensor: &SymTensor3, x: &[f64]) -> (Vec<f64>, OpCount) {
+    let n = tensor.dim();
+    assert_eq!(x.len(), n, "vector length must match tensor dimension");
+    let mut y = vec![0.0; n];
+    let mut ops = OpCount::default();
+    for (i, yi) in y.iter_mut().enumerate() {
+        for j in 0..n {
+            for k in 0..n {
+                *yi += tensor.get(i, j, k) * x[j] * x[k];
+                ops.ternary_mults += 1;
+                ops.points += 1;
+            }
+        }
+    }
+    (y, ops)
+}
+
+/// Algorithm 4: STTSV exploiting the symmetric structure.
+///
+/// Visits the lower tetrahedron `i ≥ j ≥ k` and, per element, performs every
+/// update that element contributes to `y` (3 for strictly distinct indices,
+/// 2 on non-central diagonals, 1 at the central diagonal). Performs exactly
+/// `n²(n+1)/2` ternary multiplications.
+///
+/// ```
+/// use symtensor_core::{SymTensor3, seq::sttsv_sym};
+/// // A = v∘v∘v with v = (1, 2): y = (vᵀx)²·v.
+/// let mut a = SymTensor3::zeros(2);
+/// for i in 0..2 {
+///     for j in 0..=i {
+///         for k in 0..=j {
+///             a.set(i, j, k, [1.0, 2.0][i] * [1.0, 2.0][j] * [1.0, 2.0][k]);
+///         }
+///     }
+/// }
+/// let (y, ops) = sttsv_sym(&a, &[1.0, 1.0]);
+/// assert_eq!(y, vec![9.0, 18.0]);          // (1+2)² · v
+/// assert_eq!(ops.ternary_mults, 2 * 2 * 3 / 2);
+/// ```
+pub fn sttsv_sym(tensor: &SymTensor3, x: &[f64]) -> (Vec<f64>, OpCount) {
+    let n = tensor.dim();
+    assert_eq!(x.len(), n, "vector length must match tensor dimension");
+    let mut y = vec![0.0; n];
+    let mut ops = OpCount::default();
+    for i in 0..n {
+        for j in 0..=i {
+            for k in 0..=j {
+                let a = tensor.get_sorted(i, j, k);
+                ops.points += 1;
+                if i != j && j != k {
+                    // Strictly lower tetrahedral: each of the three output
+                    // slots receives the contribution of two permutations.
+                    y[i] += 2.0 * a * x[j] * x[k];
+                    y[j] += 2.0 * a * x[i] * x[k];
+                    y[k] += 2.0 * a * x[i] * x[j];
+                    ops.ternary_mults += 3;
+                } else if i == j && j != k {
+                    y[i] += 2.0 * a * x[j] * x[k];
+                    y[k] += a * x[i] * x[j];
+                    ops.ternary_mults += 2;
+                } else if i != j && j == k {
+                    y[i] += a * x[j] * x[k];
+                    y[j] += 2.0 * a * x[i] * x[k];
+                    ops.ternary_mults += 2;
+                } else {
+                    // Central diagonal i == j == k.
+                    y[i] += a * x[j] * x[k];
+                    ops.ternary_mults += 1;
+                }
+            }
+        }
+    }
+    (y, ops)
+}
+
+/// The paper's count of ternary multiplications for Algorithm 3: `n³`.
+pub fn naive_ternary_mults(n: usize) -> u64 {
+    (n as u64).pow(3)
+}
+
+/// The paper's count of ternary multiplications for Algorithm 4:
+/// `n²(n+1)/2`.
+pub fn sym_ternary_mults(n: usize) -> u64 {
+    let n = n as u64;
+    n * n * (n + 1) / 2
+}
+
+/// Points in the lower tetrahedral iteration space: `n(n+1)(n+2)/6`.
+pub fn lower_tetra_points(n: usize) -> u64 {
+    let n = n as u64;
+    n * (n + 1) * (n + 2) / 6
+}
+
+/// Points in the strict lower tetrahedron: `n(n−1)(n−2)/6`.
+pub fn strict_lower_tetra_points(n: usize) -> u64 {
+    let n = n as u64;
+    if n < 3 {
+        0
+    } else {
+        n * (n - 1) * (n - 2) / 6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_symmetric;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (idx, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs()), "index {idx}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn algorithms_agree_on_random_tensors() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 3, 5, 8, 13, 21] {
+            let t = random_symmetric(n, &mut rng);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
+            let (y_naive, _) = sttsv_naive(&t, &x);
+            let (y_sym, _) = sttsv_sym(&t, &x);
+            assert_close(&y_naive, &y_sym, 1e-12);
+        }
+    }
+
+    #[test]
+    fn operation_counts_match_paper() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 4, 7, 10, 16] {
+            let t = random_symmetric(n, &mut rng);
+            let x = vec![1.0; n];
+            let (_, naive_ops) = sttsv_naive(&t, &x);
+            let (_, sym_ops) = sttsv_sym(&t, &x);
+            assert_eq!(naive_ops.ternary_mults, naive_ternary_mults(n), "naive n={n}");
+            assert_eq!(sym_ops.ternary_mults, sym_ternary_mults(n), "sym n={n}");
+            assert_eq!(sym_ops.points, lower_tetra_points(n), "points n={n}");
+        }
+    }
+
+    #[test]
+    fn sym_does_roughly_half_the_work() {
+        let n = 50;
+        assert!(sym_ternary_mults(n) * 2 <= naive_ternary_mults(n) + naive_ternary_mults(n) / 10);
+    }
+
+    #[test]
+    fn identity_like_tensor() {
+        // a_{iii} = 1, zero elsewhere: y_i = x_i².
+        let n = 6;
+        let mut t = SymTensor3::zeros(n);
+        for i in 0..n {
+            t.set(i, i, i, 1.0);
+        }
+        let x: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let (y, _) = sttsv_sym(&t, &x);
+        for i in 0..n {
+            assert_eq!(y[i], x[i] * x[i]);
+        }
+    }
+
+    #[test]
+    fn rank_one_tensor_contracts_exactly() {
+        // A = v∘v∘v  =>  y = (vᵀx)² v.
+        let n = 8;
+        let v: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).sqrt()).collect();
+        let mut t = SymTensor3::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                for k in 0..=j {
+                    t.set(i, j, k, v[i] * v[j] * v[k]);
+                }
+            }
+        }
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        let dot: f64 = v.iter().zip(&x).map(|(a, b)| a * b).sum();
+        let (y, _) = sttsv_sym(&t, &x);
+        for i in 0..n {
+            assert!((y[i] - dot * dot * v[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_vector_gives_zero_output() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = random_symmetric(7, &mut rng);
+        let (y, _) = sttsv_sym(&t, &[0.0; 7]);
+        assert!(y.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn linearity_in_the_tensor() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 6;
+        let a = random_symmetric(n, &mut rng);
+        let b = random_symmetric(n, &mut rng);
+        let sum = SymTensor3::from_packed(
+            n,
+            a.packed().iter().zip(b.packed()).map(|(u, v)| u + v).collect(),
+        );
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 0.5).collect();
+        let (ya, _) = sttsv_sym(&a, &x);
+        let (yb, _) = sttsv_sym(&b, &x);
+        let (ysum, _) = sttsv_sym(&sum, &x);
+        for i in 0..n {
+            assert!((ysum[i] - ya[i] - yb[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn tiny_dimensions() {
+        let t = SymTensor3::zeros(0);
+        let (y, ops) = sttsv_sym(&t, &[]);
+        assert!(y.is_empty());
+        assert_eq!(ops.ternary_mults, 0);
+
+        let mut t1 = SymTensor3::zeros(1);
+        t1.set(0, 0, 0, 3.0);
+        let (y1, ops1) = sttsv_sym(&t1, &[2.0]);
+        assert_eq!(y1, vec![12.0]);
+        assert_eq!(ops1.ternary_mults, 1);
+    }
+}
+
+/// Cache-blocked Algorithm 4: identical arithmetic (same iteration points,
+/// same case analysis, same ternary-multiplication count) executed in
+/// tetrahedral-block order — blocks `(I ≥ J ≥ K)` of size `b`, all points
+/// inside a block before the next. This is the sequential twin of the
+/// parallel tetrahedral distribution: one block touches only `3b` entries
+/// of each vector for up to `b³` tensor entries, which is what
+/// `symtensor-cachesim` measures and the paper's Lemma 4.2 bounds.
+///
+/// Results can differ from [`sttsv_sym`] only by floating-point summation
+/// order.
+pub fn sttsv_sym_blocked(tensor: &SymTensor3, x: &[f64], b: usize) -> (Vec<f64>, OpCount) {
+    let n = tensor.dim();
+    assert_eq!(x.len(), n, "vector length must match tensor dimension");
+    assert!(b >= 1, "block size must be positive");
+    let mut y = vec![0.0; n];
+    let mut ops = OpCount::default();
+    let m = n.div_ceil(b);
+    let range = |blk: usize| blk * b..((blk + 1) * b).min(n);
+    for bi in 0..m {
+        for bj in 0..=bi {
+            for bk in 0..=bj {
+                for i in range(bi) {
+                    for j in range(bj) {
+                        if j > i {
+                            break;
+                        }
+                        for k in range(bk) {
+                            if k > j {
+                                break;
+                            }
+                            let a = tensor.get_sorted(i, j, k);
+                            ops.points += 1;
+                            if i != j && j != k {
+                                y[i] += 2.0 * a * x[j] * x[k];
+                                y[j] += 2.0 * a * x[i] * x[k];
+                                y[k] += 2.0 * a * x[i] * x[j];
+                                ops.ternary_mults += 3;
+                            } else if i == j && j != k {
+                                y[i] += 2.0 * a * x[j] * x[k];
+                                y[k] += a * x[i] * x[j];
+                                ops.ternary_mults += 2;
+                            } else if i != j && j == k {
+                                y[i] += a * x[j] * x[k];
+                                y[j] += 2.0 * a * x[i] * x[k];
+                                ops.ternary_mults += 2;
+                            } else {
+                                y[i] += a * x[j] * x[k];
+                                ops.ternary_mults += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (y, ops)
+}
+
+#[cfg(test)]
+mod blocked_tests {
+    use super::*;
+    use crate::generate::random_symmetric;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blocked_matches_rowmajor_for_all_block_sizes() {
+        let mut rng = StdRng::seed_from_u64(60);
+        for n in [1usize, 7, 16, 25] {
+            let t = random_symmetric(n, &mut rng);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).sin()).collect();
+            let (y_ref, ops_ref) = sttsv_sym(&t, &x);
+            for b in [1usize, 2, 3, 5, 8, n.max(1)] {
+                let (y_blk, ops_blk) = sttsv_sym_blocked(&t, &x, b);
+                assert_eq!(ops_blk, ops_ref, "n={n} b={b}: op counts must be identical");
+                for i in 0..n {
+                    assert!(
+                        (y_blk[i] - y_ref[i]).abs() < 1e-12 * (1.0 + y_ref[i].abs()),
+                        "n={n} b={b} y[{i}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_size_larger_than_n_degenerates_to_rowmajor() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let n = 9;
+        let t = random_symmetric(n, &mut rng);
+        let x = vec![0.5; n];
+        let (y_big, _) = sttsv_sym_blocked(&t, &x, 100);
+        let (y_ref, _) = sttsv_sym(&t, &x);
+        assert_eq!(y_big, y_ref);
+    }
+}

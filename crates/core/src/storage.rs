@@ -1,0 +1,356 @@
+//! Packed storage for fully symmetric 3-tensors.
+//!
+//! A fully symmetric tensor satisfies `a_{ijk} = a_{σ(i)σ(j)σ(k)}` for every
+//! permutation `σ`, so only the lower tetrahedron `i ≥ j ≥ k` needs storing:
+//! `n(n+1)(n+2)/6` words instead of `n³` (the `1/d!` saving the paper's
+//! introduction highlights for `d = 3`).
+//!
+//! The layout is the 3-dimensional analogue of packed triangular storage:
+//! entry `(i, j, k)` with `i ≥ j ≥ k` (0-based) lives at
+//! `tet(i) + tri(j) + k` where `tet(i) = i(i+1)(i+2)/6` and
+//! `tri(j) = j(j+1)/2`.
+
+/// Number of lower-tetrahedron entries with leading index `< i`:
+/// `i(i+1)(i+2)/6`.
+#[inline]
+pub fn tet(i: usize) -> usize {
+    i * (i + 1) * (i + 2) / 6
+}
+
+/// Number of lower-triangle entries with leading index `< j`: `j(j+1)/2`.
+#[inline]
+pub fn tri(j: usize) -> usize {
+    j * (j + 1) / 2
+}
+
+/// Storage offset of the sorted index `(i, j, k)`, `i ≥ j ≥ k`.
+#[inline]
+pub fn packed_index(i: usize, j: usize, k: usize) -> usize {
+    debug_assert!(i >= j && j >= k);
+    tet(i) + tri(j) + k
+}
+
+/// A fully symmetric `n × n × n` tensor stored as its packed lower
+/// tetrahedron.
+///
+/// ```
+/// use symtensor_core::SymTensor3;
+/// let mut t = SymTensor3::zeros(4);
+/// t.set(3, 1, 2, 5.0);                    // any index order
+/// assert_eq!(t.get(1, 2, 3), 5.0);        // all permutations agree
+/// assert_eq!(t.packed_len(), 4 * 5 * 6 / 6);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymTensor3 {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymTensor3 {
+    /// The zero tensor of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        SymTensor3 { n, data: vec![0.0; tet(n)] }
+    }
+
+    /// Wraps packed data (length must be `n(n+1)(n+2)/6`).
+    pub fn from_packed(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), tet(n), "packed data has wrong length for n = {n}");
+        SymTensor3 { n, data }
+    }
+
+    /// Dimension `n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored (unique) entries, `n(n+1)(n+2)/6`.
+    #[inline]
+    pub fn packed_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The packed lower tetrahedron.
+    #[inline]
+    pub fn packed(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable packed data.
+    #[inline]
+    pub fn packed_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Value at `(i, j, k)` in **any** index order.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
+        let (a, b, c) = sort3_desc(i, j, k);
+        self.data[packed_index(a, b, c)]
+    }
+
+    /// Sets the value at `(i, j, k)` (and so at all 6 permutations).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, value: f64) {
+        let (a, b, c) = sort3_desc(i, j, k);
+        self.data[packed_index(a, b, c)] = value;
+    }
+
+    /// Adds `value` at `(i, j, k)` (any order).
+    #[inline]
+    pub fn add_assign(&mut self, i: usize, j: usize, k: usize, value: f64) {
+        let (a, b, c) = sort3_desc(i, j, k);
+        self.data[packed_index(a, b, c)] += value;
+    }
+
+    /// Value at a sorted index, skipping the sort — hot-path accessor for
+    /// kernels that iterate the lower tetrahedron directly.
+    #[inline]
+    pub fn get_sorted(&self, i: usize, j: usize, k: usize) -> f64 {
+        debug_assert!(i >= j && j >= k && i < self.n);
+        self.data[packed_index(i, j, k)]
+    }
+
+    /// Expands to a dense `n³` tensor (testing / baselines only).
+    pub fn to_dense(&self) -> DenseTensor3 {
+        let n = self.n;
+        let mut dense = DenseTensor3::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    dense.set(i, j, k, self.get(i, j, k));
+                }
+            }
+        }
+        dense
+    }
+
+    /// Frobenius norm accounting for symmetry multiplicities (each stored
+    /// entry appears 6, 3 or 1 times in the dense tensor).
+    pub fn frobenius_norm(&self) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.n {
+            for j in 0..=i {
+                for k in 0..=j {
+                    let v = self.get_sorted(i, j, k);
+                    let mult = multiplicity(i, j, k) as f64;
+                    total += mult * v * v;
+                }
+            }
+        }
+        total.sqrt()
+    }
+
+    /// Iterates over the lower tetrahedron as `(i, j, k, value)` with
+    /// `i ≥ j ≥ k`.
+    pub fn iter_lower(&self) -> impl Iterator<Item = (usize, usize, usize, f64)> + '_ {
+        let n = self.n;
+        (0..n).flat_map(move |i| {
+            (0..=i).flat_map(move |j| {
+                (0..=j).map(move |k| (i, j, k, self.get_sorted(i, j, k)))
+            })
+        })
+    }
+}
+
+/// Number of distinct permutations of the index `(i, j, k)`: 6 when all
+/// distinct, 3 when exactly two equal, 1 when all equal.
+#[inline]
+pub fn multiplicity(i: usize, j: usize, k: usize) -> usize {
+    if i == j && j == k {
+        1
+    } else if i == j || j == k || i == k {
+        3
+    } else {
+        6
+    }
+}
+
+#[inline]
+fn sort3_desc(i: usize, j: usize, k: usize) -> (usize, usize, usize) {
+    let (lo1, hi1) = if i < j { (i, j) } else { (j, i) };
+    if k >= hi1 {
+        (k, hi1, lo1)
+    } else if k <= lo1 {
+        (hi1, lo1, k)
+    } else {
+        (hi1, k, lo1)
+    }
+}
+
+/// A dense (non-symmetric) `n × n × n` tensor, used by baselines and tests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseTensor3 {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseTensor3 {
+    /// The zero tensor of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        DenseTensor3 { n, data: vec![0.0; n * n * n] }
+    }
+
+    /// Dimension `n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Value at `(i, j, k)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[(i * self.n + j) * self.n + k]
+    }
+
+    /// Sets the value at `(i, j, k)` (this entry only; no symmetry).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, value: f64) {
+        self.data[(i * self.n + j) * self.n + k] = value;
+    }
+
+    /// Checks full symmetry within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        let n = self.n;
+        for i in 0..n {
+            for j in 0..=i {
+                for k in 0..=j {
+                    let v = self.get(i, j, k);
+                    let perms = [
+                        self.get(i, k, j),
+                        self.get(j, i, k),
+                        self.get(j, k, i),
+                        self.get(k, i, j),
+                        self.get(k, j, i),
+                    ];
+                    if perms.iter().any(|&p| (p - v).abs() > tol) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_length_formula() {
+        for n in 0..20 {
+            assert_eq!(SymTensor3::zeros(n).packed_len(), n * (n + 1) * (n + 2) / 6);
+        }
+    }
+
+    #[test]
+    fn packed_index_is_a_bijection() {
+        let n = 9;
+        let mut seen = vec![false; tet(n)];
+        for i in 0..n {
+            for j in 0..=i {
+                for k in 0..=j {
+                    let idx = packed_index(i, j, k);
+                    assert!(!seen[idx], "collision at ({i},{j},{k})");
+                    seen[idx] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn get_is_permutation_invariant() {
+        let mut t = SymTensor3::zeros(6);
+        t.set(5, 2, 4, 7.5);
+        for &(i, j, k) in
+            &[(5, 2, 4), (5, 4, 2), (2, 5, 4), (2, 4, 5), (4, 5, 2), (4, 2, 5)]
+        {
+            assert_eq!(t.get(i, j, k), 7.5);
+        }
+    }
+
+    #[test]
+    fn set_then_get_all_entries() {
+        let n = 5;
+        let mut t = SymTensor3::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                for k in 0..=j {
+                    t.set(i, j, k, (i * 100 + j * 10 + k) as f64);
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let (a, b, c) = sort3_desc(i, j, k);
+                    assert_eq!(t.get(i, j, k), (a * 100 + b * 10 + c) as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_roundtrip_is_symmetric() {
+        let mut t = SymTensor3::zeros(4);
+        for (pos, v) in t.packed_mut().iter_mut().enumerate() {
+            *v = pos as f64 + 1.0;
+        }
+        let d = t.to_dense();
+        assert!(d.is_symmetric(0.0));
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    assert_eq!(d.get(i, j, k), t.get(i, j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiplicities() {
+        assert_eq!(multiplicity(3, 3, 3), 1);
+        assert_eq!(multiplicity(3, 3, 1), 3);
+        assert_eq!(multiplicity(3, 1, 1), 3);
+        assert_eq!(multiplicity(3, 2, 1), 6);
+        // Sum of multiplicities over the lower tetrahedron = n³.
+        let n = 7;
+        let total: usize = (0..n)
+            .flat_map(|i| (0..=i).flat_map(move |j| (0..=j).map(move |k| multiplicity(i, j, k))))
+            .sum();
+        assert_eq!(total, n * n * n);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_dense() {
+        let mut t = SymTensor3::zeros(5);
+        for (pos, v) in t.packed_mut().iter_mut().enumerate() {
+            *v = (pos as f64).sin();
+        }
+        let d = t.to_dense();
+        let mut dense_sq = 0.0;
+        for i in 0..5 {
+            for j in 0..5 {
+                for k in 0..5 {
+                    dense_sq += d.get(i, j, k) * d.get(i, j, k);
+                }
+            }
+        }
+        assert!((t.frobenius_norm() - dense_sq.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_lower_covers_tetrahedron_once() {
+        let t = SymTensor3::zeros(6);
+        let count = t.iter_lower().count();
+        assert_eq!(count, tet(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn from_packed_rejects_bad_length() {
+        SymTensor3::from_packed(4, vec![0.0; 3]);
+    }
+}

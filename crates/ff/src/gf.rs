@@ -1,0 +1,510 @@
+//! Table-driven arithmetic for the finite field `GF(p^m)`.
+//!
+//! Elements are identified with integers in `[0, p^m)` by reading the base-`p`
+//! digits of the integer as polynomial coefficients (little-endian) of the
+//! residue class modulo a fixed irreducible polynomial. The fields used by
+//! this project have at most a few hundred elements, so full multiplication
+//! and inverse tables are precomputed.
+
+use crate::poly::{find_irreducible, Poly};
+
+/// An element of a [`Gf`] field, stored as its integer code in `[0, q)`.
+pub type FieldElem = u32;
+
+/// The finite field `GF(p^m)` with `q = p^m` elements.
+#[derive(Clone, Debug)]
+pub struct Gf {
+    p: u64,
+    m: u32,
+    q: u32,
+    /// Defining irreducible polynomial (little-endian coefficients).
+    modulus: Vec<u64>,
+    add_table: Vec<FieldElem>,
+    mul_table: Vec<FieldElem>,
+    neg_table: Vec<FieldElem>,
+    inv_table: Vec<FieldElem>,
+}
+
+impl Gf {
+    /// Constructs `GF(q)` for a prime power `q = p^m`.
+    ///
+    /// # Panics
+    /// Panics if `q` is not a prime power or exceeds `2^16` (tables would be
+    /// needlessly large for this project's use).
+    pub fn new(q: u64) -> Self {
+        let (p, m) = crate::prime_power(q).unwrap_or_else(|| panic!("GF({q}): not a prime power"));
+        assert!(q <= 1 << 16, "GF({q}): field too large for table-driven arithmetic");
+        let modulus = find_irreducible(p, m as usize);
+        let q = q as u32;
+
+        // Element <-> polynomial conversions.
+        let to_poly = |e: u32| -> Poly {
+            let mut coeffs = Vec::with_capacity(m as usize);
+            let mut v = e as u64;
+            for _ in 0..m {
+                coeffs.push(v % p);
+                v /= p;
+            }
+            let mut poly = Poly { coeffs };
+            while poly.coeffs.last() == Some(&0) {
+                poly.coeffs.pop();
+            }
+            poly
+        };
+        let from_poly = |poly: &Poly| -> u32 {
+            let mut v = 0u64;
+            for &c in poly.coeffs.iter().rev() {
+                v = v * p + c;
+            }
+            v as u32
+        };
+
+        let qs = q as usize;
+        let mut add_table = vec![0; qs * qs];
+        let mut mul_table = vec![0; qs * qs];
+        let mut neg_table = vec![0; qs];
+        let mut inv_table = vec![0; qs];
+        let polys: Vec<Poly> = (0..q).map(to_poly).collect();
+        for a in 0..qs {
+            for b in a..qs {
+                let s = from_poly(&polys[a].add(&polys[b], p));
+                add_table[a * qs + b] = s;
+                add_table[b * qs + a] = s;
+                let t = from_poly(&polys[a].mul(&polys[b], p).rem(&modulus, p));
+                mul_table[a * qs + b] = t;
+                mul_table[b * qs + a] = t;
+            }
+        }
+        for a in 0..qs {
+            let negp = Poly::zero().sub(&polys[a], p);
+            neg_table[a] = from_poly(&negp);
+        }
+        // Inverses: a^(q-2) = a^{-1}; build by scanning the mul table.
+        for a in 1..qs {
+            for b in 1..qs {
+                if mul_table[a * qs + b] == 1 {
+                    inv_table[a] = b as u32;
+                    break;
+                }
+            }
+        }
+
+        Gf { p, m, q, modulus: modulus.coeffs, add_table, mul_table, neg_table, inv_table }
+    }
+
+    /// Number of elements `q = p^m`.
+    #[inline]
+    pub fn order(&self) -> u32 {
+        self.q
+    }
+
+    /// Characteristic `p`.
+    #[inline]
+    pub fn characteristic(&self) -> u64 {
+        self.p
+    }
+
+    /// Extension degree `m` over the prime field.
+    #[inline]
+    pub fn degree(&self) -> u32 {
+        self.m
+    }
+
+    /// Coefficients of the defining irreducible polynomial (little-endian).
+    pub fn modulus(&self) -> &[u64] {
+        &self.modulus
+    }
+
+    /// The additive identity.
+    #[inline]
+    pub fn zero(&self) -> FieldElem {
+        0
+    }
+
+    /// The multiplicative identity.
+    #[inline]
+    pub fn one(&self) -> FieldElem {
+        1
+    }
+
+    /// Field addition.
+    #[inline]
+    pub fn add(&self, a: FieldElem, b: FieldElem) -> FieldElem {
+        self.add_table[a as usize * self.q as usize + b as usize]
+    }
+
+    /// Field subtraction.
+    #[inline]
+    pub fn sub(&self, a: FieldElem, b: FieldElem) -> FieldElem {
+        self.add(a, self.neg(b))
+    }
+
+    /// Additive inverse.
+    #[inline]
+    pub fn neg(&self, a: FieldElem) -> FieldElem {
+        self.neg_table[a as usize]
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: FieldElem, b: FieldElem) -> FieldElem {
+        self.mul_table[a as usize * self.q as usize + b as usize]
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on the zero element.
+    #[inline]
+    pub fn inv(&self, a: FieldElem) -> FieldElem {
+        assert!(a != 0, "inverse of zero in GF({})", self.q);
+        self.inv_table[a as usize]
+    }
+
+    /// Division `a / b`.
+    #[inline]
+    pub fn div(&self, a: FieldElem, b: FieldElem) -> FieldElem {
+        self.mul(a, self.inv(b))
+    }
+
+    /// `a^e` by square-and-multiply.
+    pub fn pow(&self, a: FieldElem, mut e: u64) -> FieldElem {
+        let mut base = a;
+        let mut acc = self.one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Iterator over all elements of the field.
+    pub fn elements(&self) -> impl Iterator<Item = FieldElem> {
+        0..self.q
+    }
+
+    /// The Frobenius automorphism `x ↦ x^p`.
+    #[inline]
+    pub fn frobenius(&self, a: FieldElem) -> FieldElem {
+        self.pow(a, self.p)
+    }
+
+    /// The trace to the prime field: `Tr(x) = x + x^p + … + x^{p^{m−1}}`.
+    /// Always lands in `GF(p)` (returned as its element code `< p`).
+    pub fn trace(&self, a: FieldElem) -> FieldElem {
+        let mut acc = self.zero();
+        let mut term = a;
+        for _ in 0..self.m {
+            acc = self.add(acc, term);
+            term = self.frobenius(term);
+        }
+        debug_assert!((acc as u64) < self.p, "trace must lie in the prime field");
+        acc
+    }
+
+    /// The norm to the prime field: `N(x) = x^{(q−1)/(p−1)}` — the product
+    /// of all conjugates. Always lands in `GF(p)`.
+    pub fn norm(&self, a: FieldElem) -> FieldElem {
+        let q = self.q as u64;
+        let e = (q - 1) / (self.p - 1);
+        let out = self.pow(a, e);
+        debug_assert!(a == 0 || (out as u64) < self.p, "norm must lie in the prime field");
+        out
+    }
+
+    /// Finds a primitive element (a generator of the cyclic multiplicative
+    /// group of order `q − 1`).
+    pub fn primitive_element(&self) -> FieldElem {
+        let q1 = self.q as u64 - 1;
+        let factors = prime_factors(q1);
+        'candidates: for g in 2..self.q {
+            for &f in &factors {
+                if self.pow(g, q1 / f) == 1 {
+                    continue 'candidates;
+                }
+            }
+            return g;
+        }
+        // q = 2: the only nonzero element is 1.
+        1
+    }
+
+    /// Discrete logarithm base `g` of `a` (`a ≠ 0`), by table scan — fine
+    /// for these tiny fields. Returns `e` with `g^e = a`.
+    pub fn discrete_log(&self, g: FieldElem, a: FieldElem) -> Option<u64> {
+        assert!(a != 0, "discrete log of zero");
+        let mut acc = self.one();
+        for e in 0..self.q as u64 {
+            if acc == a {
+                return Some(e);
+            }
+            acc = self.mul(acc, g);
+        }
+        None
+    }
+
+    /// The elements of the subfield of order `q0` (requires `q0^k = q` for
+    /// some `k`, i.e. `GF(q0) ⊆ GF(q)`): exactly those `x` with `x^{q0} = x`.
+    ///
+    /// # Panics
+    /// Panics if `GF(q0)` is not a subfield of this field.
+    pub fn subfield_elements(&self, q0: u64) -> Vec<FieldElem> {
+        let (p0, m0) = crate::prime_power(q0).unwrap_or_else(|| panic!("GF({q0}): not a prime power"));
+        assert_eq!(p0, self.p, "GF({q0}) is not a subfield of GF({})", self.q);
+        assert!(self.m % m0 == 0, "GF({q0}) is not a subfield of GF({})", self.q);
+        let sub: Vec<FieldElem> = self.elements().filter(|&x| self.pow(x, q0) == x).collect();
+        assert_eq!(sub.len() as u64, q0, "subfield size mismatch");
+        sub
+    }
+}
+
+fn prime_factors(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            out.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_field_axioms(q: u64) {
+        let f = Gf::new(q);
+        let els: Vec<_> = f.elements().collect();
+        // Additive and multiplicative identity.
+        for &a in &els {
+            assert_eq!(f.add(a, f.zero()), a);
+            assert_eq!(f.mul(a, f.one()), a);
+            assert_eq!(f.add(a, f.neg(a)), f.zero());
+            if a != 0 {
+                assert_eq!(f.mul(a, f.inv(a)), f.one());
+            }
+        }
+        // Commutativity + associativity + distributivity, exhaustively for
+        // small fields, on a stride for larger ones.
+        let stride = if q <= 16 { 1 } else { (q as usize / 11).max(1) };
+        let sample: Vec<_> = els.iter().copied().step_by(stride).collect();
+        for &a in &sample {
+            for &b in &sample {
+                assert_eq!(f.add(a, b), f.add(b, a));
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for &c in &sample {
+                    assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+                    assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+                    assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                }
+            }
+        }
+        // No zero divisors.
+        for &a in &els {
+            for &b in &els {
+                if a != 0 && b != 0 {
+                    assert_ne!(f.mul(a, b), 0, "zero divisor in GF({q}): {a}*{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gf4_axioms() {
+        check_field_axioms(4);
+    }
+
+    #[test]
+    fn gf9_axioms() {
+        check_field_axioms(9);
+    }
+
+    #[test]
+    fn gf16_axioms() {
+        check_field_axioms(16);
+    }
+
+    #[test]
+    fn gf25_axioms() {
+        check_field_axioms(25);
+    }
+
+    #[test]
+    fn gf49_axioms() {
+        check_field_axioms(49);
+    }
+
+    #[test]
+    fn gf64_axioms() {
+        check_field_axioms(64);
+    }
+
+    #[test]
+    fn gf81_axioms() {
+        check_field_axioms(81);
+    }
+
+    #[test]
+    fn prime_field_matches_modular_arithmetic() {
+        let f = Gf::new(7);
+        for a in 0..7u32 {
+            for b in 0..7u32 {
+                assert_eq!(f.add(a, b), (a + b) % 7);
+                assert_eq!(f.mul(a, b), (a * b) % 7);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplicative_group_is_cyclic_of_order_q_minus_1() {
+        for q in [4u64, 8, 9, 16, 25, 49] {
+            let f = Gf::new(q);
+            // Every nonzero element satisfies x^(q-1) = 1.
+            for x in 1..f.order() {
+                assert_eq!(f.pow(x, q - 1), 1, "x^{} != 1 for x={x} in GF({q})", q - 1);
+            }
+            // And there exists a generator of order exactly q-1.
+            let found = (1..f.order()).any(|x| {
+                let mut acc = f.one();
+                let mut order = 0;
+                loop {
+                    acc = f.mul(acc, x);
+                    order += 1;
+                    if acc == 1 {
+                        break;
+                    }
+                }
+                order == q - 1
+            });
+            assert!(found, "no generator found for GF({q})");
+        }
+    }
+
+    #[test]
+    fn subfields() {
+        // F_3 inside F_9.
+        let f9 = Gf::new(9);
+        let sub = f9.subfield_elements(3);
+        assert_eq!(sub.len(), 3);
+        assert!(sub.contains(&0) && sub.contains(&1));
+        // Subfield closed under + and *.
+        for &a in &sub {
+            for &b in &sub {
+                assert!(sub.contains(&f9.add(a, b)));
+                assert!(sub.contains(&f9.mul(a, b)));
+            }
+        }
+        // F_4 inside F_16.
+        let f16 = Gf::new(16);
+        let sub4 = f16.subfield_elements(4);
+        assert_eq!(sub4.len(), 4);
+        for &a in &sub4 {
+            for &b in &sub4 {
+                assert!(sub4.contains(&f16.add(a, b)));
+                assert!(sub4.contains(&f16.mul(a, b)));
+            }
+        }
+        // F_5 inside F_25, F_7 inside F_49.
+        assert_eq!(Gf::new(25).subfield_elements(5).len(), 5);
+        assert_eq!(Gf::new(49).subfield_elements(7).len(), 7);
+        // F_8 inside F_64, F_9 inside F_81.
+        assert_eq!(Gf::new(64).subfield_elements(8).len(), 8);
+        assert_eq!(Gf::new(81).subfield_elements(9).len(), 9);
+    }
+
+    #[test]
+    fn frobenius_is_an_automorphism() {
+        for q in [4u64, 9, 16, 25, 49] {
+            let f = Gf::new(q);
+            let els: Vec<_> = f.elements().collect();
+            // Bijective, additive and multiplicative.
+            let images: std::collections::HashSet<_> =
+                els.iter().map(|&a| f.frobenius(a)).collect();
+            assert_eq!(images.len(), els.len());
+            for &a in &els {
+                for &b in &els {
+                    assert_eq!(f.frobenius(f.add(a, b)), f.add(f.frobenius(a), f.frobenius(b)));
+                    assert_eq!(f.frobenius(f.mul(a, b)), f.mul(f.frobenius(a), f.frobenius(b)));
+                }
+            }
+            // Fixes exactly the prime subfield.
+            let fixed: Vec<_> = els.iter().copied().filter(|&a| f.frobenius(a) == a).collect();
+            assert_eq!(fixed.len() as u64, f.characteristic());
+        }
+    }
+
+    #[test]
+    fn trace_and_norm_land_in_prime_field_and_are_structured() {
+        for q in [9u64, 16, 25, 49, 81] {
+            let f = Gf::new(q);
+            let p = f.characteristic() as u32;
+            for a in f.elements() {
+                assert!(f.trace(a) < p);
+                if a != 0 {
+                    assert!(f.norm(a) < p && f.norm(a) != 0);
+                }
+            }
+            // Trace is additive; norm is multiplicative.
+            for a in f.elements().step_by(3) {
+                for b in f.elements().step_by(3) {
+                    assert_eq!(f.trace(f.add(a, b)), f.add(f.trace(a), f.trace(b)));
+                    assert_eq!(f.norm(f.mul(a, b)), f.mul(f.norm(a), f.norm(b)));
+                }
+            }
+            // Trace is surjective onto GF(p) (it is GF(p)-linear, nonzero).
+            let traces: std::collections::HashSet<_> =
+                f.elements().map(|a| f.trace(a)).collect();
+            assert_eq!(traces.len() as u32, p);
+        }
+    }
+
+    #[test]
+    fn primitive_element_generates_everything() {
+        for q in [4u64, 8, 9, 25, 49, 64, 81] {
+            let f = Gf::new(q);
+            let g = f.primitive_element();
+            let mut seen = std::collections::HashSet::new();
+            let mut acc = f.one();
+            for _ in 0..q - 1 {
+                assert!(seen.insert(acc), "order of g divides a proper factor in GF({q})");
+                acc = f.mul(acc, g);
+            }
+            assert_eq!(acc, 1, "g^(q-1) = 1");
+            assert_eq!(seen.len() as u64, q - 1);
+        }
+    }
+
+    #[test]
+    fn discrete_log_inverts_exponentiation() {
+        let f = Gf::new(27);
+        let g = f.primitive_element();
+        for a in 1..f.order() {
+            let e = f.discrete_log(g, a).expect("generator reaches everything");
+            assert_eq!(f.pow(g, e), a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a subfield")]
+    fn invalid_subfield_panics() {
+        // F_4 is not a subfield of F_9.
+        Gf::new(9).subfield_elements(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn zero_inverse_panics() {
+        Gf::new(5).inv(0);
+    }
+}

@@ -1,0 +1,97 @@
+#![warn(missing_docs)]
+//! Finite fields and projective-line geometry.
+//!
+//! This crate provides exactly the algebra needed to construct the spherical
+//! Steiner systems of Colbourn–Dinitz Example 3.23 (used by the STTSV paper
+//! to generate tetrahedral block partitions):
+//!
+//! * [`poly`] — polynomial arithmetic over prime fields and a search for
+//!   irreducible polynomials,
+//! * [`gf`] — table-driven arithmetic for `GF(p^m)` with subfield detection,
+//! * [`projective`] — the projective line `PG(1, q)` and the sharply
+//!   3-transitive Möbius (`PGL₂`) action on it.
+//!
+//! Field sizes in this project are tiny (at most a few hundred elements), so
+//! all arithmetic is precomputed into dense tables for O(1) operations.
+
+pub mod gf;
+pub mod poly;
+pub mod projective;
+
+pub use gf::{FieldElem, Gf};
+pub use projective::{Mobius, PPoint, ProjectiveLine};
+
+/// Returns `Some((p, k))` if `q = p^k` for a prime `p` and `k ≥ 1`.
+///
+/// This is the "prime power" check used throughout the paper: tetrahedral
+/// partitions exist for `P = q(q²+1)` whenever `q` is a prime power.
+pub fn prime_power(q: u64) -> Option<(u64, u32)> {
+    if q < 2 {
+        return None;
+    }
+    let mut m = q;
+    // Find the smallest prime factor of q.
+    let mut p = 0;
+    let mut d = 2;
+    while d * d <= m {
+        if m % d == 0 {
+            p = d;
+            break;
+        }
+        d += 1;
+    }
+    if p == 0 {
+        // q itself is prime.
+        return Some((q, 1));
+    }
+    let mut k = 0;
+    while m > 1 {
+        if m % p != 0 {
+            return None;
+        }
+        m /= p;
+        k += 1;
+    }
+    Some((p, k))
+}
+
+/// Returns true if `q` is a prime power.
+pub fn is_prime_power(q: u64) -> bool {
+    prime_power(q).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_power_detection() {
+        assert_eq!(prime_power(2), Some((2, 1)));
+        assert_eq!(prime_power(3), Some((3, 1)));
+        assert_eq!(prime_power(4), Some((2, 2)));
+        assert_eq!(prime_power(5), Some((5, 1)));
+        assert_eq!(prime_power(6), None);
+        assert_eq!(prime_power(7), Some((7, 1)));
+        assert_eq!(prime_power(8), Some((2, 3)));
+        assert_eq!(prime_power(9), Some((3, 2)));
+        assert_eq!(prime_power(10), None);
+        assert_eq!(prime_power(12), None);
+        assert_eq!(prime_power(16), Some((2, 4)));
+        assert_eq!(prime_power(25), Some((5, 2)));
+        assert_eq!(prime_power(27), Some((3, 3)));
+        assert_eq!(prime_power(49), Some((7, 2)));
+        assert_eq!(prime_power(81), Some((3, 4)));
+        assert_eq!(prime_power(0), None);
+        assert_eq!(prime_power(1), None);
+    }
+
+    #[test]
+    fn prime_powers_below_100() {
+        let expected: Vec<u64> = vec![
+            2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32, 37, 41, 43, 47, 49,
+            53, 59, 61, 64, 67, 71, 73, 79, 81, 83, 89, 97,
+        ];
+        let got: Vec<u64> = (2..100).filter(|&q| is_prime_power(q)).collect();
+        assert_eq!(got, expected);
+    }
+}

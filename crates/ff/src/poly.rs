@@ -1,0 +1,309 @@
+//! Polynomial arithmetic over the prime field `GF(p)`, used only to find an
+//! irreducible polynomial that defines the extension field `GF(p^m)`.
+//!
+//! Coefficients are stored little-endian (`coeffs[i]` multiplies `x^i`) and
+//! polynomials are kept normalized (no trailing zeros).
+
+/// A polynomial over `GF(p)` with little-endian coefficients in `[0, p)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Poly {
+    /// Little-endian coefficients in `[0, p)` (no trailing zeros).
+    pub coeffs: Vec<u64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: vec![] }
+    }
+
+    /// The constant polynomial `c` (reduced mod `p` by the caller).
+    pub fn constant(c: u64) -> Self {
+        let mut poly = Poly { coeffs: vec![c] };
+        poly.normalize();
+        poly
+    }
+
+    /// The monomial `x^d`.
+    pub fn monomial(d: usize) -> Self {
+        let mut coeffs = vec![0; d + 1];
+        coeffs[d] = 1;
+        Poly { coeffs }
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        if self.coeffs.is_empty() {
+            None
+        } else {
+            Some(self.coeffs.len() - 1)
+        }
+    }
+
+    /// Returns true for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    fn normalize(&mut self) {
+        while self.coeffs.last() == Some(&0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Addition in `GF(p)[x]`.
+    pub fn add(&self, other: &Poly, p: u64) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = vec![0; n];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or(0);
+            let b = other.coeffs.get(i).copied().unwrap_or(0);
+            *c = (a + b) % p;
+        }
+        let mut poly = Poly { coeffs };
+        poly.normalize();
+        poly
+    }
+
+    /// Subtraction in `GF(p)[x]`.
+    pub fn sub(&self, other: &Poly, p: u64) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = vec![0; n];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or(0);
+            let b = other.coeffs.get(i).copied().unwrap_or(0);
+            *c = (a + p - b) % p;
+        }
+        let mut poly = Poly { coeffs };
+        poly.normalize();
+        poly
+    }
+
+    /// Schoolbook multiplication in `GF(p)[x]`.
+    pub fn mul(&self, other: &Poly, p: u64) -> Poly {
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![0u64; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] = (coeffs[i + j] + a * b) % p;
+            }
+        }
+        let mut poly = Poly { coeffs };
+        poly.normalize();
+        poly
+    }
+
+    /// Remainder of `self` divided by monic-after-scaling `divisor`.
+    pub fn rem(&self, divisor: &Poly, p: u64) -> Poly {
+        let dd = divisor
+            .degree()
+            .expect("division by the zero polynomial");
+        let lead = *divisor.coeffs.last().unwrap();
+        let lead_inv = mod_inverse(lead, p);
+        let mut rem = self.clone();
+        while let Some(rd) = rem.degree() {
+            if rd < dd {
+                break;
+            }
+            let factor = (*rem.coeffs.last().unwrap() * lead_inv) % p;
+            let shift = rd - dd;
+            for (i, &dc) in divisor.coeffs.iter().enumerate() {
+                let idx = i + shift;
+                rem.coeffs[idx] = (rem.coeffs[idx] + p * factor - (factor * dc) % p) % p;
+            }
+            rem.normalize();
+        }
+        rem
+    }
+
+    /// `self^e mod modulus` via square-and-multiply, with `x`-power exponents
+    /// potentially as large as `p^m` (fits in u64 for our field sizes).
+    pub fn pow_mod(&self, mut e: u64, modulus: &Poly, p: u64) -> Poly {
+        let mut base = self.rem(modulus, p);
+        let mut acc = Poly::constant(1);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(&base, p).rem(modulus, p);
+            }
+            base = base.mul(&base, p).rem(modulus, p);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Greatest common divisor (monic) in `GF(p)[x]`.
+    pub fn gcd(&self, other: &Poly, p: u64) -> Poly {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b, p);
+            a = b;
+            b = r;
+        }
+        // Make monic for a canonical result.
+        if let Some(&lead) = a.coeffs.last() {
+            if lead != 1 {
+                let inv = mod_inverse(lead, p);
+                for c in &mut a.coeffs {
+                    *c = (*c * inv) % p;
+                }
+            }
+        }
+        a
+    }
+}
+
+/// Modular inverse in `GF(p)` via Fermat's little theorem (`p` prime).
+pub fn mod_inverse(a: u64, p: u64) -> u64 {
+    mod_pow(a % p, p - 2, p)
+}
+
+/// Modular exponentiation.
+pub fn mod_pow(mut base: u64, mut e: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = acc * base % m;
+        }
+        base = base * base % m;
+        e >>= 1;
+    }
+    acc
+}
+
+/// Tests irreducibility of a monic degree-`m` polynomial `f` over `GF(p)`
+/// using the standard criterion: `x^(p^m) ≡ x (mod f)` and, for every prime
+/// divisor `d` of `m`, `gcd(x^(p^(m/d)) − x, f) = 1`.
+pub fn is_irreducible(f: &Poly, p: u64) -> bool {
+    let m = match f.degree() {
+        Some(m) if m >= 1 => m,
+        _ => return false,
+    };
+    let x = Poly::monomial(1);
+    // x^(p^m) mod f, computed by m repeated Frobenius steps (raising to p).
+    let mut frob = x.clone();
+    let mut frobs = Vec::with_capacity(m);
+    for _ in 0..m {
+        frob = frob.pow_mod(p, f, p);
+        frobs.push(frob.clone());
+    }
+    if frobs[m - 1] != x.rem(f, p) {
+        return false;
+    }
+    for d in prime_divisors(m as u64) {
+        let k = m / d as usize;
+        let g = frobs[k - 1].sub(&x, p).gcd(f, p);
+        if g.degree() != Some(0) {
+            return false;
+        }
+    }
+    true
+}
+
+fn prime_divisors(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            out.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Finds the lexicographically smallest monic irreducible polynomial of
+/// degree `m` over `GF(p)`. Exists for every prime `p` and `m ≥ 1`.
+pub fn find_irreducible(p: u64, m: usize) -> Poly {
+    assert!(m >= 1);
+    if m == 1 {
+        // x itself is irreducible of degree 1.
+        return Poly::monomial(1);
+    }
+    // Enumerate lower coefficients as base-p counters.
+    let total = (p as u128).pow(m as u32);
+    for code in 0..total {
+        let mut coeffs = Vec::with_capacity(m + 1);
+        let mut c = code;
+        for _ in 0..m {
+            coeffs.push((c % p as u128) as u64);
+            c /= p as u128;
+        }
+        coeffs.push(1); // monic
+        let f = Poly { coeffs };
+        if is_irreducible(&f, p) {
+            return f;
+        }
+    }
+    unreachable!("an irreducible polynomial of degree {m} over GF({p}) must exist");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rem_basic() {
+        // (x^2 + 1) mod (x + 1) over GF(3): x = -1 => 1 + 1 = 2.
+        let f = Poly { coeffs: vec![1, 0, 1] };
+        let g = Poly { coeffs: vec![1, 1] };
+        assert_eq!(f.rem(&g, 3), Poly::constant(2));
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        // x^2 + x + 1 over GF(2).
+        assert!(is_irreducible(&Poly { coeffs: vec![1, 1, 1] }, 2));
+        // x^2 + 1 over GF(2) = (x+1)^2: reducible.
+        assert!(!is_irreducible(&Poly { coeffs: vec![1, 0, 1] }, 2));
+        // x^2 + 1 over GF(3): irreducible (-1 is a non-residue mod 3).
+        assert!(is_irreducible(&Poly { coeffs: vec![1, 0, 1] }, 3));
+        // x^2 - 2 over GF(7): 2 = 3^2 mod 7, reducible.
+        assert!(!is_irreducible(&Poly { coeffs: vec![5, 0, 1] }, 7));
+        // x^3 + x + 1 over GF(2): irreducible.
+        assert!(is_irreducible(&Poly { coeffs: vec![1, 1, 0, 1] }, 2));
+        // x^4 + x + 1 over GF(2): irreducible.
+        assert!(is_irreducible(&Poly { coeffs: vec![1, 1, 0, 0, 1] }, 2));
+        // x^4 + x^3 + x^2 + x + 1 over GF(2): irreducible? It divides x^5-1;
+        // its roots have order 5 and 5 | 2^4 - 1 = 15, so yes.
+        assert!(is_irreducible(&Poly { coeffs: vec![1, 1, 1, 1, 1] }, 2));
+    }
+
+    #[test]
+    fn find_irreducible_has_right_degree_and_is_irreducible() {
+        for &(p, m) in &[(2u64, 2usize), (2, 3), (2, 4), (2, 6), (3, 2), (3, 4), (5, 2), (7, 2), (11, 2), (13, 2)] {
+            let f = find_irreducible(p, m);
+            assert_eq!(f.degree(), Some(m), "degree for p={p} m={m}");
+            assert!(is_irreducible(&f, p), "irreducible for p={p} m={m}");
+        }
+    }
+
+    #[test]
+    fn gcd_of_coprime_is_one() {
+        // gcd(x^2+1, x) over GF(3) = 1.
+        let f = Poly { coeffs: vec![1, 0, 1] };
+        let g = Poly::monomial(1);
+        assert_eq!(f.gcd(&g, 3), Poly::constant(1));
+    }
+
+    #[test]
+    fn mod_inverse_works() {
+        for p in [2u64, 3, 5, 7, 11, 13] {
+            for a in 1..p {
+                assert_eq!(a * mod_inverse(a, p) % p, 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The projective line `PG(1, q) = F_q ∪ {∞}` and the Möbius (`PGL₂(q)`)
+//! action on it.
+//!
+//! The spherical Steiner systems used by the tetrahedral partitioning scheme
+//! are orbits of the subline `F_q ∪ {∞}` under `PGL₂(q²)` acting on
+//! `PG(1, q²)` (Colbourn–Dinitz Example 3.23, quoted as Theorem 6.5 in the
+//! paper). Because `PGL₂` acts *sharply* 3-transitively, the block through
+//! any three distinct points is the image of the base block under the unique
+//! Möbius map carrying `(0, 1, ∞)` to that triple — which is how
+//! [`crate::projective::Mobius::through_triple`] constructs blocks without
+//! enumerating the whole group.
+
+use crate::gf::{FieldElem, Gf};
+
+/// A point of the projective line: a finite field element or ∞.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PPoint {
+    /// A finite point `x ∈ F_q`.
+    Finite(FieldElem),
+    /// The point at infinity.
+    Infinity,
+}
+
+impl PPoint {
+    /// Homogeneous coordinates `(x : y)`, with ∞ = `(1 : 0)` and finite
+    /// `a` = `(a : 1)`.
+    #[inline]
+    pub fn homogeneous(self) -> (FieldElem, FieldElem) {
+        match self {
+            PPoint::Finite(a) => (a, 1),
+            PPoint::Infinity => (1, 0),
+        }
+    }
+
+    /// Reconstructs a point from homogeneous coordinates (not both zero).
+    #[inline]
+    pub fn from_homogeneous(field: &Gf, x: FieldElem, y: FieldElem) -> PPoint {
+        assert!(x != 0 || y != 0, "(0:0) is not a projective point");
+        if y == 0 {
+            PPoint::Infinity
+        } else {
+            PPoint::Finite(field.div(x, y))
+        }
+    }
+}
+
+/// The projective line over a finite field, with a fixed point numbering.
+///
+/// Points are numbered `0..q` for the finite elements (by element code) and
+/// `q` for ∞, giving `q + 1` points total.
+#[derive(Clone, Debug)]
+pub struct ProjectiveLine {
+    field: Gf,
+}
+
+impl ProjectiveLine {
+    /// Wraps a field as the projective line `PG(1, q)` over it.
+    pub fn new(field: Gf) -> Self {
+        ProjectiveLine { field }
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> &Gf {
+        &self.field
+    }
+
+    /// Number of points, `q + 1`.
+    pub fn num_points(&self) -> usize {
+        self.field.order() as usize + 1
+    }
+
+    /// All points, finite elements first then ∞.
+    pub fn points(&self) -> Vec<PPoint> {
+        let mut pts: Vec<PPoint> = self.field.elements().map(PPoint::Finite).collect();
+        pts.push(PPoint::Infinity);
+        pts
+    }
+
+    /// Index of a point in the fixed numbering.
+    #[inline]
+    pub fn index_of(&self, p: PPoint) -> usize {
+        match p {
+            PPoint::Finite(a) => a as usize,
+            PPoint::Infinity => self.field.order() as usize,
+        }
+    }
+
+    /// Point with a given index.
+    #[inline]
+    pub fn point_at(&self, idx: usize) -> PPoint {
+        let q = self.field.order() as usize;
+        assert!(idx <= q, "point index {idx} out of range for PG(1,{q})");
+        if idx == q {
+            PPoint::Infinity
+        } else {
+            PPoint::Finite(idx as FieldElem)
+        }
+    }
+}
+
+/// A Möbius transformation `x ↦ (a·x + b) / (c·x + d)` with `ad − bc ≠ 0`,
+/// i.e. an element of `PGL₂(q)` represented by a matrix `[[a, b], [c, d]]`.
+#[derive(Clone, Copy, Debug)]
+pub struct Mobius {
+    /// Matrix entry `a` (top-left).
+    pub a: FieldElem,
+    /// Matrix entry `b` (top-right).
+    pub b: FieldElem,
+    /// Matrix entry `c` (bottom-left).
+    pub c: FieldElem,
+    /// Matrix entry `d` (bottom-right).
+    pub d: FieldElem,
+}
+
+impl Mobius {
+    /// Constructs a Möbius map, checking invertibility.
+    pub fn new(field: &Gf, a: FieldElem, b: FieldElem, c: FieldElem, d: FieldElem) -> Self {
+        let det = field.sub(field.mul(a, d), field.mul(b, c));
+        assert!(det != 0, "singular matrix is not a Möbius transformation");
+        Mobius { a, b, c, d }
+    }
+
+    /// The identity map.
+    pub fn identity() -> Self {
+        Mobius { a: 1, b: 0, c: 0, d: 1 }
+    }
+
+    /// Applies the map to a projective point via homogeneous coordinates:
+    /// `(x : y) ↦ (a·x + b·y : c·x + d·y)`.
+    pub fn apply(&self, field: &Gf, p: PPoint) -> PPoint {
+        let (x, y) = p.homogeneous();
+        let nx = field.add(field.mul(self.a, x), field.mul(self.b, y));
+        let ny = field.add(field.mul(self.c, x), field.mul(self.d, y));
+        PPoint::from_homogeneous(field, nx, ny)
+    }
+
+    /// The inverse transformation (adjugate matrix).
+    pub fn inverse(&self, field: &Gf) -> Mobius {
+        Mobius::new(field, self.d, field.neg(self.b), field.neg(self.c), self.a)
+    }
+
+    /// Composition `self ∘ other` (matrix product).
+    pub fn compose(&self, field: &Gf, other: &Mobius) -> Mobius {
+        Mobius::new(
+            field,
+            field.add(field.mul(self.a, other.a), field.mul(self.b, other.c)),
+            field.add(field.mul(self.a, other.b), field.mul(self.b, other.d)),
+            field.add(field.mul(self.c, other.a), field.mul(self.d, other.c)),
+            field.add(field.mul(self.c, other.b), field.mul(self.d, other.d)),
+        )
+    }
+
+    /// The unique Möbius map sending `(0, 1, ∞) ↦ (p0, p1, pinf)` for three
+    /// distinct points — the constructive form of sharp 3-transitivity.
+    ///
+    /// With homogeneous vectors `v0, v1, v∞` for the targets, pick scalars
+    /// `α, β` such that `α·v0 + β·v∞ = v1` (solvable since `v0, v∞` form a
+    /// basis); then the matrix with columns `(β·v∞ | α·v0)` works.
+    pub fn through_triple(field: &Gf, p0: PPoint, p1: PPoint, pinf: PPoint) -> Mobius {
+        assert!(p0 != p1 && p1 != pinf && p0 != pinf, "triple points must be distinct");
+        let (x0, y0) = p0.homogeneous();
+        let (x1, y1) = p1.homogeneous();
+        let (xi, yi) = pinf.homogeneous();
+        // Solve alpha * (x0, y0) + beta * (xi, yi) = (x1, y1) by Cramer.
+        let det = field.sub(field.mul(x0, yi), field.mul(xi, y0));
+        assert!(det != 0, "target points must be distinct projective points");
+        let det_inv = field.inv(det);
+        let alpha = field.mul(field.sub(field.mul(x1, yi), field.mul(xi, y1)), det_inv);
+        let beta = field.mul(field.sub(field.mul(x0, y1), field.mul(x1, y0)), det_inv);
+        // Both alpha and beta are nonzero because the three points are distinct.
+        debug_assert!(alpha != 0 && beta != 0);
+        // Columns: image of (1:0) is beta*vinf, image of (0:1) is alpha*v0.
+        Mobius::new(
+            field,
+            field.mul(beta, xi),
+            field.mul(alpha, x0),
+            field.mul(beta, yi),
+            field.mul(alpha, y0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_roundtrip() {
+        let f = Gf::new(9);
+        let line = ProjectiveLine::new(f);
+        for p in line.points() {
+            let (x, y) = p.homogeneous();
+            assert_eq!(PPoint::from_homogeneous(line.field(), x, y), p);
+        }
+    }
+
+    #[test]
+    fn point_indexing_roundtrip() {
+        let line = ProjectiveLine::new(Gf::new(9));
+        for idx in 0..line.num_points() {
+            assert_eq!(line.index_of(line.point_at(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn identity_fixes_all_points() {
+        let line = ProjectiveLine::new(Gf::new(25));
+        let id = Mobius::identity();
+        for p in line.points() {
+            assert_eq!(id.apply(line.field(), p), p);
+        }
+    }
+
+    #[test]
+    fn mobius_is_a_bijection() {
+        let line = ProjectiveLine::new(Gf::new(9));
+        let f = line.field();
+        let m = Mobius::new(f, 2, 1, 1, 0);
+        let mut seen = std::collections::HashSet::new();
+        for p in line.points() {
+            assert!(seen.insert(m.apply(f, p)));
+        }
+        assert_eq!(seen.len(), line.num_points());
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let line = ProjectiveLine::new(Gf::new(49));
+        let f = line.field();
+        let m = Mobius::new(f, 3, 5, 1, 2);
+        let minv = m.inverse(f);
+        for p in line.points() {
+            assert_eq!(minv.apply(f, m.apply(f, p)), p);
+            assert_eq!(m.apply(f, minv.apply(f, p)), p);
+        }
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let line = ProjectiveLine::new(Gf::new(9));
+        let f = line.field();
+        let m1 = Mobius::new(f, 2, 1, 0, 1);
+        let m2 = Mobius::new(f, 1, 0, 3, 1);
+        let comp = m1.compose(f, &m2);
+        for p in line.points() {
+            assert_eq!(comp.apply(f, p), m1.apply(f, m2.apply(f, p)));
+        }
+    }
+
+    #[test]
+    fn through_triple_hits_targets() {
+        let line = ProjectiveLine::new(Gf::new(9));
+        let f = line.field();
+        let pts = line.points();
+        let zero = PPoint::Finite(0);
+        let one = PPoint::Finite(1);
+        let inf = PPoint::Infinity;
+        for &p0 in &pts {
+            for &p1 in &pts {
+                for &p2 in &pts {
+                    if p0 == p1 || p1 == p2 || p0 == p2 {
+                        continue;
+                    }
+                    let m = Mobius::through_triple(f, p0, p1, p2);
+                    assert_eq!(m.apply(f, zero), p0);
+                    assert_eq!(m.apply(f, one), p1);
+                    assert_eq!(m.apply(f, inf), p2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn through_triple_works_with_infinity_in_any_slot() {
+        let line = ProjectiveLine::new(Gf::new(4));
+        let f = line.field();
+        let cases = [
+            (PPoint::Infinity, PPoint::Finite(1), PPoint::Finite(2)),
+            (PPoint::Finite(1), PPoint::Infinity, PPoint::Finite(2)),
+            (PPoint::Finite(1), PPoint::Finite(2), PPoint::Infinity),
+        ];
+        for (p0, p1, p2) in cases {
+            let m = Mobius::through_triple(f, p0, p1, p2);
+            assert_eq!(m.apply(f, PPoint::Finite(0)), p0);
+            assert_eq!(m.apply(f, PPoint::Finite(1)), p1);
+            assert_eq!(m.apply(f, PPoint::Infinity), p2);
+        }
+    }
+}

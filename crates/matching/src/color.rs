@@ -1,0 +1,177 @@
+//! Edge coloring of regular bipartite multigraphs.
+//!
+//! Lemma 7.1 of the paper: a `d`-regular bipartite (multi)graph decomposes
+//! into `d` disjoint perfect matchings. Theorem 7.2 turns each matching into
+//! one communication step in which every processor sends and receives exactly
+//! one message. We realize the decomposition constructively by extracting a
+//! perfect matching with Hopcroft–Karp and peeling it off; the remainder is
+//! `(d−1)`-regular, so König's theorem guarantees the recursion succeeds.
+
+use crate::{hopcroft_karp, BipartiteGraph};
+
+/// Partitions the edges of a `d`-regular bipartite multigraph into `d`
+/// perfect matchings.
+///
+/// `edges` are `(x, y)` pairs with `x ∈ 0..n` (left) and `y ∈ 0..n` (right);
+/// parallel edges are allowed. Returns `d` rounds, each a list of **indices
+/// into `edges`** forming a perfect matching.
+///
+/// # Panics
+/// Panics if the multigraph is not `d`-regular on both sides for some `d`
+/// (`d` is inferred as `edges.len() / n`).
+pub fn edge_color_regular(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    if n == 0 {
+        assert!(edges.is_empty());
+        return Vec::new();
+    }
+    assert!(edges.len() % n == 0, "edge count {} not a multiple of n = {n}", edges.len());
+    let d = edges.len() / n;
+    let mut out_deg = vec![0usize; n];
+    let mut in_deg = vec![0usize; n];
+    for &(x, y) in edges {
+        assert!(x < n && y < n, "edge ({x},{y}) out of range");
+        out_deg[x] += 1;
+        in_deg[y] += 1;
+    }
+    assert!(
+        out_deg.iter().all(|&deg| deg == d) && in_deg.iter().all(|&deg| deg == d),
+        "multigraph is not {d}-regular"
+    );
+
+    // Remaining edge indices grouped by left vertex.
+    let mut remaining: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ei, &(x, _)) in edges.iter().enumerate() {
+        remaining[x].push(ei);
+    }
+
+    let mut rounds = Vec::with_capacity(d);
+    for round in 0..d {
+        // Build the simple graph of remaining edges (dedup parallel edges,
+        // remembering one representative edge index per (x, y)).
+        let mut g = BipartiteGraph::new(n, n);
+        let mut rep: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (y, edge index)
+        for (x, row) in remaining.iter().enumerate() {
+            let mut seen = vec![false; n];
+            for &ei in row {
+                let y = edges[ei].1;
+                if !seen[y] {
+                    seen[y] = true;
+                    g.add_edge(x, y);
+                    rep[x].push((y, ei));
+                }
+            }
+        }
+        let m = hopcroft_karp(&g);
+        assert!(
+            m.iter().all(Option::is_some),
+            "no perfect matching at round {round}: multigraph was not regular"
+        );
+        let mut this_round = Vec::with_capacity(n);
+        for x in 0..n {
+            let y = m[x].unwrap();
+            let &(_, ei) = rep[x].iter().find(|&&(yy, _)| yy == y).unwrap();
+            this_round.push(ei);
+            let pos = remaining[x].iter().position(|&e| e == ei).unwrap();
+            remaining[x].swap_remove(pos);
+        }
+        rounds.push(this_round);
+    }
+    debug_assert!(remaining.iter().all(Vec::is_empty));
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn check_coloring(n: usize, edges: &[(usize, usize)]) {
+        let rounds = edge_color_regular(n, edges);
+        let d = edges.len().checked_div(n).unwrap_or(0);
+        assert_eq!(rounds.len(), d);
+        let mut used = HashSet::new();
+        for round in &rounds {
+            assert_eq!(round.len(), n);
+            let mut xs = HashSet::new();
+            let mut ys = HashSet::new();
+            for &ei in round {
+                assert!(used.insert(ei), "edge {ei} colored twice");
+                let (x, y) = edges[ei];
+                assert!(xs.insert(x), "left vertex repeated in a round");
+                assert!(ys.insert(y), "right vertex repeated in a round");
+            }
+        }
+        assert_eq!(used.len(), edges.len());
+    }
+
+    #[test]
+    fn complete_graph_coloring() {
+        // K_{n,n} is n-regular.
+        let n = 6;
+        let edges: Vec<(usize, usize)> =
+            (0..n).flat_map(|x| (0..n).map(move |y| (x, y))).collect();
+        check_coloring(n, &edges);
+    }
+
+    #[test]
+    fn multigraph_with_parallel_edges() {
+        // 2 parallel copies of a perfect matching plus a cycle: 3-regular.
+        let n = 4;
+        let mut edges = Vec::new();
+        for x in 0..n {
+            edges.push((x, x));
+            edges.push((x, x));
+            edges.push((x, (x + 1) % n));
+        }
+        check_coloring(n, &edges);
+    }
+
+    #[test]
+    fn cycle_cover_structure() {
+        // A single directed cycle is 1-regular: one round containing it all.
+        let n = 5;
+        let edges: Vec<(usize, usize)> = (0..n).map(|x| (x, (x + 1) % n)).collect();
+        let rounds = edge_color_regular(n, &edges);
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(rounds[0].len(), n);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(edge_color_regular(0, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not")]
+    fn irregular_graph_panics() {
+        // Vertex 0 has out-degree 2, vertex 1 has 0.
+        edge_color_regular(2, &[(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn random_regular_multigraphs() {
+        // Build d-regular bipartite multigraphs as unions of d random
+        // permutations; coloring must always succeed.
+        let mut state = 999u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..20 {
+            let n = 2 + next() % 10;
+            let d = 1 + next() % 6;
+            let mut edges = Vec::new();
+            for _ in 0..d {
+                // Fisher-Yates a permutation.
+                let mut perm: Vec<usize> = (0..n).collect();
+                for i in (1..n).rev() {
+                    perm.swap(i, next() % (i + 1));
+                }
+                for (x, &y) in perm.iter().enumerate() {
+                    edges.push((x, y));
+                }
+            }
+            check_coloring(n, &edges);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Maximum cardinality bipartite matching.
+//!
+//! [`hopcroft_karp`] is the `O(E·√V)` algorithm from Hopcroft & Karp (1973);
+//! [`ford_fulkerson`] is the classical `O(V·E)` augmenting-path method
+//! (unit-capacity Ford–Fulkerson, a.k.a. the Hungarian-style DFS). The paper
+//! cites both as suitable subroutines; we keep both so property tests can
+//! cross-check them.
+
+use crate::{BipartiteGraph, Matching};
+use std::collections::VecDeque;
+
+const INF: u32 = u32::MAX;
+
+/// Hopcroft–Karp maximum matching. Returns `match_x[x] = Some(y)`.
+pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
+    let nx = g.num_left();
+    let ny = g.num_right();
+    let mut match_x: Vec<Option<usize>> = vec![None; nx];
+    let mut match_y: Vec<Option<usize>> = vec![None; ny];
+    let mut dist = vec![INF; nx];
+    let mut queue = VecDeque::new();
+
+    loop {
+        // BFS phase: layer the graph from free left vertices.
+        queue.clear();
+        for x in 0..nx {
+            if match_x[x].is_none() {
+                dist[x] = 0;
+                queue.push_back(x);
+            } else {
+                dist[x] = INF;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(x) = queue.pop_front() {
+            for &y in g.neighbors(x) {
+                match match_y[y] {
+                    None => found_augmenting = true,
+                    Some(nx2) => {
+                        if dist[nx2] == INF {
+                            dist[nx2] = dist[x] + 1;
+                            queue.push_back(nx2);
+                        }
+                    }
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase: find a maximal set of shortest augmenting paths.
+        for x in 0..nx {
+            if match_x[x].is_none() {
+                dfs(g, x, &mut match_x, &mut match_y, &mut dist);
+            }
+        }
+    }
+    match_x
+}
+
+fn dfs(
+    g: &BipartiteGraph,
+    x: usize,
+    match_x: &mut [Option<usize>],
+    match_y: &mut [Option<usize>],
+    dist: &mut [u32],
+) -> bool {
+    for &y in g.neighbors(x) {
+        let advance = match match_y[y] {
+            None => true,
+            Some(x2) => dist[x2] == dist[x] + 1 && dfs(g, x2, match_x, match_y, dist),
+        };
+        if advance {
+            match_x[x] = Some(y);
+            match_y[y] = Some(x);
+            return true;
+        }
+    }
+    dist[x] = INF;
+    false
+}
+
+/// Unit-capacity Ford–Fulkerson maximum matching (simple augmenting DFS).
+/// Asymptotically slower than Hopcroft–Karp; kept as an independent
+/// cross-check and because the paper cites it explicitly.
+pub fn ford_fulkerson(g: &BipartiteGraph) -> Matching {
+    let nx = g.num_left();
+    let ny = g.num_right();
+    let mut match_x: Vec<Option<usize>> = vec![None; nx];
+    let mut match_y: Vec<Option<usize>> = vec![None; ny];
+    for x in 0..nx {
+        let mut visited = vec![false; ny];
+        try_augment(g, x, &mut visited, &mut match_x, &mut match_y);
+    }
+    match_x
+}
+
+fn try_augment(
+    g: &BipartiteGraph,
+    x: usize,
+    visited: &mut [bool],
+    match_x: &mut [Option<usize>],
+    match_y: &mut [Option<usize>],
+) -> bool {
+    for &y in g.neighbors(x) {
+        if visited[y] {
+            continue;
+        }
+        visited[y] = true;
+        let free = match match_y[y] {
+            None => true,
+            Some(x2) => try_augment(g, x2, visited, match_x, match_y),
+        };
+        if free {
+            match_x[x] = Some(y);
+            match_y[y] = Some(x);
+            return true;
+        }
+    }
+    false
+}
+
+/// Size of a matching (number of matched left vertices).
+pub fn matching_size(m: &Matching) -> usize {
+    m.iter().filter(|e| e.is_some()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_valid_matching;
+
+    #[test]
+    fn simple_perfect_matching() {
+        let mut g = BipartiteGraph::new(3, 3);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 1);
+        g.add_edge(2, 1);
+        g.add_edge(2, 2);
+        let m = hopcroft_karp(&g);
+        assert!(is_valid_matching(&g, &m));
+        assert_eq!(matching_size(&m), 3);
+    }
+
+    #[test]
+    fn matches_ford_fulkerson_on_randomish_graphs() {
+        // Deterministic pseudo-random graphs via a simple LCG.
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for trial in 0..50 {
+            let nx = 1 + next() % 12;
+            let ny = 1 + next() % 12;
+            let mut g = BipartiteGraph::new(nx, ny);
+            let edges = next() % (nx * ny + 1);
+            for _ in 0..edges {
+                g.add_edge(next() % nx, next() % ny);
+            }
+            let hk = hopcroft_karp(&g);
+            let ff = ford_fulkerson(&g);
+            assert!(is_valid_matching(&g, &hk), "trial {trial}: HK invalid");
+            assert!(is_valid_matching(&g, &ff), "trial {trial}: FF invalid");
+            assert_eq!(matching_size(&hk), matching_size(&ff), "trial {trial}: sizes differ");
+        }
+    }
+
+    #[test]
+    fn unmatchable_vertices_stay_unmatched() {
+        let mut g = BipartiteGraph::new(3, 1);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        g.add_edge(2, 0);
+        let m = hopcroft_karp(&g);
+        assert_eq!(matching_size(&m), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(4, 4);
+        assert_eq!(matching_size(&hopcroft_karp(&g)), 0);
+        let g0 = BipartiteGraph::new(0, 0);
+        assert_eq!(hopcroft_karp(&g0).len(), 0);
+    }
+
+    #[test]
+    fn konig_worst_case_chain() {
+        // A chain structure that forces augmenting path flips.
+        // x_i -- y_i and x_i -- y_{i-1}: perfect matching exists.
+        let n = 64;
+        let mut g = BipartiteGraph::new(n, n);
+        for i in 0..n {
+            g.add_edge(i, i);
+            if i > 0 {
+                g.add_edge(i, i - 1);
+            }
+        }
+        let m = hopcroft_karp(&g);
+        assert_eq!(matching_size(&m), n);
+    }
+}

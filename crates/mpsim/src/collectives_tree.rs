@@ -1,0 +1,171 @@
+//! Logarithmic-depth collectives: recursive-doubling all-reduce and
+//! binomial-tree broadcast (Thakur et al.'s standard algorithms). These
+//! complement the simple star algorithms in [`crate::collectives`]: the
+//! star costs `O(P·w)` at the root, the tree versions `O(w·log P)` per
+//! rank — the distinction matters once payloads grow.
+
+use crate::comm::{Comm, CommError};
+
+const TAG_RD_ALLREDUCE: u64 = 5 << 48;
+const TAG_BINOMIAL: u64 = 6 << 48;
+
+impl Comm {
+    /// All-reduce (element-wise sum) via recursive doubling: `⌈log₂ P⌉`
+    /// rounds of pairwise exchanges, each moving the full payload. For
+    /// non-power-of-two `P`, the excess ranks fold into the power-of-two
+    /// core first (one extra exchange).
+    pub fn all_reduce_rd(&self, local: Vec<f64>) -> Result<Vec<f64>, CommError> {
+        let p = self.size();
+        if p == 1 {
+            return Ok(local);
+        }
+        let rank = self.rank();
+        let pof2 = p.next_power_of_two() >> if p.is_power_of_two() { 0 } else { 1 };
+        let rem = p - pof2;
+        let mut acc = local;
+
+        // Fold phase: ranks ≥ pof2 send to (rank − pof2) and go idle.
+        if rank >= pof2 {
+            self.send(rank - pof2, TAG_RD_ALLREDUCE, acc.clone());
+        } else if rank < rem {
+            let piece = self.recv(rank + pof2, TAG_RD_ALLREDUCE)?;
+            add_assign(&mut acc, &piece)?;
+        }
+
+        if rank < pof2 {
+            let mut mask = 1usize;
+            while mask < pof2 {
+                let partner = rank ^ mask;
+                self.send(partner, TAG_RD_ALLREDUCE + mask as u64, acc.clone());
+                let piece = self.recv(partner, TAG_RD_ALLREDUCE + mask as u64)?;
+                add_assign(&mut acc, &piece)?;
+                self.count_round();
+                mask <<= 1;
+            }
+        }
+
+        // Unfold phase: core ranks push the result back out.
+        if rank < rem {
+            self.send(rank + pof2, (TAG_RD_ALLREDUCE + (pof2 as u64)) << 1, acc.clone());
+        } else if rank >= pof2 {
+            acc = self.recv(rank - pof2, (TAG_RD_ALLREDUCE + (pof2 as u64)) << 1)?;
+        }
+        Ok(acc)
+    }
+
+    /// Broadcast from `root` via a binomial tree: `⌈log₂ P⌉` rounds, each
+    /// rank sends at most `log₂ P` times and receives once.
+    pub fn broadcast_binomial(&self, root: usize, data: Vec<f64>) -> Result<Vec<f64>, CommError> {
+        let p = self.size();
+        if p == 1 {
+            return Ok(data);
+        }
+        let rank = self.rank();
+        // Work in a rotated space where the root is 0.
+        let vrank = (rank + p - root) % p;
+        let mut payload = if vrank == 0 { Some(data) } else { None };
+        let mut mask = p.next_power_of_two();
+        // Receive step: the lowest set bit of vrank determines the parent.
+        if vrank != 0 {
+            let lsb = vrank & vrank.wrapping_neg();
+            let parent = ((vrank - lsb) + root) % p;
+            payload = Some(self.recv(parent, TAG_BINOMIAL + lsb as u64)?);
+            mask = lsb;
+        }
+        // Send steps: children are vrank + m for m < (my receive mask).
+        let mut m = mask >> 1;
+        let data = payload.expect("payload set by now");
+        while m > 0 {
+            if vrank + m < p {
+                let child = (vrank + m + root) % p;
+                self.send(child, TAG_BINOMIAL + m as u64, data.clone());
+            }
+            m >>= 1;
+        }
+        Ok(data)
+    }
+}
+
+fn add_assign(acc: &mut [f64], piece: &[f64]) -> Result<(), CommError> {
+    assert_eq!(acc.len(), piece.len(), "all_reduce_rd length mismatch");
+    for (a, b) in acc.iter_mut().zip(piece) {
+        *a += b;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Universe;
+
+    #[test]
+    fn recursive_doubling_matches_star_for_all_sizes() {
+        for p in 1..=12usize {
+            let (results, _) = Universe::new(p).run(|comm| {
+                let rd = comm.all_reduce_rd(vec![comm.rank() as f64, 1.0]).unwrap();
+                let star = comm.all_reduce(vec![comm.rank() as f64, 1.0]).unwrap();
+                (rd, star)
+            });
+            let total = (p * (p - 1) / 2) as f64;
+            for (rd, star) in results {
+                assert_eq!(rd[0], total, "P = {p}");
+                assert_eq!(rd[1], p as f64);
+                assert_eq!(star[0], total);
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_is_cheaper_at_the_root_for_big_payloads() {
+        let p = 8;
+        let w = 128;
+        let (_, star_report) = Universe::new(p).run(|comm| {
+            comm.all_reduce(vec![1.0; w]).unwrap();
+        });
+        let (_, rd_report) = Universe::new(p).run(|comm| {
+            comm.all_reduce_rd(vec![1.0; w]).unwrap();
+        });
+        // Star: root sends (P−1)·w. Recursive doubling: log₂(P)·w each.
+        assert_eq!(star_report.max_words_sent(), ((p - 1) * w) as u64);
+        assert_eq!(rd_report.max_words_sent(), (3 * w) as u64);
+        assert!(rd_report.max_words_sent() < star_report.max_words_sent());
+    }
+
+    #[test]
+    fn binomial_broadcast_delivers_from_any_root() {
+        for p in 1..=10usize {
+            for root in 0..p {
+                let (results, report) = Universe::new(p).run(|comm| {
+                    let data = if comm.rank() == root {
+                        vec![42.0, root as f64]
+                    } else {
+                        vec![]
+                    };
+                    comm.broadcast_binomial(root, data).unwrap()
+                });
+                for out in &results {
+                    assert_eq!(out, &vec![42.0, root as f64], "P = {p} root = {root}");
+                }
+                // Max sends per rank ≈ log₂ P messages of w words.
+                let log2p = (p as f64).log2().ceil() as u64;
+                assert!(report.max_msgs_sent() <= log2p.max(1), "P = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_beats_star_broadcast_root_cost() {
+        let p = 16;
+        let w = 64;
+        let (_, star) = Universe::new(p).run(|comm| {
+            comm.broadcast(0, if comm.rank() == 0 { vec![1.0; w] } else { vec![] }).unwrap();
+        });
+        let (_, tree) = Universe::new(p).run(|comm| {
+            comm.broadcast_binomial(0, if comm.rank() == 0 { vec![1.0; w] } else { vec![] })
+                .unwrap();
+        });
+        assert_eq!(star.per_rank[0].words_sent, ((p - 1) * w) as u64);
+        assert_eq!(tree.per_rank[0].words_sent, 4 * w as u64); // log₂ 16
+        assert!(tree.per_rank[0].words_sent < star.per_rank[0].words_sent);
+    }
+}

@@ -1,0 +1,268 @@
+//! The per-rank communicator handle: point-to-point messaging with tags,
+//! an out-of-order mailbox, cost counting and deadlock-surfacing timeouts.
+
+use crate::cost::{CommEvent, SharedCounters};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// A point-to-point message: source rank, user tag, payload of words.
+#[derive(Clone, Debug)]
+pub struct Msg {
+    /// Sending rank.
+    pub src: usize,
+    /// User tag.
+    pub tag: u64,
+    /// Payload words.
+    pub data: Vec<f64>,
+}
+
+/// Errors surfaced by communication operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived before the configured timeout — the MPI
+    /// analogue of a deadlock or a schedule mismatch.
+    Timeout {
+        /// The waiting rank.
+        rank: usize,
+        /// Expected source rank.
+        from: usize,
+        /// Expected tag.
+        tag: u64,
+    },
+    /// The peer's channel is gone (its rank panicked).
+    Disconnected {
+        /// The waiting rank.
+        rank: usize,
+        /// Expected source rank.
+        from: usize,
+        /// Expected tag.
+        tag: u64,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { rank, from, tag } => write!(
+                f,
+                "rank {rank}: timed out waiting for message from rank {from} with tag {tag}"
+            ),
+            CommError::Disconnected { rank, from, tag } => write!(
+                f,
+                "rank {rank}: peer disconnected while waiting for rank {from} tag {tag}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// The communicator owned by one rank for the duration of a
+/// [`crate::Universe::run`] call.
+pub struct Comm {
+    rank: usize,
+    senders: Vec<Sender<Msg>>,
+    receiver: Receiver<Msg>,
+    /// Messages received but not yet claimed by a matching `recv`.
+    mailbox: RefCell<Vec<Msg>>,
+    counters: SharedCounters,
+    barrier: Arc<Barrier>,
+    recv_timeout: Duration,
+    /// Event log, populated only when the universe enables tracing.
+    trace: Option<RefCell<Vec<CommEvent>>>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        senders: Vec<Sender<Msg>>,
+        receiver: Receiver<Msg>,
+        counters: SharedCounters,
+        barrier: Arc<Barrier>,
+        recv_timeout: Duration,
+        tracing: bool,
+    ) -> Self {
+        Comm {
+            rank,
+            senders,
+            receiver,
+            mailbox: RefCell::new(Vec::new()),
+            counters,
+            barrier,
+            recv_timeout,
+            trace: tracing.then(|| RefCell::new(Vec::new())),
+        }
+    }
+
+    /// The event log recorded so far (empty when tracing is disabled).
+    pub fn take_trace(&self) -> Vec<CommEvent> {
+        self.trace.as_ref().map(|t| t.borrow_mut().split_off(0)).unwrap_or_default()
+    }
+
+    /// This rank's id in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks `P`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Sends `data` to `dst` with a user `tag`. Non-blocking (links are
+    /// unbounded); counts `data.len()` words and one message.
+    ///
+    /// # Panics
+    /// Panics on self-sends — local data movement is free in the model and
+    /// should not go through the network.
+    pub fn send(&self, dst: usize, tag: u64, data: Vec<f64>) {
+        assert_ne!(dst, self.rank, "rank {}: self-send (local copies are not communication)", self.rank);
+        let counters = self.counters.rank(self.rank);
+        counters.words_sent.fetch_add(data.len() as u64, Ordering::Relaxed);
+        counters.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        if let Some(trace) = &self.trace {
+            trace.borrow_mut().push(CommEvent::Send { dst, tag, words: data.len() as u64 });
+        }
+        // A send can only fail if the destination already exited; that rank's
+        // result does not depend on this message, so drop it silently.
+        let _ = self.senders[dst].send(Msg { src: self.rank, tag, data });
+    }
+
+    /// Receives the message from `src` carrying `tag`, buffering any other
+    /// messages that arrive first. Errors after the configured timeout.
+    pub fn recv(&self, src: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        // Check the mailbox first.
+        {
+            let mut mailbox = self.mailbox.borrow_mut();
+            if let Some(pos) = mailbox.iter().position(|m| m.src == src && m.tag == tag) {
+                let msg = mailbox.swap_remove(pos);
+                return Ok(self.account_recv(msg));
+            }
+        }
+        let deadline = std::time::Instant::now() + self.recv_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.receiver.recv_timeout(remaining) {
+                Ok(msg) => {
+                    if msg.src == src && msg.tag == tag {
+                        return Ok(self.account_recv(msg));
+                    }
+                    self.mailbox.borrow_mut().push(msg);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout { rank: self.rank, from: src, tag });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { rank: self.rank, from: src, tag });
+                }
+            }
+        }
+    }
+
+    fn account_recv(&self, msg: Msg) -> Vec<f64> {
+        let counters = self.counters.rank(self.rank);
+        counters.words_recv.fetch_add(msg.data.len() as u64, Ordering::Relaxed);
+        counters.msgs_recv.fetch_add(1, Ordering::Relaxed);
+        if let Some(trace) = &self.trace {
+            trace
+                .borrow_mut()
+                .push(CommEvent::Recv { src: msg.src, tag: msg.tag, words: msg.data.len() as u64 });
+        }
+        msg.data
+    }
+
+    /// Simultaneous send to and receive from `partner` (the "sendrecv"
+    /// exchange used by pairwise schedules).
+    pub fn exchange(&self, partner: usize, tag: u64, data: Vec<f64>) -> Result<Vec<f64>, CommError> {
+        self.send(partner, tag, data);
+        self.recv(partner, tag)
+    }
+
+    /// Synchronizes all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Records participation in one synchronous communication round (for
+    /// step-counted schedules, Theorem 7.2).
+    pub fn count_round(&self) {
+        self.counters.rank(self.rank).rounds.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Universe;
+    use std::time::Duration;
+
+    #[test]
+    fn exchange_swaps_payloads() {
+        let (results, report) = Universe::new(2).run(|comm| {
+            let partner = 1 - comm.rank();
+            let got = comm.exchange(partner, 0, vec![comm.rank() as f64]).unwrap();
+            got[0]
+        });
+        assert_eq!(results, vec![1.0, 0.0]);
+        assert_eq!(report.per_rank[0].words_sent, 1);
+        assert_eq!(report.per_rank[0].words_recv, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send")]
+    fn self_send_panics() {
+        Universe::new(1).run(|comm| comm.send(0, 0, vec![1.0]));
+    }
+
+    #[test]
+    fn timeout_error_mentions_parties() {
+        let universe = Universe::new(2).with_recv_timeout(Duration::from_millis(20));
+        let (results, _) = universe.run(|comm| {
+            if comm.rank() == 0 {
+                format!("{}", comm.recv(1, 5).unwrap_err())
+            } else {
+                String::new()
+            }
+        });
+        assert!(results[0].contains("rank 0"));
+        assert!(results[0].contains("rank 1"));
+        assert!(results[0].contains("tag 5"));
+    }
+
+    #[test]
+    fn rounds_counter() {
+        let (_, report) = Universe::new(3).run(|comm| {
+            for _ in 0..comm.rank() {
+                comm.count_round();
+            }
+        });
+        assert_eq!(report.per_rank[2].rounds, 2);
+        assert_eq!(report.max_rounds(), 2);
+    }
+
+    #[test]
+    fn many_messages_in_flight() {
+        // Unbounded links: a rank may send many messages before the peer
+        // receives any.
+        let (results, _) = Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                for i in 0..100u64 {
+                    comm.send(1, i, vec![i as f64]);
+                }
+                0.0
+            } else {
+                // Drain in reverse order to exercise the mailbox heavily.
+                let mut total = 0.0;
+                for i in (0..100u64).rev() {
+                    total += comm.recv(0, i).unwrap()[0];
+                }
+                total
+            }
+        });
+        assert_eq!(results[1], 4950.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Per-rank communication-cost counters and reports.
+//!
+//! In the α-β-γ model the bandwidth cost of an algorithm is the maximum over
+//! processors of the number of words sent or received. These counters record
+//! exactly that, plus message counts (the latency term) and the number of
+//! synchronous communication rounds a rank participated in.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One communication event recorded when tracing is enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommEvent {
+    /// A message left this rank.
+    Send {
+        /// Destination rank.
+        dst: usize,
+        /// Message tag.
+        tag: u64,
+        /// Payload length in words.
+        words: u64,
+    },
+    /// A message was consumed by a matching `recv` on this rank.
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// Payload length in words.
+        words: u64,
+    },
+}
+
+/// Internal shared counters, one set per rank.
+#[derive(Clone)]
+pub(crate) struct SharedCounters {
+    inner: Arc<Vec<RankAtomics>>,
+}
+
+pub(crate) struct RankAtomics {
+    pub words_sent: AtomicU64,
+    pub words_recv: AtomicU64,
+    pub msgs_sent: AtomicU64,
+    pub msgs_recv: AtomicU64,
+    pub rounds: AtomicU64,
+}
+
+impl SharedCounters {
+    pub fn new(p: usize) -> Self {
+        SharedCounters {
+            inner: Arc::new(
+                (0..p)
+                    .map(|_| RankAtomics {
+                        words_sent: AtomicU64::new(0),
+                        words_recv: AtomicU64::new(0),
+                        msgs_sent: AtomicU64::new(0),
+                        msgs_recv: AtomicU64::new(0),
+                        rounds: AtomicU64::new(0),
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    #[inline]
+    pub fn rank(&self, r: usize) -> &RankAtomics {
+        &self.inner[r]
+    }
+
+    pub fn report(&self) -> CostReport {
+        CostReport {
+            per_rank: self
+                .inner
+                .iter()
+                .map(|c| RankCost {
+                    words_sent: c.words_sent.load(Ordering::Relaxed),
+                    words_recv: c.words_recv.load(Ordering::Relaxed),
+                    msgs_sent: c.msgs_sent.load(Ordering::Relaxed),
+                    msgs_recv: c.msgs_recv.load(Ordering::Relaxed),
+                    rounds: c.rounds.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Communication cost incurred by one rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankCost {
+    /// Words (tensor/vector elements) pushed onto the network.
+    pub words_sent: u64,
+    /// Words pulled from the network.
+    pub words_recv: u64,
+    /// Number of messages sent.
+    pub msgs_sent: u64,
+    /// Number of messages received.
+    pub msgs_recv: u64,
+    /// Synchronous communication rounds participated in.
+    pub rounds: u64,
+}
+
+impl RankCost {
+    /// `max(sent, received)` — the per-rank bandwidth cost in the model
+    /// where sends and receives overlap.
+    pub fn bandwidth(&self) -> u64 {
+        self.words_sent.max(self.words_recv)
+    }
+}
+
+/// Communication cost of a whole run, indexed by rank.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Per-rank counters, indexed by rank id.
+    pub per_rank: Vec<RankCost>,
+}
+
+impl CostReport {
+    /// Maximum words sent by any rank.
+    pub fn max_words_sent(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.words_sent).max().unwrap_or(0)
+    }
+
+    /// Maximum words received by any rank.
+    pub fn max_words_recv(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.words_recv).max().unwrap_or(0)
+    }
+
+    /// The bandwidth cost of the algorithm: `max_p max(sent_p, recv_p)`.
+    /// This is the quantity the paper's lower bound constrains.
+    pub fn bandwidth_cost(&self) -> u64 {
+        self.per_rank.iter().map(RankCost::bandwidth).max().unwrap_or(0)
+    }
+
+    /// Total words sent across all ranks (equals total received).
+    pub fn total_words_sent(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.words_sent).sum()
+    }
+
+    /// Total words received across all ranks.
+    pub fn total_words_recv(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.words_recv).sum()
+    }
+
+    /// Maximum messages sent by any rank (the latency term).
+    pub fn max_msgs_sent(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.msgs_sent).max().unwrap_or(0)
+    }
+
+    /// Maximum rounds any rank participated in.
+    pub fn max_rounds(&self) -> u64 {
+        self.per_rank.iter().map(|c| c.rounds).max().unwrap_or(0)
+    }
+
+    /// Elementwise sum of two reports (e.g. setup + main phases).
+    pub fn merged(&self, other: &CostReport) -> CostReport {
+        assert_eq!(self.per_rank.len(), other.per_rank.len());
+        CostReport {
+            per_rank: self
+                .per_rank
+                .iter()
+                .zip(&other.per_rank)
+                .map(|(a, b)| RankCost {
+                    words_sent: a.words_sent + b.words_sent,
+                    words_recv: a.words_recv + b.words_recv,
+                    msgs_sent: a.msgs_sent + b.msgs_sent,
+                    msgs_recv: a.msgs_recv + b.msgs_recv,
+                    rounds: a.rounds + b.rounds,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates() {
+        let report = CostReport {
+            per_rank: vec![
+                RankCost { words_sent: 10, words_recv: 4, msgs_sent: 2, msgs_recv: 1, rounds: 3 },
+                RankCost { words_sent: 3, words_recv: 12, msgs_sent: 1, msgs_recv: 2, rounds: 5 },
+            ],
+        };
+        assert_eq!(report.max_words_sent(), 10);
+        assert_eq!(report.max_words_recv(), 12);
+        assert_eq!(report.bandwidth_cost(), 12);
+        assert_eq!(report.total_words_sent(), 13);
+        assert_eq!(report.max_msgs_sent(), 2);
+        assert_eq!(report.max_rounds(), 5);
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = CostReport::default();
+        assert_eq!(report.bandwidth_cost(), 0);
+        assert_eq!(report.max_rounds(), 0);
+    }
+
+    #[test]
+    fn merged_adds_componentwise() {
+        let a = CostReport {
+            per_rank: vec![RankCost { words_sent: 1, words_recv: 2, msgs_sent: 3, msgs_recv: 4, rounds: 5 }],
+        };
+        let b = CostReport {
+            per_rank: vec![RankCost { words_sent: 10, words_recv: 20, msgs_sent: 30, msgs_recv: 40, rounds: 50 }],
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.per_rank[0].words_sent, 11);
+        assert_eq!(m.per_rank[0].rounds, 55);
+    }
+}

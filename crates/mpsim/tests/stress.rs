@@ -1,0 +1,126 @@
+//! Randomized stress tests for the message-passing runtime: arbitrary
+//! point-to-point traffic patterns must deliver every payload exactly once
+//! with exact cost accounting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use symtensor_mpsim::Universe;
+
+#[test]
+fn random_traffic_patterns_deliver_exactly() {
+    for trial in 0..8 {
+        let mut rng = StdRng::seed_from_u64(5000 + trial);
+        let p = 2 + rng.gen_range(0..6);
+        // Random directed message list: (src, dst, tag, len).
+        let msg_count = rng.gen_range(1..40);
+        let mut msgs = Vec::new();
+        for id in 0..msg_count {
+            let src = rng.gen_range(0..p);
+            let mut dst = rng.gen_range(0..p);
+            if dst == src {
+                dst = (dst + 1) % p;
+            }
+            let len = rng.gen_range(0..16);
+            msgs.push((src, dst, id as u64, len));
+        }
+        let msgs_ref = &msgs;
+        let (results, report) = Universe::new(p).run(|comm| {
+            let me = comm.rank();
+            // Send all my messages first (non-blocking), then receive mine
+            // in a shuffled order to exercise the mailbox.
+            for &(src, dst, tag, len) in msgs_ref {
+                if src == me {
+                    let payload: Vec<f64> =
+                        (0..len).map(|w| (tag * 1000 + w as u64) as f64).collect();
+                    comm.send(dst, tag, payload);
+                }
+            }
+            let mut mine: Vec<_> = msgs_ref.iter().filter(|m| m.1 == me).collect();
+            mine.reverse(); // force out-of-arrival-order receives
+            let mut received = 0u64;
+            for &&(src, _, tag, len) in &mine {
+                let payload = comm.recv(src, tag).unwrap();
+                assert_eq!(payload.len(), len);
+                for (w, &v) in payload.iter().enumerate() {
+                    assert_eq!(v, (tag * 1000 + w as u64) as f64);
+                }
+                received += 1;
+            }
+            received
+        });
+        let total_received: u64 = results.iter().sum();
+        assert_eq!(total_received, msg_count as u64, "trial {trial}");
+        // Cost conservation: total sent words == total received words.
+        assert_eq!(report.total_words_sent(), report.total_words_recv(), "trial {trial}");
+        let expected_words: u64 = msgs.iter().map(|m| m.3 as u64).sum();
+        assert_eq!(report.total_words_sent(), expected_words, "trial {trial}");
+    }
+}
+
+#[test]
+fn interleaved_collectives_and_p2p_do_not_cross_talk() {
+    let p = 6;
+    let (results, _) = Universe::new(p).run(|comm| {
+        let me = comm.rank();
+        // P2P ring traffic with tags in the user range…
+        comm.send((me + 1) % p, 7, vec![me as f64]);
+        // …interleaved with two different collectives…
+        let gathered = comm.all_gather(vec![me as f64 * 10.0]).unwrap();
+        let reduced = comm.all_reduce(vec![1.0]).unwrap();
+        // …and the p2p recv afterwards.
+        let ring = comm.recv((me + p - 1) % p, 7).unwrap();
+        (ring[0], gathered[3][0], reduced[0])
+    });
+    for (rank, &(ring, g3, total)) in results.iter().enumerate() {
+        assert_eq!(ring, ((rank + p - 1) % p) as f64);
+        assert_eq!(g3, 30.0);
+        assert_eq!(total, p as f64);
+    }
+}
+
+#[test]
+fn repeated_universes_are_independent() {
+    for _ in 0..5 {
+        let (_, report) = Universe::new(3).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1.0; 10]);
+            } else if comm.rank() == 1 {
+                comm.recv(0, 0).unwrap();
+            }
+        });
+        assert_eq!(report.total_words_sent(), 10);
+    }
+}
+
+#[test]
+fn tracing_records_every_event_in_order() {
+    use symtensor_mpsim::CommEvent;
+    let (results, _) = Universe::new(3).with_tracing(true).run(|comm| {
+        let me = comm.rank();
+        comm.send((me + 1) % 3, 42, vec![1.0, 2.0]);
+        comm.recv((me + 2) % 3, 42).unwrap();
+        comm.take_trace()
+    });
+    for (rank, trace) in results.iter().enumerate() {
+        assert_eq!(
+            trace,
+            &vec![
+                CommEvent::Send { dst: (rank + 1) % 3, tag: 42, words: 2 },
+                CommEvent::Recv { src: (rank + 2) % 3, tag: 42, words: 2 },
+            ]
+        );
+    }
+}
+
+#[test]
+fn tracing_disabled_yields_empty_logs() {
+    let (results, _) = Universe::new(2).run(|comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 0, vec![1.0]);
+        } else {
+            comm.recv(0, 0).unwrap();
+        }
+        comm.take_trace()
+    });
+    assert!(results.iter().all(Vec::is_empty));
+}

@@ -1,0 +1,461 @@
+//! Algorithm 5: communication-optimal parallel STTSV.
+//!
+//! Each processor starts with its tetrahedral tensor blocks and `n/P` words
+//! of `x`, and ends with `n/P` words of `y`. The algorithm is three phases:
+//!
+//! 1. **Gather x** — for every owned row block `i ∈ R_p`, collect the other
+//!    `λ₁ − 1` shards from the processors of `Q_i` (lines 10–21),
+//! 2. **Local compute** — run the symmetric block kernels over
+//!    `TB₃(R_p) ∪ N_p ∪ D_p` (lines 24–36),
+//! 3. **Reduce y** — send each peer its shard of the partial `y` row blocks
+//!    and sum the incoming partials (lines 38–50).
+//!
+//! Communication modes:
+//!
+//! * [`Mode::Scheduled`] — direct point-to-point exchanges following the
+//!   edge-colored schedule; per vector each rank moves
+//!   `n(q+1)/(q²+1) − n/P` words, matching the lower bound's leading term
+//!   exactly (Section 7.2.2).
+//! * [`Mode::AllToAllPadded`] — the paper's All-to-All collective variant:
+//!   `P − 1` uniform messages of two shards each, costing
+//!   `2n/(q+1)·(1 − 1/P)` per vector — twice the leading term.
+//! * [`Mode::AllToAllSparse`] — ablation: the same pairwise collective but
+//!   with exact (unpadded) message sizes; word counts equal the scheduled
+//!   mode while still taking `P − 1` rounds.
+
+use crate::blocks::OwnedBlocks;
+use crate::partition::TetraPartition;
+use crate::schedule::{shared_row_blocks, CommSchedule};
+use symtensor_core::SymTensor3;
+use symtensor_mpsim::{Comm, CostReport, Universe};
+
+/// Communication strategy for the two vector phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Edge-colored point-to-point schedule (optimal bandwidth and steps).
+    Scheduled,
+    /// Uniform (padded) All-to-All collective, as analyzed in §7.2.2.
+    AllToAllPadded,
+    /// All-to-All with exact message sizes (ablation).
+    AllToAllSparse,
+}
+
+const TAG_X: u64 = 1 << 40;
+const TAG_Y: u64 = 2 << 40;
+
+/// Everything one rank needs to run STTSV repeatedly (the tensor blocks are
+/// extracted once and reused across iterations, e.g. by HOPM).
+pub struct RankContext<'a> {
+    /// The shared data distribution.
+    pub part: &'a TetraPartition,
+    /// This rank's tensor blocks (extracted once, never communicated).
+    pub owned: OwnedBlocks,
+    /// Communication strategy for the vector phases.
+    pub mode: Mode,
+    /// The point-to-point schedule (required for [`Mode::Scheduled`]).
+    pub schedule: Option<&'a CommSchedule>,
+}
+
+impl<'a> RankContext<'a> {
+    /// Builds the context for `rank`, extracting its tensor blocks.
+    pub fn new(
+        tensor: &SymTensor3,
+        part: &'a TetraPartition,
+        rank: usize,
+        mode: Mode,
+        schedule: Option<&'a CommSchedule>,
+    ) -> Self {
+        assert!(
+            mode != Mode::Scheduled || schedule.is_some(),
+            "scheduled mode needs a CommSchedule"
+        );
+        RankContext { part, owned: OwnedBlocks::extract(tensor, part, rank), mode, schedule }
+    }
+
+    /// One distributed STTSV: `my_shards[t]` is this rank's shard of row
+    /// block `R_p[t]` of `x`; returns this rank's shards of `y` (same
+    /// keying) and the ternary-multiplication count.
+    pub fn sttsv(&self, comm: &Comm, my_shards: &[Vec<f64>]) -> (Vec<Vec<f64>>, u64) {
+        let part = self.part;
+        let p = comm.rank();
+        let rp = part.r_set(p);
+        assert_eq!(my_shards.len(), rp.len(), "one shard per owned row block");
+        let b = part.block_size();
+
+        // --- Phase 1: gather full x row blocks (Algorithm 5 lines 10-21).
+        let mut x_full: Vec<Vec<f64>> = vec![vec![0.0; b]; rp.len()];
+        for (t, &i) in rp.iter().enumerate() {
+            let range = part.shard_range(i, p);
+            debug_assert_eq!(my_shards[t].len(), range.len());
+            x_full[t][range].copy_from_slice(&my_shards[t]);
+        }
+        self.exchange_phase(
+            comm,
+            TAG_X,
+            1,
+            // Pack: my shard of shared row block i.
+            |_, t, _peer| my_shards[t].clone(),
+            // Unpack: the peer's shard of row block i, placed at its range.
+            |i, t, peer| {
+                let range = part.shard_range(i, peer);
+                (range.len(), Box::new(move |x_dst: &mut [Vec<f64>], piece: &[f64]| {
+                    x_dst[t][range.clone()].copy_from_slice(piece);
+                }))
+            },
+            &mut x_full,
+        );
+
+        // --- Phase 2: local ternary multiplications (lines 24-36).
+        let mut y_acc: Vec<Vec<f64>> = vec![vec![0.0; b]; rp.len()];
+        let ternary =
+            self.owned.compute(&x_full, &mut y_acc, |i| rp.binary_search(&i).unwrap());
+
+        // --- Phase 3: distribute and reduce partial y (lines 38-50).
+        let mut y_out: Vec<Vec<f64>> = rp
+            .iter()
+            .enumerate()
+            .map(|(t, &i)| y_acc[t][part.shard_range(i, p)].to_vec())
+            .collect();
+        self.exchange_phase(
+            comm,
+            TAG_Y,
+            1,
+            // Pack: my partial of the *peer's* shard of row block i.
+            |i, t, peer| y_acc[t][part.shard_range(i, peer)].to_vec(),
+            // Unpack: a partial of *my* shard of row block i — accumulate.
+            |i, t, _peer| {
+                let len = part.shard_range(i, p).len();
+                (len, Box::new(move |y_dst: &mut [Vec<f64>], piece: &[f64]| {
+                    for (acc, &v) in y_dst[t].iter_mut().zip(piece) {
+                        *acc += v;
+                    }
+                }))
+            },
+            &mut y_out,
+        );
+
+        (y_out, ternary)
+    }
+
+    /// Shared machinery for both vector phases: for every peer sharing row
+    /// blocks with this rank, send the packed pieces (one per shared block,
+    /// ascending) and apply `unpack` to the received pieces.
+    ///
+    /// `pack(i, t, peer)` produces the outgoing piece for shared row block
+    /// `i` (`t` = its position in `R_p`). `unpack(i, t, peer)` returns the
+    /// expected piece length and a closure applying it to `state`. `width`
+    /// is the number of vector columns moved together (1 for STTSV, `r`
+    /// for MTTKRP) — it scales the padded-mode uniform message size.
+    #[allow(clippy::type_complexity, clippy::needless_lifetimes)]
+    pub(crate) fn exchange_phase<'s>(
+        &'s self,
+        comm: &Comm,
+        tag_base: u64,
+        width: usize,
+        pack: impl Fn(usize, usize, usize) -> Vec<f64>,
+        unpack: impl Fn(usize, usize, usize) -> (usize, Box<dyn FnOnce(&mut [Vec<f64>], &[f64]) + 's>),
+        state: &mut [Vec<f64>],
+    ) {
+        let part = self.part;
+        let p = comm.rank();
+        let rp = part.r_set(p);
+        let pos_of = |i: usize| rp.binary_search(&i).unwrap();
+
+        let pack_for = |peer: usize| -> Vec<f64> {
+            let mut buf = Vec::new();
+            for i in shared_row_blocks(part, p, peer) {
+                buf.extend_from_slice(&pack(i, pos_of(i), peer));
+            }
+            buf
+        };
+        let unpack_from = |peer: usize, buf: &[f64], state: &mut [Vec<f64>]| {
+            let mut offset = 0;
+            for i in shared_row_blocks(part, p, peer) {
+                let (len, apply) = unpack(i, pos_of(i), peer);
+                apply(state, &buf[offset..offset + len]);
+                offset += len;
+            }
+        };
+
+        match self.mode {
+            Mode::Scheduled => {
+                let schedule = self.schedule.expect("scheduled mode requires a schedule");
+                for (round, act) in schedule.actions(p).iter().enumerate() {
+                    if let Some(dst) = act.send_to {
+                        comm.send(dst, tag_base + round as u64, pack_for(dst));
+                    }
+                    if let Some(src) = act.recv_from {
+                        let buf = comm
+                            .recv(src, tag_base + round as u64)
+                            .expect("scheduled exchange failed");
+                        unpack_from(src, &buf, state);
+                    }
+                    if act.send_to.is_some() || act.recv_from.is_some() {
+                        comm.count_round();
+                    }
+                }
+            }
+            Mode::AllToAllPadded | Mode::AllToAllSparse => {
+                let p_count = part.num_procs();
+                // Uniform message size for the padded (MPI_Alltoall) mode:
+                // two shards of the largest shard size (a pair of processors
+                // shares at most two row blocks).
+                let pad_len = 2 * width * part.block_size().div_ceil(part.lambda1());
+                let mut sendbufs: Vec<Vec<f64>> = (0..p_count)
+                    .map(|peer| {
+                        if peer == p {
+                            return Vec::new();
+                        }
+                        let mut buf = pack_for(peer);
+                        if self.mode == Mode::AllToAllPadded {
+                            debug_assert!(buf.len() <= pad_len);
+                            buf.resize(pad_len, 0.0);
+                        }
+                        buf
+                    })
+                    .collect();
+                sendbufs[p] = Vec::new();
+                let recvd = comm.all_to_all_v(sendbufs).expect("all-to-all failed");
+                for (peer, buf) in recvd.iter().enumerate() {
+                    if peer != p {
+                        unpack_from(peer, buf, state);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The result of a driver-level parallel STTSV run.
+#[derive(Clone, Debug)]
+pub struct SttsvRun {
+    /// The assembled output vector `y = 𝓐 ×₂ x ×₃ x`.
+    pub y: Vec<f64>,
+    /// Exact per-rank communication costs.
+    pub report: CostReport,
+    /// Per-rank ternary-multiplication counts (the §7.1 work measure).
+    pub ternary_per_rank: Vec<u64>,
+}
+
+/// Runs Algorithm 5 on the simulated machine: one thread per processor,
+/// with the tensor blocks extracted per-rank (never communicated) and the
+/// input/output vectors distributed per Section 6.1.2.
+///
+/// `part.dim()` must equal `tensor.dim()` and `x.len()`; use
+/// [`parallel_sttsv_padded`] for arbitrary `n`.
+///
+/// ```
+/// use symtensor_parallel::{parallel_sttsv, Mode, TetraPartition};
+/// use symtensor_core::SymTensor3;
+/// use symtensor_steiner::spherical;
+///
+/// let n = 30;                                  // m = 5 row blocks, b = 6
+/// let part = TetraPartition::new(spherical(2), n).unwrap();
+/// let mut a = SymTensor3::zeros(n);
+/// for i in 0..n { a.set(i, i, i, 1.0); }       // y_i = x_i²
+/// let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+/// let run = parallel_sttsv(&a, &part, &x, Mode::Scheduled);
+/// assert!(run.y.iter().enumerate().all(|(i, &y)| y == (i * i) as f64));
+/// assert!(run.report.bandwidth_cost() > 0);    // vectors moved, tensor did not
+/// ```
+pub fn parallel_sttsv(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x: &[f64],
+    mode: Mode,
+) -> SttsvRun {
+    let n = part.dim();
+    assert_eq!(tensor.dim(), n);
+    assert_eq!(x.len(), n);
+    let p_count = part.num_procs();
+    let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
+
+    let (rank_results, report) = Universe::new(p_count).run(|comm| {
+        let p = comm.rank();
+        let ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref());
+        let my_shards: Vec<Vec<f64>> = part
+            .r_set(p)
+            .iter()
+            .map(|&i| {
+                let block = &x[part.block_range(i)];
+                block[part.shard_range(i, p)].to_vec()
+            })
+            .collect();
+        ctx.sttsv(comm, &my_shards)
+    });
+
+    let mut y = vec![0.0; n];
+    let mut ternary_per_rank = Vec::with_capacity(p_count);
+    for (p, (shards, ternary)) in rank_results.into_iter().enumerate() {
+        ternary_per_rank.push(ternary);
+        for (t, &i) in part.r_set(p).iter().enumerate() {
+            let global = part.block_range(i);
+            let local = part.shard_range(i, p);
+            y[global.start + local.start..global.start + local.end].copy_from_slice(&shards[t]);
+        }
+    }
+    SttsvRun { y, report, ternary_per_rank }
+}
+
+/// Runs Algorithm 5 for an arbitrary dimension by zero-padding the tensor
+/// and vector to [`TetraPartition::padded_dim`] (the paper's padding rule),
+/// then truncating `y`.
+pub fn parallel_sttsv_padded(
+    tensor: &SymTensor3,
+    system: symtensor_steiner::SteinerSystem,
+    x: &[f64],
+    mode: Mode,
+) -> SttsvRun {
+    let n = tensor.dim();
+    assert_eq!(x.len(), n);
+    let n_pad = TetraPartition::padded_dim(&system, n);
+    let part = TetraPartition::new(system, n_pad).expect("padded dimension divides");
+    if n_pad == n {
+        return parallel_sttsv(tensor, &part, x, mode);
+    }
+    let mut big = SymTensor3::zeros(n_pad);
+    for (i, j, k, v) in tensor.iter_lower() {
+        big.set(i, j, k, v);
+    }
+    let mut x_pad = x.to_vec();
+    x_pad.resize(n_pad, 0.0);
+    let mut run = parallel_sttsv(&big, &part, &x_pad, mode);
+    run.y.truncate(n);
+    run
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use crate::schedule::spherical_round_count;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use symtensor_core::generate::random_symmetric;
+    use symtensor_core::seq::sttsv_sym;
+    use symtensor_steiner::{spherical, sqs8};
+
+    fn check_against_sequential(part: &TetraPartition, mode: Mode, seed: u64) -> SttsvRun {
+        let n = part.dim();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tensor = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) as f64 * 0.01).sin()).collect();
+        let run = parallel_sttsv(&tensor, part, &x, mode);
+        let (y_seq, _) = sttsv_sym(&tensor, &x);
+        for i in 0..n {
+            assert!(
+                (run.y[i] - y_seq[i]).abs() < 1e-9 * (1.0 + y_seq[i].abs()),
+                "y[{i}]: {} vs {}",
+                run.y[i],
+                y_seq[i]
+            );
+        }
+        run
+    }
+
+    #[test]
+    fn scheduled_matches_sequential_q2() {
+        let part = TetraPartition::new(spherical(2), 30).unwrap();
+        check_against_sequential(&part, Mode::Scheduled, 1);
+    }
+
+    #[test]
+    fn all_to_all_padded_matches_sequential_q2() {
+        let part = TetraPartition::new(spherical(2), 30).unwrap();
+        check_against_sequential(&part, Mode::AllToAllPadded, 2);
+    }
+
+    #[test]
+    fn all_to_all_sparse_matches_sequential_q2() {
+        let part = TetraPartition::new(spherical(2), 30).unwrap();
+        check_against_sequential(&part, Mode::AllToAllSparse, 3);
+    }
+
+    #[test]
+    fn scheduled_matches_sequential_sqs8() {
+        let part = TetraPartition::new(sqs8(), 56).unwrap();
+        check_against_sequential(&part, Mode::Scheduled, 4);
+    }
+
+    #[test]
+    fn scheduled_matches_sequential_q3() {
+        let part = TetraPartition::new(spherical(3), 60).unwrap();
+        check_against_sequential(&part, Mode::Scheduled, 5);
+    }
+
+    #[test]
+    fn uneven_shards_still_correct() {
+        // b = 6, λ₁ = 6 for q = 2 ... pick b not divisible by λ₁: n = 20,
+        // b = 4, λ₁ = 6: some shards are empty.
+        let part = TetraPartition::new(spherical(2), 20).unwrap();
+        check_against_sequential(&part, Mode::Scheduled, 6);
+        check_against_sequential(&part, Mode::AllToAllPadded, 7);
+    }
+
+    #[test]
+    fn scheduled_words_match_closed_form_q3() {
+        // n = 120, q = 3: per-vector words = n(q+1)/(q²+1) − n/P = 44,
+        // both vectors = 88; rounds = 2 × 26.
+        let n = 120;
+        let part = TetraPartition::new(spherical(3), n).unwrap();
+        let run = check_against_sequential(&part, Mode::Scheduled, 8);
+        let expect = 2 * bounds::scheduled_words_per_vector(n, 3) as u64;
+        for (p, cost) in run.report.per_rank.iter().enumerate() {
+            assert_eq!(cost.words_sent, expect, "rank {p} sent");
+            assert_eq!(cost.words_recv, expect, "rank {p} recv");
+            assert_eq!(cost.rounds, 2 * spherical_round_count(3) as u64, "rank {p} rounds");
+        }
+    }
+
+    #[test]
+    fn padded_all_to_all_words_match_closed_form_q3() {
+        // 4n/(q+1)·(1−1/P) = 120·(29/30) = 116 words per rank.
+        let n = 120;
+        let part = TetraPartition::new(spherical(3), n).unwrap();
+        let run = check_against_sequential(&part, Mode::AllToAllPadded, 9);
+        let expect = bounds::alltoall_words_total(n, 3) as u64;
+        for (p, cost) in run.report.per_rank.iter().enumerate() {
+            assert_eq!(cost.words_sent, expect, "rank {p}");
+            assert_eq!(cost.words_recv, expect, "rank {p}");
+        }
+    }
+
+    #[test]
+    fn sparse_all_to_all_words_equal_scheduled_words() {
+        let n = 120;
+        let part = TetraPartition::new(spherical(3), n).unwrap();
+        let run = check_against_sequential(&part, Mode::AllToAllSparse, 10);
+        let expect = 2 * bounds::scheduled_words_per_vector(n, 3) as u64;
+        for cost in &run.report.per_rank {
+            assert_eq!(cost.words_sent, expect);
+        }
+    }
+
+    #[test]
+    fn ternary_counts_sum_to_global_and_match_partition() {
+        let n = 60;
+        let part = TetraPartition::new(spherical(3), n).unwrap();
+        let run = check_against_sequential(&part, Mode::Scheduled, 11);
+        let total: u64 = run.ternary_per_rank.iter().sum();
+        let n64 = n as u64;
+        assert_eq!(total, n64 * n64 * (n64 + 1) / 2);
+        for (p, &t) in run.ternary_per_rank.iter().enumerate() {
+            assert_eq!(t, part.ternary_mults(p), "rank {p}");
+        }
+    }
+
+    #[test]
+    fn padded_driver_handles_arbitrary_dimension() {
+        let n = 37;
+        let mut rng = StdRng::seed_from_u64(12);
+        let tensor = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).cos()).collect();
+        let run = parallel_sttsv_padded(&tensor, spherical(2), &x, Mode::Scheduled);
+        assert_eq!(run.y.len(), n);
+        let (y_seq, _) = sttsv_sym(&tensor, &x);
+        for i in 0..n {
+            assert!((run.y[i] - y_seq[i]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Baseline parallel STTSV algorithms for the comparison experiments.
+//!
+//! * [`sttsv_1d`] — 1-D row partition ignoring symmetry: processor `p` owns
+//!   the rows `i` of a contiguous chunk, all-gathers the whole of `x`
+//!   (≈ `n` words) and computes its `y` rows locally with `n²·(n/P)`
+//!   ternary multiplications. Simple, but its communication does not shrink
+//!   with `P` and it does twice the symmetric algorithm's work.
+//! * [`sttsv_3d`] — 3-D cubic partition of the **dense** (non-symmetric)
+//!   iteration space on a `g×g×g` grid (`P = g³`), the classical
+//!   Loomis–Whitney-style algorithm: gathers two fiber chunks of `x` and
+//!   reduce-scatters partial `y` within planes, ≈ `3n/g = 3n/P^{1/3}` words
+//!   — asymptotically optimal scaling but 1.5× the symmetric lower bound's
+//!   leading term and 2× the ternary multiplications.
+//!
+//! Both run on the same simulated machine with the same counters, so the
+//! benches can put them on one axis with Algorithm 5.
+
+use symtensor_core::SymTensor3;
+use symtensor_mpsim::{CostReport, Universe};
+
+use crate::algorithm5::SttsvRun;
+
+const TAG_X2: u64 = 11 << 40;
+const TAG_X3: u64 = 12 << 40;
+const TAG_Y: u64 = 13 << 40;
+
+/// Contiguous near-even chunking of `0..total` into `parts` pieces.
+#[inline]
+pub fn chunk_bounds(total: usize, parts: usize, idx: usize) -> std::ops::Range<usize> {
+    (idx * total) / parts..((idx + 1) * total) / parts
+}
+
+/// 1-D row-partitioned STTSV: all-gather `x`, compute owned rows.
+pub fn sttsv_1d(tensor: &SymTensor3, x: &[f64], p_count: usize) -> SttsvRun {
+    let n = tensor.dim();
+    assert_eq!(x.len(), n);
+    let (rank_results, report): (Vec<(Vec<f64>, u64)>, CostReport) =
+        Universe::new(p_count).run(|comm| {
+            let p = comm.rank();
+            let my_rows = chunk_bounds(n, p_count, p);
+            // Gather the full x from per-rank chunks (ring all-gather).
+            let local = x[chunk_bounds(n, p_count, p)].to_vec();
+            let pieces = comm.all_gather(local).expect("all_gather failed");
+            let mut x_full = Vec::with_capacity(n);
+            for piece in pieces {
+                x_full.extend_from_slice(&piece);
+            }
+            // Compute owned rows without exploiting symmetry (the tensor is
+            // read through the packed store, but every (j,k) is visited).
+            let mut y_rows = Vec::with_capacity(my_rows.len());
+            let mut ternary = 0u64;
+            for i in my_rows.clone() {
+                let mut acc = 0.0;
+                for (j, &xj) in x_full.iter().enumerate() {
+                    for (k, &xk) in x_full.iter().enumerate() {
+                        acc += tensor.get(i, j, k) * xj * xk;
+                    }
+                }
+                ternary += (n * n) as u64;
+                y_rows.push(acc);
+            }
+            (y_rows, ternary)
+        });
+
+    let mut y = vec![0.0; n];
+    let mut ternary_per_rank = Vec::with_capacity(p_count);
+    for (p, (rows, ternary)) in rank_results.into_iter().enumerate() {
+        ternary_per_rank.push(ternary);
+        y[chunk_bounds(n, p_count, p)].copy_from_slice(&rows);
+    }
+    SttsvRun { y, report, ternary_per_rank }
+}
+
+/// 3-D cubic STTSV on a `g×g×g` processor grid over the dense iteration
+/// space (no symmetry). Rank `(I, J, K)` (row-major id) owns the cube
+/// `Irange × Jrange × Krange`; `x` is owned in pieces within each mode-2
+/// chunk (piece `I·g + K` of chunk `J`), and `y` in pieces within each
+/// mode-1 chunk (piece `J·g + K` of chunk `I`).
+pub fn sttsv_3d(tensor: &SymTensor3, x: &[f64], g: usize) -> SttsvRun {
+    let n = tensor.dim();
+    assert_eq!(x.len(), n);
+    assert!(g >= 1);
+    let p_count = g * g * g;
+    let coords = |r: usize| (r / (g * g), (r / g) % g, r % g);
+    let rank_of = |i: usize, j: usize, k: usize| (i * g + j) * g + k;
+
+    let (rank_results, report): (Vec<(Vec<f64>, u64)>, CostReport) =
+        Universe::new(p_count).run(|comm| {
+            let (ci, cj, ck) = coords(comm.rank());
+            let irange = chunk_bounds(n, g, ci);
+            let jrange = chunk_bounds(n, g, cj);
+            let krange = chunk_bounds(n, g, ck);
+
+            // --- Gather x[jrange]: owners are the ranks (a, cj, c); my own
+            // piece is (ci·g + ck). Also everyone with K-coordinate = cj
+            // needs chunk cj for mode 3; I send my piece to them.
+            let chunk_len = jrange.len();
+            let my_piece_range = {
+                let local = chunk_bounds(chunk_len, g * g, ci * g + ck);
+                jrange.start + local.start..jrange.start + local.end
+            };
+            let my_piece = x[my_piece_range.clone()].to_vec();
+            // Send my piece to the other owners of chunk cj (mode-2 users)…
+            for a in 0..g {
+                for c in 0..g {
+                    let dst = rank_of(a, cj, c);
+                    if dst != comm.rank() {
+                        comm.send(dst, TAG_X2, my_piece.clone());
+                    }
+                }
+            }
+            // …and to every rank whose mode-3 chunk is cj.
+            for a in 0..g {
+                for bcoord in 0..g {
+                    let dst = rank_of(a, bcoord, cj);
+                    if dst != comm.rank() {
+                        comm.send(dst, TAG_X3, my_piece.clone());
+                    }
+                }
+            }
+            // Receive chunk cj (mode 2) from its owners.
+            let mut x2 = vec![0.0; jrange.len()];
+            {
+                let local = chunk_bounds(chunk_len, g * g, ci * g + ck);
+                x2[local].copy_from_slice(&my_piece);
+            }
+            for a in 0..g {
+                for c in 0..g {
+                    let src = rank_of(a, cj, c);
+                    if src != comm.rank() {
+                        let piece = comm.recv(src, TAG_X2).expect("x2 gather failed");
+                        let local = chunk_bounds(chunk_len, g * g, a * g + c);
+                        x2[local].copy_from_slice(&piece);
+                    }
+                }
+            }
+            // Receive chunk ck (mode 3) from its owners (ranks (a, ck, c)).
+            let klen = krange.len();
+            let mut x3 = vec![0.0; klen];
+            for a in 0..g {
+                for c in 0..g {
+                    let src = rank_of(a, ck, c);
+                    if src == comm.rank() {
+                        // Only possible when cj == ck: reuse my own piece.
+                        let local = chunk_bounds(klen, g * g, a * g + c);
+                        x3[local].copy_from_slice(&my_piece);
+                    } else {
+                        let piece = comm.recv(src, TAG_X3).expect("x3 gather failed");
+                        let local = chunk_bounds(klen, g * g, a * g + c);
+                        x3[local].copy_from_slice(&piece);
+                    }
+                }
+            }
+
+            // --- Local compute over the dense cube.
+            let mut y_partial = vec![0.0; irange.len()];
+            let mut ternary = 0u64;
+            for (li, i) in irange.clone().enumerate() {
+                let mut acc = 0.0;
+                for (lj, j) in jrange.clone().enumerate() {
+                    let xj = x2[lj];
+                    for (lk, k) in krange.clone().enumerate() {
+                        acc += tensor.get(i, j, k) * xj * x3[lk];
+                    }
+                }
+                ternary += (jrange.len() * krange.len()) as u64;
+                y_partial[li] = acc;
+            }
+
+            // --- Reduce y within the plane sharing I: owners of chunk ci's
+            // pieces are ranks (ci, a, c) with piece a·g + c.
+            let ilen = irange.len();
+            for a in 0..g {
+                for c in 0..g {
+                    let dst = rank_of(ci, a, c);
+                    if dst != comm.rank() {
+                        let local = chunk_bounds(ilen, g * g, a * g + c);
+                        comm.send(dst, TAG_Y, y_partial[local].to_vec());
+                    }
+                }
+            }
+            let my_y_local = chunk_bounds(ilen, g * g, cj * g + ck);
+            let mut y_mine = y_partial[my_y_local].to_vec();
+            for a in 0..g {
+                for c in 0..g {
+                    let src = rank_of(ci, a, c);
+                    if src != comm.rank() {
+                        let piece = comm.recv(src, TAG_Y).expect("y reduce failed");
+                        for (acc, &v) in y_mine.iter_mut().zip(&piece) {
+                            *acc += v;
+                        }
+                    }
+                }
+            }
+            (y_mine, ternary)
+        });
+
+    let mut y = vec![0.0; n];
+    let mut ternary_per_rank = Vec::with_capacity(p_count);
+    for (r, (piece, ternary)) in rank_results.into_iter().enumerate() {
+        ternary_per_rank.push(ternary);
+        let (ci, cj, ck) = coords(r);
+        let irange = chunk_bounds(n, g, ci);
+        let local = chunk_bounds(irange.len(), g * g, cj * g + ck);
+        y[irange.start + local.start..irange.start + local.end].copy_from_slice(&piece);
+    }
+    SttsvRun { y, report, ternary_per_rank }
+}
+
+/// Cost model for the 1-D baseline: words received per rank (ring
+/// all-gather): `n − n/P`.
+pub fn baseline_1d_words(n: usize, p: usize) -> f64 {
+    n as f64 * (1.0 - 1.0 / p as f64)
+}
+
+/// Cost model for the 3-D baseline: ≈ `3n/g` words per rank (two `x` fiber
+/// gathers plus the `y` plane reduce).
+pub fn baseline_3d_words(n: usize, g: usize) -> f64 {
+    let p = (g * g * g) as f64;
+    3.0 * (n as f64 / g as f64) - 3.0 * n as f64 / p
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use symtensor_core::generate::random_symmetric;
+    use symtensor_core::seq::sttsv_sym;
+
+    fn check(n: usize, run: &SttsvRun, tensor: &SymTensor3, x: &[f64]) {
+        let (y_seq, _) = sttsv_sym(tensor, x);
+        for i in 0..n {
+            assert!(
+                (run.y[i] - y_seq[i]).abs() < 1e-9 * (1.0 + y_seq[i].abs()),
+                "y[{i}]: {} vs {}",
+                run.y[i],
+                y_seq[i]
+            );
+        }
+    }
+
+    #[test]
+    fn one_d_matches_sequential() {
+        let n = 24;
+        let mut rng = StdRng::seed_from_u64(81);
+        let tensor = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        for p in [1usize, 3, 5, 8] {
+            let run = sttsv_1d(&tensor, &x, p);
+            check(n, &run, &tensor, &x);
+        }
+    }
+
+    #[test]
+    fn one_d_words_match_model() {
+        let n = 24;
+        let mut rng = StdRng::seed_from_u64(82);
+        let tensor = random_symmetric(n, &mut rng);
+        let x = vec![1.0; n];
+        let p = 4;
+        let run = sttsv_1d(&tensor, &x, p);
+        for cost in &run.report.per_rank {
+            assert_eq!(cost.words_recv, (n - n / p) as u64);
+        }
+    }
+
+    #[test]
+    fn three_d_matches_sequential() {
+        let n = 18;
+        let mut rng = StdRng::seed_from_u64(83);
+        let tensor = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| 0.5 - (i as f64 * 0.21).cos()).collect();
+        for g in [1usize, 2, 3] {
+            let run = sttsv_3d(&tensor, &x, g);
+            check(n, &run, &tensor, &x);
+        }
+    }
+
+    #[test]
+    fn three_d_word_counts_near_model() {
+        let n = 32;
+        let g = 2;
+        let mut rng = StdRng::seed_from_u64(84);
+        let tensor = random_symmetric(n, &mut rng);
+        let x = vec![0.5; n];
+        let run = sttsv_3d(&tensor, &x, g);
+        let model = baseline_3d_words(n, g);
+        let max_recv = run.report.max_words_recv() as f64;
+        assert!(
+            (max_recv - model).abs() / model < 0.25,
+            "measured {max_recv} vs model {model}"
+        );
+    }
+
+    #[test]
+    fn baselines_do_more_ternary_work_than_symmetric() {
+        // Both baselines perform ~n³ total ternary mults vs n²(n+1)/2.
+        let n = 16;
+        let mut rng = StdRng::seed_from_u64(85);
+        let tensor = random_symmetric(n, &mut rng);
+        let x = vec![1.0; n];
+        let run1 = sttsv_1d(&tensor, &x, 4);
+        let total_1d: u64 = run1.ternary_per_rank.iter().sum();
+        assert_eq!(total_1d, (n * n * n) as u64);
+        let run3 = sttsv_3d(&tensor, &x, 2);
+        let total_3d: u64 = run3.ternary_per_rank.iter().sum();
+        assert_eq!(total_3d, (n * n * n) as u64);
+    }
+}

@@ -1,0 +1,471 @@
+//! Per-rank owned tensor storage and the local STTSV kernels.
+//!
+//! Under the owner-compute rule each processor extracts its blocks from the
+//! global tensor **once** and never communicates them. Storage layouts:
+//!
+//! * off-diagonal block `(I, J, K)`, `I > J > K`: dense `b³`, index
+//!   `(li·b + lj)·b + lk` with `li/lj/lk` local to `I/J/K`,
+//! * non-central `(I, I, K)`: the `li ≥ lj` triangle over `I` crossed with
+//!   `K`, index `tri(li, lj)·b + lk`,
+//! * non-central `(I, K, K)`: `I` crossed with the `lj ≥ lk` triangle over
+//!   `K`, index `li·tri_len + tri(lj, lk)`,
+//! * central `(I, I, I)`: the packed `li ≥ lj ≥ lk` tetrahedron.
+//!
+//! The kernels perform, per stored element, exactly the updates of the
+//! paper's Algorithm 4 case analysis (lines 24–36 of Algorithm 5), and
+//! count ternary multiplications in the paper's model (3 / 2 / 1 updates
+//! per element depending on index coincidences).
+
+use crate::partition::TetraPartition;
+use crate::tetra::{BlockIdx, BlockKind};
+use symtensor_core::SymTensor3;
+
+#[inline]
+fn tet_idx(a: usize, b: usize, c: usize) -> usize {
+    debug_assert!(a >= b && b >= c);
+    a * (a + 1) * (a + 2) / 6 + b * (b + 1) / 2 + c
+}
+
+/// One extracted tensor block with its data in the kind-specific layout.
+#[derive(Clone, Debug)]
+pub struct OwnedBlock {
+    /// The block's (sorted) row-block triple.
+    pub idx: BlockIdx,
+    /// Its classification (off-diagonal / non-central / central).
+    pub kind: BlockKind,
+    /// Entries in the kind-specific layout documented at module level.
+    pub data: Vec<f64>,
+}
+
+/// All tensor blocks owned by one rank.
+#[derive(Clone, Debug)]
+pub struct OwnedBlocks {
+    /// The extracted blocks, sorted by block index.
+    pub blocks: Vec<OwnedBlock>,
+    b: usize,
+}
+
+impl OwnedBlocks {
+    /// Extracts processor `p`'s blocks from the global tensor.
+    pub fn extract(tensor: &SymTensor3, part: &TetraPartition, p: usize) -> Self {
+        assert_eq!(tensor.dim(), part.dim(), "tensor dimension mismatch");
+        let b = part.block_size();
+        let blocks = part
+            .owned_blocks(p)
+            .into_iter()
+            .map(|idx| {
+                let kind = idx.kind();
+                let (gi, gj, gk) = (idx.i * b, idx.j * b, idx.k * b);
+                let data = match kind {
+                    BlockKind::OffDiagonal => {
+                        let mut data = Vec::with_capacity(b * b * b);
+                        for li in 0..b {
+                            for lj in 0..b {
+                                for lk in 0..b {
+                                    data.push(tensor.get_sorted(gi + li, gj + lj, gk + lk));
+                                }
+                            }
+                        }
+                        data
+                    }
+                    BlockKind::NonCentralIIK => {
+                        let mut data = Vec::with_capacity(b * (b + 1) / 2 * b);
+                        for li in 0..b {
+                            for lj in 0..=li {
+                                for lk in 0..b {
+                                    data.push(tensor.get_sorted(gi + li, gi + lj, gk + lk));
+                                }
+                            }
+                        }
+                        data
+                    }
+                    BlockKind::NonCentralIKK => {
+                        let mut data = Vec::with_capacity(b * b * (b + 1) / 2);
+                        for li in 0..b {
+                            for lj in 0..b {
+                                for lk in 0..=lj {
+                                    data.push(tensor.get_sorted(gi + li, gk + lj, gk + lk));
+                                }
+                            }
+                        }
+                        data
+                    }
+                    BlockKind::CentralDiagonal => {
+                        let mut data = Vec::with_capacity(b * (b + 1) * (b + 2) / 6);
+                        for li in 0..b {
+                            for lj in 0..=li {
+                                for lk in 0..=lj {
+                                    data.push(tensor.get_sorted(gi + li, gi + lj, gi + lk));
+                                }
+                            }
+                        }
+                        data
+                    }
+                };
+                OwnedBlock { idx, kind, data }
+            })
+            .collect();
+        OwnedBlocks { blocks, b }
+    }
+
+    /// Builds processor `p`'s block *structure* with zeroed data — used by
+    /// receivers of a tensor scatter, which fill the data in afterwards.
+    /// The block order and per-block lengths are deterministic functions of
+    /// the partition, so sender and receiver agree without metadata.
+    pub fn extract_empty(part: &TetraPartition, p: usize) -> Self {
+        let b = part.block_size();
+        let blocks = part
+            .owned_blocks(p)
+            .into_iter()
+            .map(|idx| {
+                let kind = idx.kind();
+                let len = crate::tetra::entries_in_block(kind, b);
+                OwnedBlock { idx, kind, data: vec![0.0; len] }
+            })
+            .collect();
+        OwnedBlocks { blocks, b }
+    }
+
+    /// Total stored words.
+    pub fn words(&self) -> usize {
+        self.blocks.iter().map(|blk| blk.data.len()).sum()
+    }
+
+    /// Runs the local STTSV kernels: `x_full` maps row-block index → the
+    /// gathered full row block (length `b`); contributions accumulate into
+    /// `y_acc` (same keying). Returns the ternary-multiplication count in
+    /// the paper's model.
+    ///
+    /// `x_full`/`y_acc` are indexed by *position within `R_p`* via the
+    /// `row_pos` lookup closure supplied by the caller.
+    pub fn compute<F>(&self, x_full: &[Vec<f64>], y_acc: &mut [Vec<f64>], row_pos: F) -> u64
+    where
+        F: Fn(usize) -> usize,
+    {
+        let b = self.b;
+        let mut ternary: u64 = 0;
+        for blk in &self.blocks {
+            match blk.kind {
+                BlockKind::OffDiagonal => {
+                    let (pi, pj, pk) = (row_pos(blk.idx.i), row_pos(blk.idx.j), row_pos(blk.idx.k));
+                    ternary += off_diagonal_kernel(
+                        &blk.data,
+                        b,
+                        &x_full[pi],
+                        &x_full[pj],
+                        &x_full[pk],
+                        pi,
+                        pj,
+                        pk,
+                        y_acc,
+                    );
+                }
+                BlockKind::NonCentralIIK => {
+                    let (pi, pk) = (row_pos(blk.idx.i), row_pos(blk.idx.k));
+                    ternary += iik_kernel(&blk.data, b, pi, pk, x_full, y_acc);
+                }
+                BlockKind::NonCentralIKK => {
+                    let (pi, pk) = (row_pos(blk.idx.i), row_pos(blk.idx.k));
+                    ternary += ikk_kernel(&blk.data, b, pi, pk, x_full, y_acc);
+                }
+                BlockKind::CentralDiagonal => {
+                    let pi = row_pos(blk.idx.i);
+                    ternary += central_kernel(&blk.data, b, pi, x_full, y_acc);
+                }
+            }
+        }
+        ternary
+    }
+}
+
+/// Off-diagonal block: all global indices strictly ordered, so every element
+/// performs the full 3-update with symmetry factor 2 (3 ternary mults in the
+/// model). Restructured so the inner loop is contiguous over `lk`.
+#[allow(clippy::too_many_arguments)]
+fn off_diagonal_kernel(
+    data: &[f64],
+    b: usize,
+    xi: &[f64],
+    xj: &[f64],
+    xk: &[f64],
+    pi: usize,
+    pj: usize,
+    pk: usize,
+    y_acc: &mut [Vec<f64>],
+) -> u64 {
+    // Accumulate yK into a local buffer to avoid re-borrowing y_acc per
+    // element; yI/yJ row sums are accumulated scalar-wise.
+    let mut yk_local = vec![0.0; b];
+    let mut yi_local = vec![0.0; b];
+    let mut yj_local = vec![0.0; b];
+    for (li, &xia) in xi.iter().enumerate().take(b) {
+        for (lj, &xjb) in xj.iter().enumerate().take(b) {
+            let row = &data[(li * b + lj) * b..(li * b + lj) * b + b];
+            let pref = 2.0 * xia * xjb;
+            let mut dot_k = 0.0;
+            for (lk, &v) in row.iter().enumerate() {
+                yk_local[lk] += pref * v;
+                dot_k += v * xk[lk];
+            }
+            yi_local[li] += 2.0 * dot_k * xjb;
+            yj_local[lj] += 2.0 * dot_k * xia;
+        }
+    }
+    add_into(&mut y_acc[pi], &yi_local);
+    add_into(&mut y_acc[pj], &yj_local);
+    add_into(&mut y_acc[pk], &yk_local);
+    3 * (b as u64).pow(3)
+}
+
+/// Non-central (I, I, K): elements `(gi+li, gi+lj, gk+lk)` with `li ≥ lj`.
+fn iik_kernel(
+    data: &[f64],
+    b: usize,
+    pi: usize,
+    pk: usize,
+    x_full: &[Vec<f64>],
+    y_acc: &mut [Vec<f64>],
+) -> u64 {
+    let mut yi_local = vec![0.0; b];
+    let mut yk_local = vec![0.0; b];
+    let xi = &x_full[pi];
+    let xk = &x_full[pk];
+    let mut ternary = 0u64;
+    let mut pos = 0;
+    for li in 0..b {
+        for lj in 0..=li {
+            let row = &data[pos..pos + b];
+            pos += b;
+            if li != lj {
+                // Global i > j > k: full 3-update.
+                let pref = 2.0 * xi[li] * xi[lj];
+                let mut dot_k = 0.0;
+                for (lk, &v) in row.iter().enumerate() {
+                    yk_local[lk] += pref * v;
+                    dot_k += v * xk[lk];
+                }
+                yi_local[li] += 2.0 * dot_k * xi[lj];
+                yi_local[lj] += 2.0 * dot_k * xi[li];
+                ternary += 3 * b as u64;
+            } else {
+                // Global i == j > k: y_i += 2·a·x_i·x_k ; y_k += a·x_i².
+                let sq = xi[li] * xi[li];
+                let mut dot_k = 0.0;
+                for (lk, &v) in row.iter().enumerate() {
+                    yk_local[lk] += sq * v;
+                    dot_k += v * xk[lk];
+                }
+                yi_local[li] += 2.0 * dot_k * xi[li];
+                ternary += 2 * b as u64;
+            }
+        }
+    }
+    add_into(&mut y_acc[pi], &yi_local);
+    add_into(&mut y_acc[pk], &yk_local);
+    ternary
+}
+
+/// Non-central (I, K, K): elements `(gi+li, gk+lj, gk+lk)` with `lj ≥ lk`.
+fn ikk_kernel(
+    data: &[f64],
+    b: usize,
+    pi: usize,
+    pk: usize,
+    x_full: &[Vec<f64>],
+    y_acc: &mut [Vec<f64>],
+) -> u64 {
+    let tri_len = b * (b + 1) / 2;
+    let mut yi_local = vec![0.0; b];
+    let mut yk_local = vec![0.0; b];
+    let xi = &x_full[pi];
+    let xk = &x_full[pk];
+    let mut ternary = 0u64;
+    for li in 0..b {
+        let slab = &data[li * tri_len..(li + 1) * tri_len];
+        let xia = xi[li];
+        let mut pos = 0;
+        for lj in 0..b {
+            for lk in 0..=lj {
+                let v = slab[pos];
+                pos += 1;
+                if lj != lk {
+                    // Global i > j > k.
+                    yi_local[li] += 2.0 * v * xk[lj] * xk[lk];
+                    yk_local[lj] += 2.0 * v * xia * xk[lk];
+                    yk_local[lk] += 2.0 * v * xia * xk[lj];
+                    ternary += 3;
+                } else {
+                    // Global i > j == k: y_i += a·x_k² ; y_k += 2·a·x_i·x_k.
+                    yi_local[li] += v * xk[lj] * xk[lj];
+                    yk_local[lj] += 2.0 * v * xia * xk[lj];
+                    ternary += 2;
+                }
+            }
+        }
+    }
+    add_into(&mut y_acc[pi], &yi_local);
+    add_into(&mut y_acc[pk], &yk_local);
+    ternary
+}
+
+/// Central (I, I, I): the full Algorithm 4 case analysis inside one block.
+fn central_kernel(
+    data: &[f64],
+    b: usize,
+    pi: usize,
+    x_full: &[Vec<f64>],
+    y_acc: &mut [Vec<f64>],
+) -> u64 {
+    let mut yi_local = vec![0.0; b];
+    let xi = &x_full[pi];
+    let mut ternary = 0u64;
+    for li in 0..b {
+        for lj in 0..=li {
+            for lk in 0..=lj {
+                let v = data[tet_idx(li, lj, lk)];
+                if li != lj && lj != lk {
+                    yi_local[li] += 2.0 * v * xi[lj] * xi[lk];
+                    yi_local[lj] += 2.0 * v * xi[li] * xi[lk];
+                    yi_local[lk] += 2.0 * v * xi[li] * xi[lj];
+                    ternary += 3;
+                } else if li == lj && lj != lk {
+                    yi_local[li] += 2.0 * v * xi[lj] * xi[lk];
+                    yi_local[lk] += v * xi[li] * xi[lj];
+                    ternary += 2;
+                } else if li != lj && lj == lk {
+                    yi_local[li] += v * xi[lj] * xi[lk];
+                    yi_local[lj] += 2.0 * v * xi[li] * xi[lk];
+                    ternary += 2;
+                } else {
+                    yi_local[li] += v * xi[lj] * xi[lk];
+                    ternary += 1;
+                }
+            }
+        }
+    }
+    add_into(&mut y_acc[pi], &yi_local);
+    ternary
+}
+
+#[inline]
+fn add_into(dst: &mut [f64], src: &[f64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tetra::ternary_mults_in_block;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use symtensor_core::generate::random_symmetric;
+    use symtensor_core::seq::sttsv_sym;
+    use symtensor_steiner::{spherical, sqs8};
+
+    /// Reference: run every rank's kernels serially and assemble the global
+    /// y; must equal sequential Algorithm 4.
+    fn run_all_ranks(part: &TetraPartition, tensor: &SymTensor3, x: &[f64]) -> (Vec<f64>, u64) {
+        let n = part.dim();
+        let b = part.block_size();
+        let mut y = vec![0.0; n];
+        let mut total_ternary = 0;
+        for p in 0..part.num_procs() {
+            let owned = OwnedBlocks::extract(tensor, part, p);
+            let rp = part.r_set(p);
+            let x_full: Vec<Vec<f64>> =
+                rp.iter().map(|&i| x[part.block_range(i)].to_vec()).collect();
+            let mut y_acc: Vec<Vec<f64>> = vec![vec![0.0; b]; rp.len()];
+            let pos = |i: usize| rp.binary_search(&i).unwrap();
+            total_ternary += owned.compute(&x_full, &mut y_acc, pos);
+            for (t, &i) in rp.iter().enumerate() {
+                for (off, g) in part.block_range(i).enumerate() {
+                    y[g] += y_acc[t][off];
+                }
+            }
+        }
+        (y, total_ternary)
+    }
+
+    #[test]
+    fn kernels_reproduce_sequential_sttsv_q2() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let part = TetraPartition::new(spherical(2), 20).unwrap();
+        let tensor = random_symmetric(20, &mut rng);
+        let x: Vec<f64> = (0..20).map(|i| ((i + 1) as f64 * 0.31).sin()).collect();
+        let (y_par, ternary) = run_all_ranks(&part, &tensor, &x);
+        let (y_seq, ops) = sttsv_sym(&tensor, &x);
+        for i in 0..20 {
+            assert!((y_par[i] - y_seq[i]).abs() < 1e-10, "y[{i}]: {} vs {}", y_par[i], y_seq[i]);
+        }
+        assert_eq!(ternary, ops.ternary_mults);
+    }
+
+    #[test]
+    fn kernels_reproduce_sequential_sttsv_q3() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let n = 40; // b = 4.
+        let part = TetraPartition::new(spherical(3), n).unwrap();
+        let tensor = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+        let (y_par, ternary) = run_all_ranks(&part, &tensor, &x);
+        let (y_seq, ops) = sttsv_sym(&tensor, &x);
+        for i in 0..n {
+            assert!((y_par[i] - y_seq[i]).abs() < 1e-9, "y[{i}]");
+        }
+        assert_eq!(ternary, ops.ternary_mults);
+    }
+
+    #[test]
+    fn kernels_reproduce_sequential_sttsv_sqs8() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let n = 24; // m = 8, b = 3.
+        let part = TetraPartition::new(sqs8(), n).unwrap();
+        let tensor = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (i + 2) as f64).collect();
+        let (y_par, _) = run_all_ranks(&part, &tensor, &x);
+        let (y_seq, _) = sttsv_sym(&tensor, &x);
+        for i in 0..n {
+            assert!((y_par[i] - y_seq[i]).abs() < 1e-10, "y[{i}]");
+        }
+    }
+
+    #[test]
+    fn per_block_ternary_counts_match_formulas() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let n = 30; // q = 2, b = 6.
+        let part = TetraPartition::new(spherical(2), n).unwrap();
+        let tensor = random_symmetric(n, &mut rng);
+        let b = part.block_size();
+        let x = vec![1.0; n];
+        for p in 0..part.num_procs() {
+            let owned = OwnedBlocks::extract(&tensor, &part, p);
+            let rp = part.r_set(p);
+            let x_full: Vec<Vec<f64>> =
+                rp.iter().map(|&i| x[part.block_range(i)].to_vec()).collect();
+            let mut y_acc: Vec<Vec<f64>> = vec![vec![0.0; b]; rp.len()];
+            let pos = |i: usize| rp.binary_search(&i).unwrap();
+            let measured = owned.compute(&x_full, &mut y_acc, pos);
+            let formula: u64 = part
+                .owned_blocks(p)
+                .iter()
+                .map(|blk| ternary_mults_in_block(blk.kind(), b))
+                .sum();
+            assert_eq!(measured, formula, "processor {p}");
+            assert_eq!(measured, part.ternary_mults(p));
+        }
+    }
+
+    #[test]
+    fn extraction_word_counts_match_partition() {
+        let mut rng = StdRng::seed_from_u64(75);
+        let n = 30;
+        let part = TetraPartition::new(spherical(2), n).unwrap();
+        let tensor = random_symmetric(n, &mut rng);
+        for p in 0..part.num_procs() {
+            let owned = OwnedBlocks::extract(&tensor, &part, p);
+            assert_eq!(owned.words(), part.tensor_words(p));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Closed-form costs: the communication lower bound (Theorem 5.2), the
+//! algorithm's cost formulas (Sections 7.1–7.2) and the optimization
+//! problem of Lemma 5.1 they derive from.
+
+/// Lemma 5.1: minimize `x₁ + 2x₂` subject to
+/// `n(n−1)(n−2)/(6P) ≤ x₁` and `n(n−1)(n−2)/P ≤ x₂³`. The optimum is at
+/// both constraints tight; returns `(x₁*, x₂*)`.
+pub fn lemma51_optimum(n: usize, p: usize) -> (f64, f64) {
+    let s = strict_tetra(n) as f64 / p as f64;
+    (s, (6.0 * s).cbrt())
+}
+
+/// Strict lower-tetrahedron size `n(n−1)(n−2)/6`.
+pub fn strict_tetra(n: usize) -> u64 {
+    let n = n as u64;
+    if n < 3 {
+        0
+    } else {
+        n * (n - 1) * (n - 2) / 6
+    }
+}
+
+/// Theorem 5.2: any load-balanced parallel atomic STTSV algorithm has a
+/// processor communicating at least
+/// `2·(n(n−1)(n−2)/P)^{1/3} − 2n/P` words.
+pub fn lower_bound_words(n: usize, p: usize) -> f64 {
+    let nn = n as f64;
+    let pp = p as f64;
+    2.0 * (nn * (nn - 1.0) * (nn - 2.0) / pp).cbrt() - 2.0 * nn / pp
+}
+
+/// The lower bound's leading term `2n/P^{1/3}`.
+pub fn lower_bound_leading(n: usize, p: usize) -> f64 {
+    2.0 * n as f64 / (p as f64).cbrt()
+}
+
+/// Number of processors for the spherical family: `P = q(q²+1)`.
+pub fn spherical_procs(q: usize) -> usize {
+    q * (q * q + 1)
+}
+
+/// §7.2.2: per-vector words each processor sends (= receives) under the
+/// point-to-point schedule: `n(q+1)/(q²+1) − n/P`. Exact integer when
+/// `q(q+1) | b`.
+pub fn scheduled_words_per_vector(n: usize, q: usize) -> usize {
+    let p = spherical_procs(q);
+    n * (q + 1) / (q * q + 1) - n / p
+}
+
+/// §7.2.2: total (both vectors) bandwidth of the scheduled algorithm:
+/// `2(n(q+1)/(q²+1) − n/P)`.
+pub fn scheduled_words_total(n: usize, q: usize) -> usize {
+    2 * scheduled_words_per_vector(n, q)
+}
+
+/// §7.2.2 (All-to-All collective variant): per-vector cost
+/// `2n/(q+1)·(1 − 1/P)`; total over both vectors `4n/(q+1)·(1 − 1/P)`.
+/// Exact integer when `q(q+1)(q²+1) | n·2`.
+pub fn alltoall_words_total(n: usize, q: usize) -> usize {
+    let p = spherical_procs(q);
+    let b = n / (q * q + 1);
+    let shard2 = 2 * b / (q * (q + 1));
+    // Two vectors, P−1 uniform messages each.
+    2 * shard2 * (p - 1)
+}
+
+/// §7.1: leading-order per-processor computational cost `n³/(2P)` ternary
+/// multiplications.
+pub fn comp_cost_leading(n: usize, p: usize) -> f64 {
+    let nn = n as f64;
+    nn * nn * nn / (2.0 * p as f64)
+}
+
+/// §7.1: the exact upper bound on per-processor ternary multiplications:
+/// `(q+1)q(q−1)/6·3b³ + q·3b²(b−1) + 3b(b−1)(b−2)/6 + 2b(b-1) + b`
+/// (off-diagonal + non-central + central terms; the paper's displayed bound
+/// keeps only the 3·b(b−1)(b−2)/6 central term, we include the full
+/// central-block count).
+pub fn comp_cost_upper(q: usize, b: usize) -> u64 {
+    use crate::tetra::{ternary_mults_in_block, BlockKind};
+    let off = (q + 1) * q * (q.max(1) - 1) / 6;
+    off as u64 * ternary_mults_in_block(BlockKind::OffDiagonal, b)
+        + q as u64 * ternary_mults_in_block(BlockKind::NonCentralIIK, b)
+        + ternary_mults_in_block(BlockKind::CentralDiagonal, b)
+}
+
+/// §6.1.3: per-processor tensor storage upper bound (in words):
+/// `(q+1)q(q−1)/6·b³ + q·b²(b+1)/2 + b(b+1)(b+2)/6 ≈ n³/(6P)`.
+pub fn tensor_words_upper(q: usize, b: usize) -> u64 {
+    use crate::tetra::{entries_in_block, BlockKind};
+    let off = (q + 1) * q * (q.max(1) - 1) / 6;
+    (off * entries_in_block(BlockKind::OffDiagonal, b)
+        + q * entries_in_block(BlockKind::NonCentralIIK, b)
+        + entries_in_block(BlockKind::CentralDiagonal, b)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma51_constraints_hold_at_optimum() {
+        for &(n, p) in &[(120usize, 30usize), (1000, 350), (60, 10)] {
+            let (x1, x2) = lemma51_optimum(n, p);
+            let s = strict_tetra(n) as f64 / p as f64;
+            assert!(x1 >= s - 1e-9);
+            assert!(x2.powi(3) >= 6.0 * s - 1e-6);
+            // Objective value = lower bound + owned data.
+            let objective = x1 + 2.0 * x2;
+            let owned = s + 2.0 * n as f64 / p as f64;
+            assert!((objective - owned - lower_bound_words(n, p)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_positive_and_below_leading_term() {
+        for q in [2usize, 3, 5, 7] {
+            let p = spherical_procs(q);
+            let n = (q * q + 1) * q * (q + 1) * 4;
+            let lb = lower_bound_words(n, p);
+            assert!(lb > 0.0);
+            assert!(lb <= lower_bound_leading(n, p));
+        }
+    }
+
+    #[test]
+    fn scheduled_cost_approaches_lower_bound() {
+        // The ratio (algorithm cost)/(lower bound) is ≥ 1 and converges to 1
+        // like 1 + O(1/q): the leading coefficient (the constant 2 in
+        // 2n/P^{1/3}) matches exactly, which is the paper's tightness claim.
+        let mut prev_ratio = f64::INFINITY;
+        for q in [2usize, 3, 4, 5, 7, 9, 11, 13] {
+            let p = spherical_procs(q);
+            let n = (q * q + 1) * q * (q + 1) * 8;
+            let algo = scheduled_words_total(n, q) as f64;
+            let lb = lower_bound_words(n, p);
+            let ratio = algo / lb;
+            assert!(ratio >= 0.99, "algorithm can't beat the bound: q={q} ratio={ratio}");
+            assert!(ratio <= 1.0 + 2.0 / q as f64, "q={q}: ratio {ratio} too far from 1");
+            assert!(ratio < prev_ratio + 0.02, "ratio should shrink with q: q={q}");
+            prev_ratio = ratio;
+        }
+        assert!(prev_ratio < 1.09, "at q=13 the ratio must be within 9% of 1, got {prev_ratio}");
+    }
+
+    #[test]
+    fn alltoall_vs_scheduled_ratio_approaches_two() {
+        // §7.2.2: the collective variant costs 2(q²+1)/(q+1)² × the
+        // scheduled one, which rises toward 2 as q grows.
+        let mut prev = 0.0;
+        for q in [3usize, 5, 7, 9, 13] {
+            let n = (q * q + 1) * q * (q + 1) * 4;
+            let ratio = alltoall_words_total(n, q) as f64 / scheduled_words_total(n, q) as f64;
+            assert!(ratio > 1.2 && ratio < 2.0, "q={q}: ratio {ratio}");
+            assert!(ratio > prev, "ratio should grow with q");
+            prev = ratio;
+        }
+        assert!(prev > 1.7, "at q=13 the ratio must be close to 2, got {prev}");
+    }
+
+    #[test]
+    fn comp_cost_upper_close_to_leading() {
+        for q in [3usize, 5, 7] {
+            let b = q * (q + 1) * 4;
+            let n = (q * q + 1) * b;
+            let p = spherical_procs(q);
+            let upper = comp_cost_upper(q, b) as f64;
+            let leading = comp_cost_leading(n, p);
+            assert!(upper >= leading * 0.95);
+            assert!(upper <= leading * 1.5, "q={q}: {upper} vs {leading}");
+        }
+    }
+
+    #[test]
+    fn tensor_storage_close_to_ideal() {
+        for q in [3usize, 5] {
+            let b = q * (q + 1);
+            let n = (q * q + 1) * b;
+            let p = spherical_procs(q);
+            let upper = tensor_words_upper(q, b) as f64;
+            let ideal = (n as f64).powi(3) / (6.0 * p as f64);
+            assert!(upper >= ideal * 0.9);
+            assert!(upper <= ideal * 1.6, "q={q}: {upper} vs {ideal}");
+        }
+    }
+
+    #[test]
+    fn strict_tetra_small_cases() {
+        assert_eq!(strict_tetra(0), 0);
+        assert_eq!(strict_tetra(2), 0);
+        assert_eq!(strict_tetra(3), 1);
+        assert_eq!(strict_tetra(4), 4);
+        assert_eq!(strict_tetra(10), 120);
+    }
+}

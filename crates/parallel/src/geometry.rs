@@ -1,0 +1,240 @@
+//! Executable versions of the paper's Section 4 geometric results.
+//!
+//! * Lemma 4.1 (discrete Loomis–Whitney, from Ballard et al. 2018): for a
+//!   finite `V ⊂ ℤ³`, `|V| ≤ |φ_i(V)|·|φ_j(V)|·|φ_k(V)|` where `φ_*` are
+//!   the axis projections.
+//! * Lemma 4.2 (the paper's new symmetric inequality): if `V` lies in the
+//!   strict lower tetrahedron `{i > j > k}`, then
+//!   `6|V| ≤ |φ_i(V) ∪ φ_j(V) ∪ φ_k(V)|³`.
+//!
+//! These functions compute both sides exactly so property tests can check
+//! the inequalities on arbitrary point sets, and the tightness analysis
+//! (tetrahedral blocks achieve the bound up to lower-order terms) can be
+//! demonstrated numerically. The maximum-reuse consequence the paper draws
+//! — a set of `s` indices supports at most `s³/6` strict-lower-tetrahedron
+//! points — is [`max_reuse_points`].
+
+use std::collections::BTreeSet;
+
+/// A finite set of integer lattice points in `ℤ³`.
+pub type PointSet = BTreeSet<(i64, i64, i64)>;
+
+/// The three axis projections `(φ_i, φ_j, φ_k)` of a point set.
+pub fn projections(v: &PointSet) -> (BTreeSet<i64>, BTreeSet<i64>, BTreeSet<i64>) {
+    let mut pi = BTreeSet::new();
+    let mut pj = BTreeSet::new();
+    let mut pk = BTreeSet::new();
+    for &(i, j, k) in v {
+        pi.insert(i);
+        pj.insert(j);
+        pk.insert(k);
+    }
+    (pi, pj, pk)
+}
+
+/// Left- and right-hand sides of Lemma 4.1:
+/// `(|V|, |φ_i|·|φ_j|·|φ_k|)`.
+pub fn loomis_whitney_sides(v: &PointSet) -> (usize, usize) {
+    let (pi, pj, pk) = projections(v);
+    (v.len(), pi.len() * pj.len() * pk.len())
+}
+
+/// Checks Lemma 4.1.
+pub fn loomis_whitney_holds(v: &PointSet) -> bool {
+    let (lhs, rhs) = loomis_whitney_sides(v);
+    lhs <= rhs
+}
+
+/// True if every point satisfies `i > j > k`.
+pub fn is_strictly_sorted(v: &PointSet) -> bool {
+    v.iter().all(|&(i, j, k)| i > j && j > k)
+}
+
+/// Left- and right-hand sides of Lemma 4.2: `(6|V|, |φ_i ∪ φ_j ∪ φ_k|³)`.
+///
+/// # Panics
+/// Panics if `V` is not contained in the strict lower tetrahedron.
+pub fn symmetric_inequality_sides(v: &PointSet) -> (usize, usize) {
+    assert!(is_strictly_sorted(v), "Lemma 4.2 needs V ⊆ {{i > j > k}}");
+    let (pi, pj, pk) = projections(v);
+    let union: BTreeSet<i64> = pi.union(&pj).cloned().collect::<BTreeSet<_>>()
+        .union(&pk)
+        .cloned()
+        .collect();
+    (6 * v.len(), union.len().pow(3))
+}
+
+/// Checks Lemma 4.2.
+pub fn symmetric_inequality_holds(v: &PointSet) -> bool {
+    let (lhs, rhs) = symmetric_inequality_sides(v);
+    lhs <= rhs
+}
+
+/// The symmetrization `Ṽ` used in the paper's proof: all 6 coordinate
+/// permutations of each point of `V`.
+pub fn symmetrize(v: &PointSet) -> PointSet {
+    let mut out = PointSet::new();
+    for &(i, j, k) in v {
+        out.insert((i, j, k));
+        out.insert((i, k, j));
+        out.insert((j, i, k));
+        out.insert((j, k, i));
+        out.insert((k, i, j));
+        out.insert((k, j, i));
+    }
+    out
+}
+
+/// Maximum number of strict-lower-tetrahedron points a set of `s` distinct
+/// indices can support: `C(s, 3) = s(s−1)(s−2)/6 ≤ s³/6` — the "maximum
+/// reuse" consequence of Lemma 4.2 that drives the lower bound.
+pub fn max_reuse_points(s: usize) -> usize {
+    if s < 3 {
+        0
+    } else {
+        s * (s - 1) * (s - 2) / 6
+    }
+}
+
+/// The extremal set for Lemma 4.2: the full strict lower tetrahedron over
+/// the index set `0..s` (a tetrahedral block `TB₃({0..s})` in the paper's
+/// terms).
+pub fn tetrahedral_extremal(s: usize) -> PointSet {
+    let mut v = PointSet::new();
+    for i in 0..s as i64 {
+        for j in 0..i {
+            for k in 0..j {
+                v.insert((i, j, k));
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_points(seed: u64, count: usize, range: i64, strict: bool) -> PointSet {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i64).rem_euclid(range)
+        };
+        let mut v = PointSet::new();
+        while v.len() < count {
+            let (a, b, c) = (next(), next(), next());
+            if strict {
+                if a > b && b > c {
+                    v.insert((a, b, c));
+                }
+            } else {
+                v.insert((a, b, c));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn loomis_whitney_on_random_sets() {
+        for seed in 0..50 {
+            let v = lcg_points(seed, 10 + (seed as usize % 40), 12, false);
+            assert!(loomis_whitney_holds(&v), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn loomis_whitney_tight_on_boxes() {
+        // A full a×b×c box attains equality.
+        let mut v = PointSet::new();
+        for i in 0..3i64 {
+            for j in 0..4i64 {
+                for k in 0..5i64 {
+                    v.insert((i, j, k));
+                }
+            }
+        }
+        let (lhs, rhs) = loomis_whitney_sides(&v);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn symmetric_inequality_on_random_strict_sets() {
+        for seed in 0..50 {
+            let v = lcg_points(1000 + seed, 5 + (seed as usize % 30), 15, true);
+            assert!(symmetric_inequality_holds(&v), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn symmetric_inequality_near_tight_on_tetrahedral_blocks() {
+        // For V = TB₃({0..s}): 6|V| = s(s−1)(s−2) vs s³ — ratio → 1.
+        for s in [4usize, 8, 16, 32, 64] {
+            let v = tetrahedral_extremal(s);
+            let (lhs, rhs) = symmetric_inequality_sides(&v);
+            assert!(lhs <= rhs);
+            let ratio = lhs as f64 / rhs as f64;
+            assert!(ratio > 1.0 - 3.2 / s as f64, "s={s}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn symmetrization_has_6x_size_and_shared_projections() {
+        // The two facts the paper's proof of Lemma 4.2 establishes:
+        // |Ṽ| = 6|V| and φ_i(Ṽ) = φ_j(Ṽ) = φ_k(Ṽ) = φ_i(V) ∪ φ_j(V) ∪ φ_k(V).
+        for seed in 0..20 {
+            let v = lcg_points(2000 + seed, 12, 10, true);
+            let sym = symmetrize(&v);
+            assert_eq!(sym.len(), 6 * v.len(), "seed {seed}");
+            let (pi, pj, pk) = projections(&sym);
+            assert_eq!(pi, pj);
+            assert_eq!(pj, pk);
+            let (qi, qj, qk) = projections(&v);
+            let union: BTreeSet<i64> =
+                qi.union(&qj).cloned().collect::<BTreeSet<_>>().union(&qk).cloned().collect();
+            assert_eq!(pi, union);
+        }
+    }
+
+    #[test]
+    fn symmetrization_proof_chain() {
+        // Lemma 4.1 applied to Ṽ yields Lemma 4.2 for V — replay the proof
+        // numerically.
+        for seed in 0..20 {
+            let v = lcg_points(3000 + seed, 8, 9, true);
+            let sym = symmetrize(&v);
+            let (lhs_lw, rhs_lw) = loomis_whitney_sides(&sym);
+            assert!(lhs_lw <= rhs_lw);
+            let (lhs_sym, rhs_sym) = symmetric_inequality_sides(&v);
+            assert_eq!(lhs_sym, lhs_lw);
+            assert_eq!(rhs_sym, rhs_lw);
+        }
+    }
+
+    #[test]
+    fn max_reuse_matches_extremal_sets() {
+        for s in 0..20 {
+            assert_eq!(tetrahedral_extremal(s).len(), max_reuse_points(s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "i > j > k")]
+    fn symmetric_inequality_rejects_unsorted_sets() {
+        let mut v = PointSet::new();
+        v.insert((1, 2, 3));
+        symmetric_inequality_sides(&v);
+    }
+
+    #[test]
+    fn empty_and_singleton_sets() {
+        let empty = PointSet::new();
+        assert!(loomis_whitney_holds(&empty));
+        assert!(symmetric_inequality_holds(&empty));
+        let mut single = PointSet::new();
+        single.insert((5, 3, 1));
+        assert!(symmetric_inequality_holds(&single));
+        // 6·1 ≤ 3³.
+        assert_eq!(symmetric_inequality_sides(&single), (6, 27));
+    }
+}

@@ -1,0 +1,378 @@
+//! Parallel symmetric MTTKRP and the distributed CP gradient — the
+//! generalization the paper's Section 8 targets.
+//!
+//! Mode-1 symmetric MTTKRP `Y_{iℓ} = Σ_{jk} a_{ijk} X_{jℓ} X_{kℓ}` is one
+//! STTSV per factor column, so the tetrahedral distribution applies
+//! unchanged: each rank owns, for every row block `i ∈ R_p`, its shard of
+//! **all `r` columns**. The gather/reduce phases ship all columns together
+//! ("wide" shards), so the round structure (and hence the latency cost) is
+//! identical to a single STTSV while the bandwidth scales by exactly `r` —
+//! the best possible, since each column is an independent STTSV subject to
+//! the Theorem 5.2 bound.
+//!
+//! On top of MTTKRP, [`parallel_cp_gradient`] evaluates the paper's
+//! Algorithm 2 (`Y = X·[(XᵀX)∗(XᵀX)] − MTTKRP(𝓐, X)`) with the Gram matrix
+//! assembled by an `r²`-word all-reduce of per-rank partial Grams.
+
+use crate::algorithm5::{Mode, RankContext};
+use crate::partition::TetraPartition;
+use crate::schedule::CommSchedule;
+use symtensor_core::ops::Matrix;
+use symtensor_core::SymTensor3;
+use symtensor_mpsim::{Comm, CostReport, Universe};
+
+const TAG_MX: u64 = 3 << 40;
+const TAG_MY: u64 = 4 << 40;
+
+impl RankContext<'_> {
+    /// One distributed MTTKRP over `r` columns. `my_wide_shards[t]` holds
+    /// this rank's shard of row block `R_p[t]` for every column,
+    /// column-major: `[col0 shard | col1 shard | …]`. Returns wide `y`
+    /// shards (same layout) and the ternary-multiplication count.
+    pub fn mttkrp(&self, comm: &Comm, my_wide_shards: &[Vec<f64>], r: usize) -> (Vec<Vec<f64>>, u64) {
+        let part = self.part;
+        let p = comm.rank();
+        let rp = part.r_set(p);
+        assert_eq!(my_wide_shards.len(), rp.len());
+        let b = part.block_size();
+
+        // --- Gather wide x row blocks: x_wide[t] is b·r long, column-major.
+        let mut x_wide: Vec<Vec<f64>> = vec![vec![0.0; b * r]; rp.len()];
+        for (t, &i) in rp.iter().enumerate() {
+            let range = part.shard_range(i, p);
+            let s = range.len();
+            assert_eq!(my_wide_shards[t].len(), s * r, "wide shard must hold r columns");
+            for col in 0..r {
+                x_wide[t][col * b + range.start..col * b + range.end]
+                    .copy_from_slice(&my_wide_shards[t][col * s..(col + 1) * s]);
+            }
+        }
+        self.exchange_phase(
+            comm,
+            TAG_MX,
+            r,
+            |_, t, _peer| my_wide_shards[t].clone(),
+            |i, t, peer| {
+                let range = part.shard_range(i, peer);
+                let s = range.len();
+                (s * r, Box::new(move |x_dst: &mut [Vec<f64>], piece: &[f64]| {
+                    for col in 0..r {
+                        x_dst[t][col * b + range.start..col * b + range.end]
+                            .copy_from_slice(&piece[col * s..(col + 1) * s]);
+                    }
+                }))
+            },
+            &mut x_wide,
+        );
+
+        // --- Compute: run the block kernels once per column.
+        let mut y_wide: Vec<Vec<f64>> = vec![vec![0.0; b * r]; rp.len()];
+        let mut ternary = 0u64;
+        for col in 0..r {
+            let x_col: Vec<Vec<f64>> =
+                x_wide.iter().map(|wide| wide[col * b..(col + 1) * b].to_vec()).collect();
+            let mut y_col: Vec<Vec<f64>> = vec![vec![0.0; b]; rp.len()];
+            ternary += self.owned.compute(&x_col, &mut y_col, |i| rp.binary_search(&i).unwrap());
+            for (t, y) in y_col.into_iter().enumerate() {
+                y_wide[t][col * b..(col + 1) * b].copy_from_slice(&y);
+            }
+        }
+
+        // --- Reduce wide y shards.
+        let mut y_out: Vec<Vec<f64>> = rp
+            .iter()
+            .enumerate()
+            .map(|(t, &i)| {
+                let range = part.shard_range(i, p);
+                let s = range.len();
+                let mut out = vec![0.0; s * r];
+                for col in 0..r {
+                    out[col * s..(col + 1) * s]
+                        .copy_from_slice(&y_wide[t][col * b + range.start..col * b + range.end]);
+                }
+                out
+            })
+            .collect();
+        self.exchange_phase(
+            comm,
+            TAG_MY,
+            r,
+            |i, t, peer| {
+                let range = part.shard_range(i, peer);
+                let s = range.len();
+                let mut buf = Vec::with_capacity(s * r);
+                for col in 0..r {
+                    buf.extend_from_slice(
+                        &y_wide[t][col * b + range.start..col * b + range.end],
+                    );
+                }
+                buf
+            },
+            |i, t, _peer| {
+                let s = part.shard_range(i, p).len();
+                (s * r, Box::new(move |y_dst: &mut [Vec<f64>], piece: &[f64]| {
+                    for (acc, &v) in y_dst[t].iter_mut().zip(piece) {
+                        *acc += v;
+                    }
+                }))
+            },
+            &mut y_out,
+        );
+
+        (y_out, ternary)
+    }
+}
+
+/// Result of a driver-level parallel MTTKRP / CP-gradient run.
+#[derive(Clone, Debug)]
+pub struct MttkrpRun {
+    /// The `n × r` result matrix.
+    pub y: Matrix,
+    /// Exact per-rank communication costs.
+    pub report: CostReport,
+    /// Per-rank ternary-multiplication counts.
+    pub ternary_per_rank: Vec<u64>,
+}
+
+/// Slices rank `p`'s wide shards of a replicated `n × r` matrix.
+fn wide_shards(part: &TetraPartition, p: usize, mat: &Matrix) -> Vec<Vec<f64>> {
+    let r = mat.cols();
+    part.r_set(p)
+        .iter()
+        .map(|&i| {
+            let global = part.block_range(i);
+            let local = part.shard_range(i, p);
+            let s = local.len();
+            let mut shard = Vec::with_capacity(s * r);
+            for col in 0..r {
+                for off in local.clone() {
+                    shard.push(mat.get(global.start + off, col));
+                }
+            }
+            let _ = s;
+            shard
+        })
+        .collect()
+}
+
+/// Assembles rank results (wide y shards) into an `n × r` matrix.
+fn assemble(part: &TetraPartition, r: usize, rank_shards: Vec<(usize, Vec<Vec<f64>>)>) -> Matrix {
+    let n = part.dim();
+    let mut y = Matrix::zeros(n, r);
+    for (p, shards) in rank_shards {
+        for (t, &i) in part.r_set(p).iter().enumerate() {
+            let global = part.block_range(i);
+            let local = part.shard_range(i, p);
+            let s = local.len();
+            for col in 0..r {
+                for (off_idx, off) in local.clone().enumerate() {
+                    y.set(global.start + off, col, shards[t][col * s + off_idx]);
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Runs the distributed symmetric MTTKRP on the simulated machine.
+pub fn parallel_mttkrp(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x_mat: &Matrix,
+    mode: Mode,
+) -> MttkrpRun {
+    let n = part.dim();
+    assert_eq!(tensor.dim(), n);
+    assert_eq!(x_mat.rows(), n);
+    let r = x_mat.cols();
+    let p_count = part.num_procs();
+    let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
+
+    let (rank_results, report) = Universe::new(p_count).run(|comm| {
+        let p = comm.rank();
+        let ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref());
+        let shards = wide_shards(part, p, x_mat);
+        ctx.mttkrp(comm, &shards, r)
+    });
+
+    let mut ternary_per_rank = Vec::with_capacity(p_count);
+    let mut rank_shards = Vec::with_capacity(p_count);
+    for (p, (shards, ternary)) in rank_results.into_iter().enumerate() {
+        ternary_per_rank.push(ternary);
+        rank_shards.push((p, shards));
+    }
+    MttkrpRun { y: assemble(part, r, rank_shards), report, ternary_per_rank }
+}
+
+/// Distributed Algorithm 2: the symmetric CP gradient
+/// `Y = X·[(XᵀX)∗(XᵀX)] − MTTKRP(𝓐, X)`, with the `r × r` Gram matrix
+/// assembled by an all-reduce of per-rank partial Grams (`r²` words, a
+/// lower-order term next to the MTTKRP traffic).
+pub fn parallel_cp_gradient(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x_mat: &Matrix,
+    mode: Mode,
+) -> MttkrpRun {
+    let n = part.dim();
+    assert_eq!(tensor.dim(), n);
+    assert_eq!(x_mat.rows(), n);
+    let r = x_mat.cols();
+    let p_count = part.num_procs();
+    let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
+
+    let (rank_results, report) = Universe::new(p_count).run(|comm| {
+        let p = comm.rank();
+        let ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref());
+        let shards = wide_shards(part, p, x_mat);
+        // Distributed Gram: each rank contributes its owned rows.
+        let mut partial = vec![0.0; r * r];
+        for (t, &i) in part.r_set(p).iter().enumerate() {
+            let local = part.shard_range(i, p);
+            let s = local.len();
+            for a in 0..r {
+                for bb in 0..r {
+                    let mut acc = 0.0;
+                    for off in 0..s {
+                        acc += shards[t][a * s + off] * shards[t][bb * s + off];
+                    }
+                    partial[a * r + bb] += acc;
+                }
+            }
+        }
+        let gram = comm.all_reduce(partial).expect("gram all-reduce");
+        // G = (XᵀX) ∗ (XᵀX).
+        let g: Vec<f64> = gram.iter().map(|&v| v * v).collect();
+        // MTTKRP part.
+        let (mttkrp_shards, ternary) = ctx.mttkrp(comm, &shards, r);
+        // Y = X·G − MTTKRP, computed on the owned shards only.
+        let out: Vec<Vec<f64>> = part
+            .r_set(p)
+            .iter()
+            .enumerate()
+            .map(|(t, &i)| {
+                let s = part.shard_range(i, p).len();
+                let mut y = vec![0.0; s * r];
+                for col in 0..r {
+                    for off in 0..s {
+                        let mut acc = 0.0;
+                        for inner in 0..r {
+                            acc += shards[t][inner * s + off] * g[inner * r + col];
+                        }
+                        y[col * s + off] = acc - mttkrp_shards[t][col * s + off];
+                    }
+                }
+                y
+            })
+            .collect();
+        (out, ternary)
+    });
+
+    let mut ternary_per_rank = Vec::with_capacity(p_count);
+    let mut rank_shards = Vec::with_capacity(p_count);
+    for (p, (shards, ternary)) in rank_results.into_iter().enumerate() {
+        ternary_per_rank.push(ternary);
+        rank_shards.push((p, shards));
+    }
+    MttkrpRun { y: assemble(part, r, rank_shards), report, ternary_per_rank }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use symtensor_core::cp::cp_gradient;
+    use symtensor_core::generate::random_symmetric;
+    use symtensor_core::mttkrp::mttkrp_sym;
+    use symtensor_steiner::spherical;
+
+    fn random_factor(n: usize, r: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(n, r);
+        for row in 0..n {
+            for col in 0..r {
+                m.set(row, col, rng.gen::<f64>() - 0.5);
+            }
+        }
+        m
+    }
+
+    fn assert_matrix_close(a: &Matrix, b: &Matrix, tol: f64) {
+        for row in 0..a.rows() {
+            for col in 0..a.cols() {
+                let (x, y) = (a.get(row, col), b.get(row, col));
+                assert!((x - y).abs() < tol * (1.0 + x.abs()), "[{row},{col}]: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mttkrp_matches_sequential() {
+        let n = 30;
+        let r = 3;
+        let part = TetraPartition::new(spherical(2), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(51);
+        let tensor = random_symmetric(n, &mut rng);
+        let x = random_factor(n, r, 52);
+        let (y_ref, _) = mttkrp_sym(&tensor, &x);
+        for mode in [Mode::Scheduled, Mode::AllToAllPadded, Mode::AllToAllSparse] {
+            let run = parallel_mttkrp(&tensor, &part, &x, mode);
+            assert_matrix_close(&run.y, &y_ref, 1e-9);
+        }
+    }
+
+    #[test]
+    fn mttkrp_bandwidth_is_r_times_sttsv() {
+        let n = 60;
+        let q = 2usize;
+        let r = 4;
+        let part = TetraPartition::new(spherical(q as u64), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(53);
+        let tensor = random_symmetric(n, &mut rng);
+        let x = random_factor(n, r, 54);
+        let run = parallel_mttkrp(&tensor, &part, &x, Mode::Scheduled);
+        let per_vec = bounds::scheduled_words_per_vector(n, q) as u64;
+        for cost in &run.report.per_rank {
+            assert_eq!(cost.words_sent, 2 * per_vec * r as u64);
+            // Same round structure as a single STTSV.
+            assert_eq!(cost.rounds, 2 * crate::schedule::spherical_round_count(q) as u64);
+        }
+        // Work: r times the single-vector total.
+        let total: u64 = run.ternary_per_rank.iter().sum();
+        let n64 = n as u64;
+        assert_eq!(total, r as u64 * n64 * n64 * (n64 + 1) / 2);
+    }
+
+    #[test]
+    fn parallel_cp_gradient_matches_sequential() {
+        let n = 30;
+        let r = 2;
+        let part = TetraPartition::new(spherical(2), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(55);
+        let tensor = random_symmetric(n, &mut rng);
+        let x = random_factor(n, r, 56);
+        let y_ref = cp_gradient(&tensor, &x);
+        for mode in [Mode::Scheduled, Mode::AllToAllPadded] {
+            let run = parallel_cp_gradient(&tensor, &part, &x, mode);
+            assert_matrix_close(&run.y, &y_ref, 1e-8);
+        }
+    }
+
+    #[test]
+    fn single_column_mttkrp_equals_sttsv_run() {
+        let n = 30;
+        let part = TetraPartition::new(spherical(2), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(57);
+        let tensor = random_symmetric(n, &mut rng);
+        let x = random_factor(n, 1, 58);
+        let mrun = parallel_mttkrp(&tensor, &part, &x, Mode::Scheduled);
+        let xvec = x.col(0);
+        let srun = crate::parallel_sttsv(&tensor, &part, &xvec, Mode::Scheduled);
+        for i in 0..n {
+            assert!((mrun.y.get(i, 0) - srun.y[i]).abs() < 1e-12);
+        }
+        assert_eq!(mrun.report, srun.report);
+    }
+}

@@ -1,0 +1,201 @@
+//! Tetrahedral blocks and block classification (Section 6 of the paper).
+//!
+//! The tensor index range `{0..n}` is split into `m` contiguous *row blocks*
+//! of size `b = n/m`. A block of the tensor is addressed by a sorted triple
+//! of row-block indices `(i, j, k)` with `i ≥ j ≥ k`; the paper classifies
+//! the blocks of the lower tetrahedron as
+//!
+//! * **off-diagonal** — `i > j > k` (all entries strictly lower-tetrahedral),
+//! * **non-central diagonal** — exactly two indices equal
+//!   (`(i,i,k)` or `(i,k,k)` with `i > k`),
+//! * **central diagonal** — `i = j = k`.
+//!
+//! Given a subset `R` of row-block indices, the tetrahedral block `TB₃(R)`
+//! is the set of off-diagonal block triples drawn from `R` (Definition in
+//! Section 6): `TB₃(R) = {(i,j,k) : i,j,k ∈ R, i > j > k}`.
+
+/// A sorted block triple `i ≥ j ≥ k` addressing one `b×b×b` block of the
+/// lower tetrahedron.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockIdx {
+    /// Largest row-block index.
+    pub i: usize,
+    /// Middle row-block index.
+    pub j: usize,
+    /// Smallest row-block index.
+    pub k: usize,
+}
+
+impl BlockIdx {
+    /// Creates a block index, sorting the coordinates descending.
+    pub fn new(i: usize, j: usize, k: usize) -> Self {
+        let mut v = [i, j, k];
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        BlockIdx { i: v[0], j: v[1], k: v[2] }
+    }
+
+    /// The block's class.
+    pub fn kind(&self) -> BlockKind {
+        if self.i == self.j && self.j == self.k {
+            BlockKind::CentralDiagonal
+        } else if self.i == self.j {
+            BlockKind::NonCentralIIK
+        } else if self.j == self.k {
+            BlockKind::NonCentralIKK
+        } else {
+            BlockKind::OffDiagonal
+        }
+    }
+}
+
+/// Classification of lower-tetrahedron blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockKind {
+    /// `i > j > k`.
+    OffDiagonal,
+    /// `(i, i, k)` with `i > k` — the two *larger* indices coincide.
+    NonCentralIIK,
+    /// `(i, k, k)` with `i > k` — the two *smaller* indices coincide.
+    NonCentralIKK,
+    /// `(i, i, i)`.
+    CentralDiagonal,
+}
+
+/// `TB₃(R)`: all off-diagonal block triples over an index set `R` (sorted
+/// ascending on input; output triples are `i > j > k`).
+pub fn tb3(r: &[usize]) -> Vec<BlockIdx> {
+    let mut sorted = r.to_vec();
+    sorted.sort_unstable();
+    let len = sorted.len();
+    let mut out = Vec::with_capacity(len * (len.saturating_sub(1)) * (len.saturating_sub(2)) / 6);
+    for a in 0..len {
+        for b in 0..a {
+            for c in 0..b {
+                out.push(BlockIdx { i: sorted[a], j: sorted[b], k: sorted[c] });
+            }
+        }
+    }
+    out
+}
+
+/// Number of lower-tetrahedron **entries** in a block of size `b`, by kind
+/// (Section 6.1.3): `b³` off-diagonal, `b²(b+1)/2` non-central diagonal,
+/// `b(b+1)(b+2)/6` central diagonal.
+pub fn entries_in_block(kind: BlockKind, b: usize) -> usize {
+    match kind {
+        BlockKind::OffDiagonal => b * b * b,
+        BlockKind::NonCentralIIK | BlockKind::NonCentralIKK => b * b * (b + 1) / 2,
+        BlockKind::CentralDiagonal => b * (b + 1) * (b + 2) / 6,
+    }
+}
+
+/// Number of **ternary multiplications** the symmetric kernel performs for a
+/// block of size `b`, by kind (Section 7.1): `3b³` off-diagonal,
+/// `3b²(b−1)/2 + 2b²` non-central, `3·b(b−1)(b−2)/6 + 2b(b−1) + b` central.
+pub fn ternary_mults_in_block(kind: BlockKind, b: usize) -> u64 {
+    let b = b as u64;
+    match kind {
+        BlockKind::OffDiagonal => 3 * b * b * b,
+        BlockKind::NonCentralIIK | BlockKind::NonCentralIKK => 3 * b * b * (b - 1) / 2 + 2 * b * b,
+        BlockKind::CentralDiagonal => 3 * b * (b.saturating_sub(1)) * (b.saturating_sub(2)) / 6 + 2 * b * (b - 1) + b,
+    }
+}
+
+/// Enumerates every block triple of the lower tetrahedron over `m` row
+/// blocks (all `(i,j,k)` with `m > i ≥ j ≥ k`).
+pub fn all_lower_blocks(m: usize) -> Vec<BlockIdx> {
+    let mut out = Vec::with_capacity(m * (m + 1) * (m + 2) / 6);
+    for i in 0..m {
+        for j in 0..=i {
+            for k in 0..=j {
+                out.push(BlockIdx { i, j, k });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tb3_of_the_paper_example() {
+        // TB3({1,4,6,8}) = {(6,4,1),(8,4,1),(8,6,1),(8,6,4)} (Section 6).
+        let blocks = tb3(&[1, 4, 6, 8]);
+        let expect: Vec<BlockIdx> = vec![
+            BlockIdx { i: 6, j: 4, k: 1 },
+            BlockIdx { i: 8, j: 4, k: 1 },
+            BlockIdx { i: 8, j: 6, k: 1 },
+            BlockIdx { i: 8, j: 6, k: 4 },
+        ];
+        let mut got = blocks.clone();
+        got.sort();
+        let mut want = expect.clone();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tb3_size_is_r_choose_3() {
+        for r in 0..8usize {
+            let set: Vec<usize> = (0..r).map(|x| x * 3 + 1).collect();
+            let expected = if r >= 3 { r * (r - 1) * (r - 2) / 6 } else { 0 };
+            assert_eq!(tb3(&set).len(), expected);
+        }
+    }
+
+    #[test]
+    fn block_kind_classification() {
+        assert_eq!(BlockIdx::new(3, 2, 1).kind(), BlockKind::OffDiagonal);
+        assert_eq!(BlockIdx::new(3, 3, 1).kind(), BlockKind::NonCentralIIK);
+        assert_eq!(BlockIdx::new(3, 1, 1).kind(), BlockKind::NonCentralIKK);
+        assert_eq!(BlockIdx::new(2, 2, 2).kind(), BlockKind::CentralDiagonal);
+        // Construction sorts.
+        assert_eq!(BlockIdx::new(1, 3, 2), BlockIdx { i: 3, j: 2, k: 1 });
+    }
+
+    #[test]
+    fn block_census_matches_section_6() {
+        // m = q²+1 blocks in the lower tetrahedron: (m)(m+1)(m+2)/6 total,
+        // m·q²... in paper terms: off = (q²+1)q²(q²−1)/6, non-central =
+        // q²(q²+1), central = q²+1.
+        for q in [2usize, 3, 4, 5] {
+            let m = q * q + 1;
+            let all = all_lower_blocks(m);
+            assert_eq!(all.len(), m * (m + 1) * (m + 2) / 6);
+            let off = all.iter().filter(|b| b.kind() == BlockKind::OffDiagonal).count();
+            let noncentral = all
+                .iter()
+                .filter(|b| matches!(b.kind(), BlockKind::NonCentralIIK | BlockKind::NonCentralIKK))
+                .count();
+            let central = all.iter().filter(|b| b.kind() == BlockKind::CentralDiagonal).count();
+            assert_eq!(off, (q * q + 1) * q * q * (q * q - 1) / 6);
+            assert_eq!(noncentral, q * q * (q * q + 1));
+            assert_eq!(central, q * q + 1);
+        }
+    }
+
+    #[test]
+    fn entry_counts_partition_the_tetrahedron() {
+        // Summing entries over all blocks must give the packed length of
+        // the n-dimensional tensor, n = m·b.
+        for (m, b) in [(4usize, 3usize), (5, 2), (10, 4)] {
+            let n = m * b;
+            let total: usize =
+                all_lower_blocks(m).iter().map(|blk| entries_in_block(blk.kind(), b)).sum();
+            assert_eq!(total, n * (n + 1) * (n + 2) / 6);
+        }
+    }
+
+    #[test]
+    fn ternary_counts_sum_to_paper_total() {
+        // Summing kernel work over all blocks must give n²(n+1)/2.
+        for (m, b) in [(4usize, 3usize), (5, 2), (10, 4)] {
+            let n = (m * b) as u64;
+            let total: u64 =
+                all_lower_blocks(m).iter().map(|blk| ternary_mults_in_block(blk.kind(), b)).sum();
+            assert_eq!(total, n * n * (n + 1) / 2);
+        }
+    }
+}

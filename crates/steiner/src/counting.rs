@@ -1,0 +1,88 @@
+//! Counting formulas for Steiner `(n, r, 3)` systems.
+//!
+//! These are the paper's Lemmas 6.3 and 6.4 (both instances of
+//! Colbourn–Dinitz Theorem 3.3): in a Steiner `(n, r, 3)` system,
+//!
+//! * any **pair** of points lies in exactly `(n−2)/(r−2)` blocks,
+//! * any **single** point lies in exactly `(n−1)(n−2)/((r−1)(r−2))` blocks,
+//! * the total number of blocks is `n(n−1)(n−2)/(r(r−1)(r−2))`.
+
+/// Number of blocks containing a fixed pair of points: `(n−2)/(r−2)`
+/// (Lemma 6.3, "λ₂").
+pub fn blocks_through_pair(n: usize, r: usize) -> usize {
+    assert!(r > 2 && (n - 2) % (r - 2) == 0, "S({n},{r},3) violates pair divisibility");
+    (n - 2) / (r - 2)
+}
+
+/// Number of blocks containing a fixed point:
+/// `(n−1)(n−2)/((r−1)(r−2))` (Lemma 6.4, "λ₁").
+pub fn blocks_through_element(n: usize, r: usize) -> usize {
+    let num = (n - 1) * (n - 2);
+    let den = (r - 1) * (r - 2);
+    assert!(num % den == 0, "S({n},{r},3) violates element divisibility");
+    num / den
+}
+
+/// Total number of blocks: `n(n−1)(n−2)/(r(r−1)(r−2))`.
+pub fn num_blocks(n: usize, r: usize) -> usize {
+    let num = n * (n - 1) * (n - 2);
+    let den = r * (r - 1) * (r - 2);
+    assert!(num % den == 0, "S({n},{r},3) violates block-count divisibility");
+    num / den
+}
+
+/// Specializations for the spherical family `S(q²+1, q+1, 3)` with
+/// `P = q(q²+1)` processors, as simplified in Section 6 of the paper.
+pub mod spherical_counts {
+    /// Number of blocks (= processors): `q(q² + 1)`.
+    pub fn num_processors(q: usize) -> usize {
+        q * (q * q + 1)
+    }
+
+    /// Blocks through one point: `q(q + 1)`.
+    pub fn blocks_through_element(q: usize) -> usize {
+        q * (q + 1)
+    }
+
+    /// Blocks through a pair: `q + 1`.
+    pub fn blocks_through_pair(q: usize) -> usize {
+        q + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn general_formulas_match_spherical_specializations() {
+        for q in [2usize, 3, 4, 5, 7, 8, 9, 11, 13] {
+            let n = q * q + 1;
+            let r = q + 1;
+            assert_eq!(num_blocks(n, r), spherical_counts::num_processors(q));
+            assert_eq!(blocks_through_element(n, r), spherical_counts::blocks_through_element(q));
+            assert_eq!(blocks_through_pair(n, r), spherical_counts::blocks_through_pair(q));
+        }
+    }
+
+    #[test]
+    fn sqs8_counts() {
+        assert_eq!(num_blocks(8, 4), 14);
+        assert_eq!(blocks_through_element(8, 4), 7);
+        assert_eq!(blocks_through_pair(8, 4), 3);
+    }
+
+    #[test]
+    fn paper_example_q3() {
+        // Section 6: m = 10, P = 30, each index in 12 blocks, each pair in 4.
+        assert_eq!(spherical_counts::num_processors(3), 30);
+        assert_eq!(spherical_counts::blocks_through_element(3), 12);
+        assert_eq!(spherical_counts::blocks_through_pair(3), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisibility")]
+    fn invalid_parameters_panic() {
+        blocks_through_pair(9, 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! The classical doubling construction for Steiner quadruple systems:
+//! given `SQS(m)` and a one-factorization of `K_m`, build `SQS(2m)`.
+//!
+//! Points of the new system are two copies `X × {0, 1}` of the old point
+//! set. Blocks are
+//!
+//! * both copies of every old block: `{(x,ε), (y,ε), (z,ε), (w,ε)}`,
+//! * for every factor `F_t` of a one-factorization of `K_m` and every pair
+//!   of edges `{x,y}, {u,v} ∈ F_t`: the "cross" block
+//!   `{(x,0), (y,0), (u,1), (v,1)}` (including `{x,y} = {u,v}`).
+//!
+//! Block count check: `2·b(m) + (m−1)·(m/2)²`, e.g. `2·14 + 7·16 = 140 =
+//! C(16,3)·…/… = 16·15·14/24` for `m = 8`. Steiner quadruple systems exist
+//! exactly for `n ≡ 2, 4 (mod 6)` (Hanani); doubling reaches `8 → 16 → 32 →
+//! …` from [`crate::sqs8`].
+//!
+//! Note: doubled systems generally do **not** satisfy the tetrahedral
+//! partition's extra divisibility requirement `λ₂ | r(r−1)` (for `SQS(16)`:
+//! `λ₂ = 7 ∤ 12`), so they serve the Steiner layer (and its verification
+//! machinery), not the processor partition — exactly mirroring the paper's
+//! remark that suitable partitions need specific families.
+
+use crate::SteinerSystem;
+
+/// A one-factorization of the complete graph `K_m` (`m` even): `m − 1`
+/// perfect matchings partitioning all edges. This is the standard
+/// round-robin ("circle") construction: fix point `m−1`, rotate the rest.
+pub fn one_factorization(m: usize) -> Vec<Vec<(usize, usize)>> {
+    assert!(m >= 2 && m % 2 == 0, "one-factorization needs even m ≥ 2");
+    let rounds = m - 1;
+    let mut factors = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let mut factor = Vec::with_capacity(m / 2);
+        // Fixed point pairs with `round`.
+        factor.push((m - 1, round));
+        for off in 1..m / 2 {
+            let a = (round + off) % (m - 1);
+            let b = (round + m - 1 - off) % (m - 1);
+            factor.push((a.max(b), a.min(b)));
+        }
+        factors.push(factor);
+    }
+    factors
+}
+
+/// Doubles a Steiner quadruple system: `SQS(m) → SQS(2m)`. Points
+/// `0..m` are copy 0, points `m..2m` are copy 1.
+///
+/// # Panics
+/// Panics if the input is not an `SQS` (block size 4).
+pub fn double_sqs(base: &SteinerSystem) -> SteinerSystem {
+    assert_eq!(base.block_size(), 4, "doubling requires a quadruple system");
+    let m = base.num_points();
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    // Type (a): both copies of every base block.
+    for block in base.blocks() {
+        blocks.push(block.clone());
+        blocks.push(block.iter().map(|&x| x + m).collect());
+    }
+    // Type (b): cross blocks from aligned one-factorization edges.
+    for factor in one_factorization(m) {
+        for &(x, y) in &factor {
+            for &(u, v) in &factor {
+                blocks.push(vec![x, y, u + m, v + m]);
+            }
+        }
+    }
+    SteinerSystem::from_blocks(2 * m, 4, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counting, sqs8};
+
+    #[test]
+    fn round_robin_is_a_one_factorization() {
+        for m in [4usize, 6, 8, 10, 14] {
+            let factors = one_factorization(m);
+            assert_eq!(factors.len(), m - 1);
+            let mut seen = std::collections::HashSet::new();
+            for factor in &factors {
+                assert_eq!(factor.len(), m / 2);
+                let mut covered = vec![false; m];
+                for &(a, b) in factor {
+                    assert_ne!(a, b);
+                    assert!(!covered[a] && !covered[b], "vertex repeated in a factor");
+                    covered[a] = true;
+                    covered[b] = true;
+                    assert!(seen.insert((a.max(b), a.min(b))), "edge repeated");
+                }
+                assert!(covered.iter().all(|&c| c), "factor is not perfect");
+            }
+            assert_eq!(seen.len(), m * (m - 1) / 2, "all edges covered");
+        }
+    }
+
+    #[test]
+    fn sqs16_from_doubling_verifies() {
+        let sqs16 = double_sqs(&sqs8());
+        assert_eq!(sqs16.num_points(), 16);
+        assert_eq!(sqs16.num_blocks(), counting::num_blocks(16, 4));
+        assert_eq!(sqs16.num_blocks(), 140);
+        sqs16.verify().expect("SQS(16) must verify");
+    }
+
+    #[test]
+    fn sqs32_from_double_doubling_verifies() {
+        let sqs32 = double_sqs(&double_sqs(&sqs8()));
+        assert_eq!(sqs32.num_points(), 32);
+        assert_eq!(sqs32.num_blocks(), counting::num_blocks(32, 4));
+        sqs32.verify().expect("SQS(32) must verify");
+    }
+
+    #[test]
+    fn doubled_counting_lemmas_hold() {
+        let sqs16 = double_sqs(&sqs8());
+        // Lemma 6.4: each point in (15·14)/(3·2) = 35 blocks.
+        for q in sqs16.point_to_blocks() {
+            assert_eq!(q.len(), counting::blocks_through_element(16, 4));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quadruple")]
+    fn doubling_rejects_non_quadruple_systems() {
+        let triple = crate::spherical(2); // S(5, 3, 3)
+        double_sqs(&triple);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn one_factorization_rejects_odd() {
+        one_factorization(7);
+    }
+}

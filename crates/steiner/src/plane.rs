@@ -1,0 +1,267 @@
+//! Projective planes as Steiner `(q² + q + 1, q + 1, 2)` systems — the
+//! designs behind the **triangle** block partitions for symmetric matrices
+//! (Beaumont et al. 2022, Al Daas et al. 2023/2025) that the paper's
+//! tetrahedral partitions generalize.
+//!
+//! A Steiner system with `s = 2` is a collection of blocks such that every
+//! **pair** of points lies in exactly one block; the projective plane
+//! `PG(2, q)` realizes it with points = 1-dimensional subspaces of `F_q³`
+//! and blocks = lines (2-dimensional subspaces), giving `q² + q + 1` points
+//! and equally many lines of `q + 1` points each.
+
+use symtensor_ff::Gf;
+
+/// A Steiner `(n, r, 2)` system (pairwise balanced design with λ = 1):
+/// every pair of points lies in exactly one block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Steiner2 {
+    n: usize,
+    r: usize,
+    blocks: Vec<Vec<usize>>,
+}
+
+impl Steiner2 {
+    /// Wraps a block list (canonically sorted) without verification.
+    pub fn from_blocks(n: usize, r: usize, mut blocks: Vec<Vec<usize>>) -> Self {
+        for b in &mut blocks {
+            b.sort_unstable();
+        }
+        blocks.sort();
+        Steiner2 { n, r, blocks }
+    }
+
+    /// Number of points.
+    pub fn num_points(&self) -> usize {
+        self.n
+    }
+
+    /// Block size `r`.
+    pub fn block_size(&self) -> usize {
+        self.r
+    }
+
+    /// The blocks (each sorted; list sorted).
+    pub fn blocks(&self) -> &[Vec<usize>] {
+        &self.blocks
+    }
+
+    /// Number of blocks: `n(n−1)/(r(r−1))` when valid.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// For each point, the sorted list of blocks containing it (each point
+    /// lies in `(n−1)/(r−1)` blocks).
+    pub fn point_to_blocks(&self) -> Vec<Vec<usize>> {
+        let mut map = vec![Vec::new(); self.n];
+        for (bi, block) in self.blocks.iter().enumerate() {
+            for &pt in block {
+                map[pt].push(bi);
+            }
+        }
+        map
+    }
+
+    /// The unique block containing a pair, if any.
+    pub fn block_containing(&self, a: usize, b: usize) -> Option<usize> {
+        self.blocks
+            .iter()
+            .position(|blk| blk.binary_search(&a).is_ok() && blk.binary_search(&b).is_ok())
+    }
+
+    /// Exhaustively verifies the `s = 2` Steiner property.
+    pub fn verify(&self) -> Result<(), String> {
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let ok = block.len() == self.r
+                && block.windows(2).all(|w| w[0] < w[1])
+                && block.iter().all(|&p| p < self.n);
+            if !ok {
+                return Err(format!("block {bi} malformed"));
+            }
+        }
+        let expected = self.n * (self.n - 1) / (self.r * (self.r - 1));
+        if self.blocks.len() != expected {
+            return Err(format!("{} blocks, expected {expected}", self.blocks.len()));
+        }
+        let mut cover = vec![0u32; self.n * self.n];
+        for block in &self.blocks {
+            for x in 0..block.len() {
+                for y in x + 1..block.len() {
+                    cover[block[x] * self.n + block[y]] += 1;
+                }
+            }
+        }
+        for a in 0..self.n {
+            for b in a + 1..self.n {
+                if cover[a * self.n + b] != 1 {
+                    return Err(format!(
+                        "pair ({a},{b}) covered {} times",
+                        cover[a * self.n + b]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the projective plane `PG(2, q)` as a Steiner
+/// `(q² + q + 1, q + 1, 2)` system for a prime power `q`.
+///
+/// Points are normalized homogeneous triples over `GF(q)` in the order
+/// `(1, a, b)`, `(0, 1, a)`, `(0, 0, 1)`; block `[u : v : w]` contains the
+/// points with `u·x + v·y + w·z = 0`.
+pub fn projective_plane(q: u64) -> Steiner2 {
+    let field = Gf::new(q);
+    let qq = q as u32;
+    // Enumerate normalized points.
+    let mut points: Vec<[u32; 3]> = Vec::new();
+    for a in 0..qq {
+        for b in 0..qq {
+            points.push([1, a, b]);
+        }
+    }
+    for a in 0..qq {
+        points.push([0, 1, a]);
+    }
+    points.push([0, 0, 1]);
+    let index_of = |p: &[u32; 3]| points.iter().position(|x| x == p).expect("normalized point");
+
+    // Lines are indexed by the same normalized triples (duality).
+    let mut blocks = Vec::with_capacity(points.len());
+    for line in &points {
+        let mut block = Vec::with_capacity(q as usize + 1);
+        for (pi, point) in points.iter().enumerate() {
+            let dot = field.add(
+                field.add(field.mul(line[0], point[0]), field.mul(line[1], point[1])),
+                field.mul(line[2], point[2]),
+            );
+            if dot == 0 {
+                block.push(pi);
+            }
+        }
+        debug_assert_eq!(block.len(), q as usize + 1, "every line has q+1 points");
+        blocks.push(block);
+    }
+    let _ = index_of;
+    Steiner2::from_blocks(points.len(), q as usize + 1, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fano_plane() {
+        // q = 2: the Fano plane, 7 points, 7 lines of 3 points.
+        let plane = projective_plane(2);
+        assert_eq!(plane.num_points(), 7);
+        assert_eq!(plane.num_blocks(), 7);
+        assert_eq!(plane.block_size(), 3);
+        plane.verify().unwrap();
+    }
+
+    #[test]
+    fn planes_for_small_prime_powers() {
+        for q in [2u64, 3, 4, 5, 7, 8, 9] {
+            let plane = projective_plane(q);
+            let qq = q as usize;
+            assert_eq!(plane.num_points(), qq * qq + qq + 1, "q = {q}");
+            assert_eq!(plane.num_blocks(), qq * qq + qq + 1, "q = {q}");
+            plane.verify().unwrap_or_else(|e| panic!("q = {q}: {e}"));
+            // Each point on q+1 lines.
+            for lines in plane.point_to_blocks() {
+                assert_eq!(lines.len(), qq + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn two_lines_meet_in_exactly_one_point() {
+        let plane = projective_plane(3);
+        for (i, a) in plane.blocks().iter().enumerate() {
+            for b in plane.blocks().iter().skip(i + 1) {
+                let shared = a.iter().filter(|x| b.binary_search(x).is_ok()).count();
+                assert_eq!(shared, 1, "projective plane axiom");
+            }
+        }
+    }
+
+    #[test]
+    fn block_containing_pairs() {
+        let plane = projective_plane(2);
+        for a in 0..7 {
+            for b in a + 1..7 {
+                assert!(plane.block_containing(a, b).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn verify_rejects_broken_plane() {
+        let plane = projective_plane(2);
+        let mut blocks = plane.blocks().to_vec();
+        blocks.pop();
+        let broken = Steiner2::from_blocks(7, 3, blocks);
+        assert!(broken.verify().is_err());
+    }
+}
+
+/// Bose's construction of a Steiner **triple** system `S(n, 3, 2)` for
+/// `n ≡ 3 (mod 6)`: another infinite `s = 2` family, showing the triangle
+/// partition layer is not tied to projective planes.
+///
+/// With `n = 6t + 3`, points are `ℤ_{2t+1} × {0, 1, 2}`; blocks are
+/// `{(i,0), (i,1), (i,2)}` for every `i`, plus
+/// `{(i,k), (j,k), (((i+j)·(t+1)) mod (2t+1), k+1 mod 3)}` for `i < j`
+/// (using that `(t+1)` is the inverse of 2 mod `2t+1`).
+pub fn bose_triple_system(n: usize) -> Steiner2 {
+    assert!(n >= 3 && n % 6 == 3, "Bose construction needs n ≡ 3 (mod 6), got {n}");
+    let t = (n - 3) / 6;
+    let m = 2 * t + 1;
+    let point = |i: usize, k: usize| i + k * m;
+    let half = t + 1; // inverse of 2 modulo 2t+1
+    let mut blocks = Vec::with_capacity(n * (n - 1) / 6);
+    for i in 0..m {
+        blocks.push(vec![point(i, 0), point(i, 1), point(i, 2)]);
+    }
+    for k in 0..3 {
+        for i in 0..m {
+            for j in i + 1..m {
+                let mid = ((i + j) * half) % m;
+                blocks.push(vec![point(i, k), point(j, k), point(mid, (k + 1) % 3)]);
+            }
+        }
+    }
+    Steiner2::from_blocks(n, 3, blocks)
+}
+
+#[cfg(test)]
+mod bose_tests {
+    use super::*;
+
+    #[test]
+    fn bose_systems_verify() {
+        for n in [3usize, 9, 15, 21, 27, 33] {
+            let sts = bose_triple_system(n);
+            assert_eq!(sts.num_blocks(), n * (n - 1) / 6, "n = {n}");
+            sts.verify().unwrap_or_else(|e| panic!("n = {n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sts9_is_the_affine_plane() {
+        // S(9, 3, 2) has 12 blocks and every point on 4.
+        let sts = bose_triple_system(9);
+        assert_eq!(sts.num_blocks(), 12);
+        for lines in sts.point_to_blocks() {
+            assert_eq!(lines.len(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mod 6")]
+    fn bose_rejects_wrong_residues() {
+        bose_triple_system(13);
+    }
+}

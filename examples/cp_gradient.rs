@@ -1,0 +1,49 @@
+//! Symmetric CP decomposition by gradient descent (the paper's
+//! Algorithm 2), whose bottleneck is one STTSV per factor column.
+//!
+//! Run with: `cargo run --release --example cp_gradient`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use symtensor_core::cp::{cp_gradient, cp_objective};
+use symtensor_core::generate::random_odeco;
+use symtensor_core::ops::Matrix;
+
+fn main() {
+    let n = 40;
+    let r = 3;
+    let mut rng = StdRng::seed_from_u64(5);
+    let odeco = random_odeco(n, r, &mut rng);
+
+    // Start from a perturbation of the true factors.
+    let mut x = Matrix::zeros(n, r);
+    for (l, (lam, v)) in odeco.eigenvalues.iter().zip(&odeco.vectors).enumerate() {
+        let s = lam.cbrt();
+        let col: Vec<f64> = v.iter().map(|&vi| s * vi + 0.12 * (rng.gen::<f64>() - 0.5)).collect();
+        x.set_col(l, &col);
+    }
+
+    println!("gradient descent on f(X) = (1/6)||A - Σ x_l∘x_l∘x_l||²  (n = {n}, r = {r})");
+    let step = 0.08;
+    let mut obj = cp_objective(&odeco.tensor, &x);
+    println!("iter {:>3}: objective {obj:.6e}", 0);
+    for it in 1..=60 {
+        // Algorithm 2: r STTSV calls + small dense algebra.
+        let g = cp_gradient(&odeco.tensor, &x);
+        for row in 0..n {
+            for col in 0..r {
+                x.set(row, col, x.get(row, col) - step * g.get(row, col));
+            }
+        }
+        obj = cp_objective(&odeco.tensor, &x);
+        if it % 10 == 0 {
+            println!("iter {:>3}: objective {obj:.6e}, |grad| {:.3e}", it, g.frobenius_norm());
+        }
+    }
+    println!("final objective: {obj:.6e} (exact decomposition ⇒ 0)");
+    assert!(obj < 1e-6, "descent must reach the planted decomposition");
+    println!(
+        "each iteration performed r = {r} STTSV computations — the kernel the \
+         paper's parallel algorithm makes communication-optimal"
+    );
+}

@@ -1,0 +1,52 @@
+//! The d-dimensional generalization (the paper's Section 8 future work):
+//! packed order-d symmetric tensors, the generalized STTSV kernel, and the
+//! d-dimensional communication lower bound.
+//!
+//! Run with: `cargo run --release --example d_dimensional`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use symtensor_core::dsym::{
+    binomial, lower_bound_words_d, sttsv_d_naive, sttsv_d_sym, SymTensorD,
+};
+
+fn main() {
+    let n = 14;
+    let mut rng = StdRng::seed_from_u64(8);
+    println!("d-dimensional symmetric STTSV at n = {n}:");
+    println!(
+        "{:>3} | {:>10} {:>10} {:>7} | {:>12} {:>12} {:>8}",
+        "d", "naive ops", "sym ops", "ratio", "dense words", "packed", "saving"
+    );
+    for d in [2usize, 3, 4, 5] {
+        let mut t = SymTensorD::zeros(n, d);
+        for v in t.packed_mut() {
+            *v = rng.gen::<f64>() - 0.5;
+        }
+        let x: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).recip()).collect();
+        let (y_naive, ops_naive) = sttsv_d_naive(&t, &x);
+        let (y_sym, ops_sym) = sttsv_d_sym(&t, &x);
+        let max_diff = y_naive
+            .iter()
+            .zip(&y_sym)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_diff < 1e-9, "kernels must agree (got {max_diff:.2e})");
+        let dense = (n as u64).pow(d as u32);
+        let packed = binomial(n + d - 1, d);
+        println!(
+            "{d:>3} | {:>10} {:>10} {:>7.2} | {dense:>12} {packed:>12} {:>7.1}x",
+            ops_naive.to_string(),
+            ops_sym,
+            ops_naive as f64 / ops_sym as f64,
+            dense as f64 / packed as f64
+        );
+    }
+    println!();
+    println!("d-dimensional lower bound 2(d!·C(n,d)/P)^(1/d) − 2n/P at n = 1000, P = 512:");
+    for d in [3usize, 4, 5] {
+        println!("  d = {d}: {:>10.1} words", lower_bound_words_d(1000, d, 512));
+    }
+    println!("(the paper notes the bound extends to any d; partitions need Steiner");
+    println!(" systems with s = d which are only known as infinite families for d ≤ 3)");
+}

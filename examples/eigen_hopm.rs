@@ -1,0 +1,53 @@
+//! ℤ-eigenpairs of a symmetric tensor via the higher-order power method
+//! (the paper's Algorithm 1), both sequentially and with the distributed
+//! communication-optimal STTSV kernel inside.
+//!
+//! Run with: `cargo run --release --example eigen_hopm`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symtensor_core::generate::random_odeco;
+use symtensor_core::hopm::{hopm, HopmOptions};
+use symtensor_core::ops::dot;
+use symtensor_parallel::hopm::parallel_hopm;
+use symtensor_parallel::{Mode, TetraPartition};
+use symtensor_steiner::spherical;
+
+fn main() {
+    let n = 120;
+    let mut rng = StdRng::seed_from_u64(11);
+    // An odeco tensor has known eigenpairs: A = Σ λ_ℓ v_ℓ∘v_ℓ∘v_ℓ.
+    let odeco = random_odeco(n, 6, &mut rng);
+    println!("planted eigenvalues: {:?}", odeco.eigenvalues.iter().map(|l| (l * 1e4).round() / 1e4).collect::<Vec<_>>());
+
+    let mut x0 = odeco.vectors[0].clone();
+    x0[1] += 0.08; // generic start biased into the dominant basin
+
+    let opts = HopmOptions { tol: 1e-12, max_iters: 1000 };
+    let seq = hopm(&odeco.tensor, &x0, opts);
+    println!(
+        "sequential HOPM:  lambda = {:.10}, {} iterations, residual {:.2e}",
+        seq.lambda, seq.iters, seq.residual
+    );
+
+    // Distributed run: q = 2, P = 10 processors, vectors stay sharded
+    // between iterations.
+    let part = TetraPartition::new(spherical(2), n).expect("partition");
+    let (par, report) = parallel_hopm(&odeco.tensor, &part, &x0, opts, Mode::Scheduled);
+    println!(
+        "parallel HOPM:    lambda = {:.10}, {} iterations, residual {:.2e} (P = {})",
+        par.lambda,
+        par.iters,
+        par.residual,
+        part.num_procs()
+    );
+    println!(
+        "alignment with planted dominant eigenvector: {:.12}",
+        dot(&par.x, &odeco.vectors[0]).abs()
+    );
+    println!(
+        "total communication: max {} words on any rank over the whole solve",
+        report.bandwidth_cost()
+    );
+    assert!((par.lambda - seq.lambda).abs() < 1e-8);
+}

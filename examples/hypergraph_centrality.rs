@@ -1,0 +1,70 @@
+//! Hypergraph eigenvector centrality via STTSV — one of the application
+//! domains motivating fast symmetric tensor-times-same-vector kernels
+//! (cf. the Shivakumar et al. citation in the paper's introduction).
+//!
+//! The ℤ-eigenvector centrality of a 3-uniform hypergraph is the dominant
+//! eigenpair of its symmetric adjacency tensor; each power iteration is one
+//! STTSV, so the communication-optimal kernel applies directly.
+//!
+//! Run with: `cargo run --release --example hypergraph_centrality`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symtensor_core::generate::{hypergraph_adjacency, random_hypergraph};
+use symtensor_core::hopm::{shifted_hopm, HopmOptions};
+use symtensor_parallel::hopm::parallel_shifted_hopm;
+use symtensor_parallel::{Mode, TetraPartition};
+use symtensor_steiner::spherical;
+
+fn main() {
+    let n = 60;
+    let mut rng = StdRng::seed_from_u64(17);
+    // A hypergraph with a planted dense core: vertices 0..6 participate in
+    // every core triple, plus random background edges.
+    let mut edges = Vec::new();
+    for a in 0..6usize {
+        for b in a + 1..6 {
+            for c in b + 1..6 {
+                edges.push([a, b, c]);
+            }
+        }
+    }
+    let background = random_hypergraph(n, 160, &mut rng);
+    for e in background {
+        if !edges.contains(&e) {
+            edges.push(e);
+        }
+    }
+    let tensor = hypergraph_adjacency(n, &edges);
+    println!("hypergraph: {n} vertices, {} hyperedges (dense core on 0..6)", edges.len());
+
+    // Centrality = dominant Z-eigenvector with nonnegative entries;
+    // a positive start plus a positivity-preserving shift stays in the
+    // nonnegative cone.
+    let x0 = vec![1.0; n];
+    let opts = HopmOptions { tol: 1e-12, max_iters: 5000 };
+    let alpha = 1.0;
+    let seq = shifted_hopm(&tensor, &x0, alpha, opts);
+
+    // Same computation with the distributed kernel (P = 10).
+    let part = TetraPartition::new(spherical(2), n).expect("partition");
+    let (par, report) = parallel_shifted_hopm(&tensor, &part, &x0, alpha, opts, Mode::Scheduled);
+    assert!((seq.lambda - par.lambda).abs() < 1e-8);
+
+    let mut ranked: Vec<(usize, f64)> = par.x.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("centrality eigenvalue λ = {:.6} ({} iterations, P = {})", par.lambda, par.iters, part.num_procs());
+    println!("top 8 vertices by centrality:");
+    for &(v, c) in ranked.iter().take(8) {
+        println!("  vertex {v:>3}: {c:.5}");
+    }
+    // The planted core must dominate the ranking.
+    let top6: Vec<usize> = ranked.iter().take(6).map(|&(v, _)| v).collect();
+    for v in 0..6 {
+        assert!(top6.contains(&v), "core vertex {v} must rank in the top 6");
+    }
+    println!(
+        "core recovered; total communication: max {} words on any rank",
+        report.bandwidth_cost()
+    );
+}

@@ -1,0 +1,183 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * parallel STTSV ≡ sequential STTSV for arbitrary tensors/vectors,
+//! * STTSV is linear in the tensor and quadratic in the vector scale,
+//! * packed storage is permutation-invariant,
+//! * partitions remain valid for arbitrary block scales.
+
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+use symtensor_core::seq::{sttsv_naive, sttsv_sym};
+use symtensor_core::SymTensor3;
+use symtensor_parallel::{parallel_sttsv, Mode, TetraPartition};
+use symtensor_steiner::{spherical, sqs8};
+
+fn tensor_strategy(n: usize) -> impl Strategy<Value = SymTensor3> {
+    let len = n * (n + 1) * (n + 2) / 6;
+    proptest::collection::vec(-1.0f64..1.0, len)
+        .prop_map(move |data| SymTensor3::from_packed(n, data))
+}
+
+fn vector_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0f64..1.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn naive_and_symmetric_agree(
+        (tensor, x) in (3usize..12).prop_flat_map(|n| (tensor_strategy(n), vector_strategy(n)))
+    ) {
+        let (y3, ops3) = sttsv_naive(&tensor, &x);
+        let (y4, ops4) = sttsv_sym(&tensor, &x);
+        let n = tensor.dim() as u64;
+        prop_assert_eq!(ops3.ternary_mults, n * n * n);
+        prop_assert_eq!(ops4.ternary_mults, n * n * (n + 1) / 2);
+        for i in 0..x.len() {
+            prop_assert!((y3[i] - y4[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sttsv_is_linear_in_tensor(
+        (a, b, x) in (3usize..10).prop_flat_map(|n| {
+            (tensor_strategy(n), tensor_strategy(n), vector_strategy(n))
+        }),
+        alpha in -2.0f64..2.0,
+    ) {
+        let n = a.dim();
+        let combo = SymTensor3::from_packed(
+            n,
+            a.packed().iter().zip(b.packed()).map(|(u, v)| alpha * u + v).collect(),
+        );
+        let (ya, _) = sttsv_sym(&a, &x);
+        let (yb, _) = sttsv_sym(&b, &x);
+        let (yc, _) = sttsv_sym(&combo, &x);
+        for i in 0..n {
+            prop_assert!((yc[i] - (alpha * ya[i] + yb[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sttsv_scales_quadratically_in_x(
+        (tensor, x) in (3usize..10).prop_flat_map(|n| (tensor_strategy(n), vector_strategy(n))),
+        scale in -3.0f64..3.0,
+    ) {
+        let scaled: Vec<f64> = x.iter().map(|&v| scale * v).collect();
+        let (y, _) = sttsv_sym(&tensor, &x);
+        let (ys, _) = sttsv_sym(&tensor, &scaled);
+        for i in 0..x.len() {
+            prop_assert!((ys[i] - scale * scale * y[i]).abs() < 1e-8 * (1.0 + y[i].abs()));
+        }
+    }
+
+    #[test]
+    fn packed_storage_permutation_invariance(
+        entries in proptest::collection::vec((0usize..7, 0usize..7, 0usize..7, -5.0f64..5.0), 1..30)
+    ) {
+        let mut t = SymTensor3::zeros(7);
+        for &(i, j, k, v) in &entries {
+            t.set(i, j, k, v);
+        }
+        for &(i, j, k, _) in &entries {
+            let base = t.get(i, j, k);
+            prop_assert_eq!(t.get(i, k, j), base);
+            prop_assert_eq!(t.get(j, i, k), base);
+            prop_assert_eq!(t.get(j, k, i), base);
+            prop_assert_eq!(t.get(k, i, j), base);
+            prop_assert_eq!(t.get(k, j, i), base);
+        }
+    }
+}
+
+proptest! {
+    // Parallel runs spawn threads, so use fewer cases.
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_equals_sequential_q2(
+        scale in 1usize..3,
+        seed in 0u64..1000,
+        mode_idx in 0usize..3,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = 5 * 6 * scale; // m·λ₁ multiples for q = 2.
+        let part = TetraPartition::new(spherical(2), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tensor = symtensor_core::generate::random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let mode = [Mode::Scheduled, Mode::AllToAllPadded, Mode::AllToAllSparse][mode_idx];
+        let run = parallel_sttsv(&tensor, &part, &x, mode);
+        let (y_ref, _) = sttsv_sym(&tensor, &x);
+        for i in 0..n {
+            prop_assert!((run.y[i] - y_ref[i]).abs() < 1e-9 * (1.0 + y_ref[i].abs()));
+        }
+    }
+
+    #[test]
+    fn sqs8_partition_valid_for_any_block_size(b in 1usize..6) {
+        let part = TetraPartition::new(sqs8(), 8 * b).unwrap();
+        part.verify().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    #[test]
+    fn d_dimensional_kernels_agree(
+        n in 2usize..6,
+        d in 2usize..5,
+        seed in 0u64..10_000,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use symtensor_core::dsym::{sttsv_d_naive, sttsv_d_sym, SymTensorD};
+        let mut t = SymTensorD::zeros(n, d);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for v in t.packed_mut() {
+            *v = rng.gen::<f64>() - 0.5;
+        }
+        let x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let (y_naive, _) = sttsv_d_naive(&t, &x);
+        let (y_sym, _) = sttsv_d_sym(&t, &x);
+        for i in 0..n {
+            prop_assert!((y_naive[i] - y_sym[i]).abs() < 1e-9 * (1.0 + y_naive[i].abs()));
+        }
+    }
+
+    #[test]
+    fn loomis_whitney_and_symmetric_inequality_hold(
+        raw_points in proptest::collection::btree_set((0i64..12, 0i64..12, 0i64..12), 1..40)
+    ) {
+        use symtensor_parallel::geometry::{
+            loomis_whitney_holds, symmetric_inequality_holds, PointSet,
+        };
+        let v: PointSet = raw_points.into_iter().collect();
+        prop_assert!(loomis_whitney_holds(&v));
+        // Restrict to the strict lower tetrahedron for Lemma 4.2.
+        let strict: PointSet = v.iter().copied().filter(|&(i, j, k)| i > j && j > k).collect();
+        prop_assert!(symmetric_inequality_holds(&strict));
+    }
+
+    #[test]
+    fn symv_parallel_matches_sequential_on_fano(seed in 0u64..1000) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use symtensor_core::symmat::{random_symmetric_matrix, symv_sym};
+        use symtensor_parallel::triangle::{parallel_symv, TrianglePartition};
+        let n = 7 * 3;
+        let part = TrianglePartition::new(2, n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let matrix = random_symmetric_matrix(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| ((seed + i as u64) as f64 * 0.1).sin()).collect();
+        let run = parallel_symv(&matrix, &part, &x);
+        let (y_ref, _) = symv_sym(&matrix, &x);
+        for i in 0..n {
+            prop_assert!((run.y[i] - y_ref[i]).abs() < 1e-9 * (1.0 + y_ref[i].abs()));
+        }
+    }
+}
