@@ -25,13 +25,10 @@ fn bench_local_kernels(c: &mut Criterion) {
             max as f64 / bounds::comp_cost_leading(n, part.num_procs())
         );
         // Bench the heaviest rank's kernel execution (extraction excluded).
-        let heaviest = (0..part.num_procs())
-            .max_by_key(|&p| part.ternary_mults(p))
-            .unwrap();
+        let heaviest = (0..part.num_procs()).max_by_key(|&p| part.ternary_mults(p)).unwrap();
         let owned = OwnedBlocks::extract(&tensor, &part, heaviest);
         let rp = part.r_set(heaviest).to_vec();
-        let x_full: Vec<Vec<f64>> =
-            rp.iter().map(|&i| x[part.block_range(i)].to_vec()).collect();
+        let x_full: Vec<Vec<f64>> = rp.iter().map(|&i| x[part.block_range(i)].to_vec()).collect();
         group.bench_with_input(
             BenchmarkId::new("heaviest_rank", format!("q{q}_n{n}")),
             &n,

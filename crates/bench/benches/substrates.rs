@@ -88,9 +88,8 @@ fn bench_collectives(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("all_gather", p), &p, |bench, &p| {
             bench.iter(|| {
-                Universe::new(p).run(|comm| {
-                    comm.all_gather(black_box(vec![comm.rank() as f64; 64])).unwrap()
-                })
+                Universe::new(p)
+                    .run(|comm| comm.all_gather(black_box(vec![comm.rank() as f64; 64])).unwrap())
             })
         });
     }

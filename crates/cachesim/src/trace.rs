@@ -95,7 +95,16 @@ pub fn sttsv_io_rowmajor(n: usize, cache_words: usize, line_size: usize) -> Trac
     for i in 0..n {
         for j in 0..=i {
             for k in 0..=j {
-                access_point(&mut cache, &space, n, i, j, k, &mut vector_misses, &mut tensor_misses);
+                access_point(
+                    &mut cache,
+                    &space,
+                    n,
+                    i,
+                    j,
+                    k,
+                    &mut vector_misses,
+                    &mut tensor_misses,
+                );
             }
         }
     }
@@ -268,9 +277,12 @@ mod line_size_tests {
         let big_cache = 1 << 22;
         let l1 = sttsv_io_rowmajor(n, big_cache, 1);
         let l8 = sttsv_io_rowmajor(n, big_cache, 8);
-        assert!(l8.tensor_misses * 6 <= l1.tensor_misses,
+        assert!(
+            l8.tensor_misses * 6 <= l1.tensor_misses,
             "8-word lines must cut streaming misses ~8x: {} vs {}",
-            l8.tensor_misses, l1.tensor_misses);
+            l8.tensor_misses,
+            l1.tensor_misses
+        );
         // I/O words = misses × line size, so the word traffic is similar.
         assert!(l8.total.io_words <= l1.total.io_words * 2);
     }

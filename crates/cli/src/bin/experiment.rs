@@ -1,26 +1,37 @@
 //! Paper-vs-measured experiment driver.
 //!
-//! Usage: `experiment [comm|baselines|balance|memory|schedule|hopm|all]`
+//! Usage: `experiment [comm|baselines|balance|memory|schedule|hopm|all]
+//!                    [--trace out.json] [--metrics out.json]`
 //!
 //! Each subcommand executes the relevant algorithms on the simulated
 //! machine, prints measured quantities next to the paper's closed forms,
 //! and asserts the claims it verifies. `EXPERIMENTS.md` records the output.
+//!
+//! With `--trace`/`--metrics`, every measured Algorithm-5 run is re-run in
+//! traced mode and collected into a Perfetto-loadable trace (one named
+//! process per run) and/or a flat metrics JSON (per-phase word totals,
+//! message-size histograms, comm matrix, round occupancy).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use symtensor_cli::obsout::ObsSink;
 use symtensor_core::generate::{random_odeco, random_symmetric};
 use symtensor_core::hopm::HopmOptions;
+use symtensor_obs::RunObservation;
 use symtensor_parallel::baselines::{baseline_1d_words, baseline_3d_words, sttsv_1d, sttsv_3d};
 use symtensor_parallel::bounds;
 use symtensor_parallel::hopm::parallel_hopm;
 use symtensor_parallel::schedule::spherical_round_count;
-use symtensor_parallel::{parallel_sttsv, CommSchedule, Mode, TetraPartition};
+use symtensor_parallel::{
+    parallel_sttsv, parallel_sttsv_traced, CommSchedule, Mode, SttsvRun, TetraPartition,
+};
 use symtensor_steiner::spherical;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let (sink, rest) = ObsSink::from_args(std::env::args().skip(1));
+    let arg = rest.first().cloned().unwrap_or_else(|| "all".to_string());
     match arg.as_str() {
-        "comm" => comm(),
+        "comm" => comm(&sink),
         "baselines" => baselines(),
         "balance" => balance(),
         "memory" => memory(),
@@ -30,7 +41,7 @@ fn main() {
         "ablation" => ablation(),
         "triangle" => triangle(),
         "all" => {
-            comm();
+            comm(&sink);
             baselines();
             balance();
             memory();
@@ -43,16 +54,36 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: experiment [comm|baselines|balance|memory|schedule|hopm|seqio|ablation|all]"
+                "usage: experiment [comm|baselines|balance|memory|schedule|hopm|seqio|ablation|all] [--trace out.json] [--metrics out.json]"
             );
             std::process::exit(2);
         }
+    }
+    sink.flush();
+}
+
+/// Runs Algorithm 5, additionally recording the traced observation when
+/// `--trace`/`--metrics` was requested.
+fn run_alg5(
+    sink: &ObsSink,
+    label: String,
+    tensor: &symtensor_core::SymTensor3,
+    part: &TetraPartition,
+    x: &[f64],
+    mode: Mode,
+) -> SttsvRun {
+    if sink.enabled() {
+        let (run, traces) = parallel_sttsv_traced(tensor, part, x, mode);
+        sink.record(label, RunObservation::new(run.report.clone(), traces));
+        run
+    } else {
+        parallel_sttsv(tensor, part, x, mode)
     }
 }
 
 /// E1/E2: measured per-processor communication of Algorithm 5 vs the
 /// Theorem 5.2 lower bound, in scheduled and padded-All-to-All modes.
-fn comm() {
+fn comm(sink: &ObsSink) {
     println!("== E1/E2: communication optimality (measured vs Theorem 5.2 bound) ==");
     println!(
         "{:>3} {:>5} {:>6} | {:>12} {:>12} {:>12} | {:>9} {:>9}",
@@ -68,8 +99,22 @@ fn comm() {
             let part = TetraPartition::new(spherical(q as u64), n).unwrap();
             let tensor = random_symmetric(n, &mut rng);
             let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.01).sin()).collect();
-            let sched = parallel_sttsv(&tensor, &part, &x, Mode::Scheduled);
-            let a2a = parallel_sttsv(&tensor, &part, &x, Mode::AllToAllPadded);
+            let sched = run_alg5(
+                sink,
+                format!("comm q={q} n={n} scheduled"),
+                &tensor,
+                &part,
+                &x,
+                Mode::Scheduled,
+            );
+            let a2a = run_alg5(
+                sink,
+                format!("comm q={q} n={n} all-to-all"),
+                &tensor,
+                &part,
+                &x,
+                Mode::AllToAllPadded,
+            );
             let lb = bounds::lower_bound_words(n, p);
             let sw = sched.report.bandwidth_cost() as f64;
             let aw = a2a.report.bandwidth_cost() as f64;
@@ -263,11 +308,7 @@ fn hopm() {
     let (res, report) = parallel_hopm(&odeco.tensor, &part, &x0, opts, Mode::Scheduled);
     println!(
         "converged: {} in {} iterations; lambda = {:.12} (planted {:.12}); residual = {:.2e}",
-        res.converged,
-        res.iters,
-        res.lambda,
-        odeco.eigenvalues[0],
-        res.residual
+        res.converged, res.iters, res.lambda, odeco.eigenvalues[0], res.residual
     );
     println!(
         "per-iteration comm ≈ {} words/rank (2 × scheduled STTSV cost {} + O(1) reductions)",

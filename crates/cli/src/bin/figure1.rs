@@ -18,10 +18,8 @@ fn main() {
     println!("(paper: 12 steps, fewer than P - 1 = 13). i->j means processor i sends to j.");
     println!();
     for (r, round) in schedule.rounds().iter().enumerate() {
-        let mut pairs: Vec<String> = round
-            .iter()
-            .map(|&(s, d)| format!("{:>2}->{:<2}", s + 1, d + 1))
-            .collect();
+        let mut pairs: Vec<String> =
+            round.iter().map(|&(s, d)| format!("{:>2}->{:<2}", s + 1, d + 1)).collect();
         pairs.sort();
         println!("step {:>2}:  {}", r + 1, pairs.join("  "));
     }

@@ -20,7 +20,10 @@ fn main() {
         Ok(part) => part,
         Err(e) => {
             eprintln!("cannot partition n = {n} with q = {q}: {e}");
-            eprintln!("hint: n must be a multiple of m = {}; minimal exact n is {n_default}", qq * qq + 1);
+            eprintln!(
+                "hint: n must be a multiple of m = {}; minimal exact n is {n_default}",
+                qq * qq + 1
+            );
             std::process::exit(2);
         }
     };

@@ -1,19 +1,27 @@
 //! Parameter-sweep driver emitting JSON records for plotting/analysis:
 //! measured communication, work and schedule data across `q` and `n`.
 //!
-//! Usage: `sweep [output.json]` — writes a JSON array; defaults to stdout.
+//! Usage: `sweep [output.json] [--trace t.json] [--metrics m.json]`
+//!
+//! Writes a JSON array of records (defaults to stdout). With
+//! `--trace`/`--metrics` every measured run is re-run traced and the
+//! observability outputs (Perfetto trace, per-phase metrics, comm matrix,
+//! round occupancy) are written alongside.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde_json::json;
+use symtensor_cli::obsout::ObsSink;
 use symtensor_core::generate::random_symmetric;
+use symtensor_obs::json::Value;
+use symtensor_obs::RunObservation;
 use symtensor_parallel::baselines::{baseline_1d_words, baseline_3d_words};
 use symtensor_parallel::schedule::spherical_round_count;
-use symtensor_parallel::{bounds, parallel_sttsv, Mode, TetraPartition};
+use symtensor_parallel::{bounds, parallel_sttsv, parallel_sttsv_traced, Mode, TetraPartition};
 use symtensor_steiner::spherical;
 
 fn main() {
-    let mut records = Vec::new();
+    let (sink, rest) = ObsSink::from_args(std::env::args().skip(1));
+    let mut records: Vec<Value> = Vec::new();
     let mut rng = StdRng::seed_from_u64(2024);
 
     // Measured sweep: q ∈ {2, 3}, several scales, all three modes.
@@ -30,18 +38,31 @@ fn main() {
                 ("alltoall_padded", Mode::AllToAllPadded),
                 ("alltoall_sparse", Mode::AllToAllSparse),
             ] {
-                let run = parallel_sttsv(&tensor, &part, &x, mode);
-                records.push(json!({
-                    "kind": "measured",
-                    "q": q, "P": p, "n": n, "mode": label,
-                    "max_words": run.report.bandwidth_cost(),
-                    "total_words": run.report.total_words_sent(),
-                    "max_rounds": run.report.max_rounds(),
-                    "max_msgs": run.report.max_msgs_sent(),
-                    "lower_bound": bounds::lower_bound_words(n, p),
-                    "max_ternary": run.ternary_per_rank.iter().max(),
-                    "ideal_ternary": bounds::comp_cost_leading(n, p),
-                }));
+                let run = if sink.enabled() {
+                    let (run, traces) = parallel_sttsv_traced(&tensor, &part, &x, mode);
+                    sink.record(
+                        format!("sweep q={q} n={n} {label}"),
+                        RunObservation::new(run.report.clone(), traces),
+                    );
+                    run
+                } else {
+                    parallel_sttsv(&tensor, &part, &x, mode)
+                };
+                records.push(
+                    Value::object()
+                        .with("kind", "measured")
+                        .with("q", q)
+                        .with("P", p)
+                        .with("n", n)
+                        .with("mode", label)
+                        .with("max_words", run.report.bandwidth_cost())
+                        .with("total_words", run.report.total_words_sent())
+                        .with("max_rounds", run.report.max_rounds())
+                        .with("max_msgs", run.report.max_msgs_sent())
+                        .with("lower_bound", bounds::lower_bound_words(n, p))
+                        .with("max_ternary", *run.ternary_per_rank.iter().max().unwrap())
+                        .with("ideal_ternary", bounds::comp_cost_leading(n, p)),
+                );
             }
         }
     }
@@ -52,24 +73,29 @@ fn main() {
         let unit = (q * q + 1) * q * (q + 1);
         let n = unit * 4;
         let g = (p as f64).cbrt().round() as usize;
-        records.push(json!({
-            "kind": "model",
-            "q": q, "P": p, "n": n,
-            "scheduled_words": bounds::scheduled_words_total(n, q),
-            "alltoall_words": bounds::alltoall_words_total(n, q),
-            "lower_bound": bounds::lower_bound_words(n, p),
-            "baseline_3d_words": baseline_3d_words(n, g),
-            "baseline_1d_words": baseline_1d_words(n, p),
-            "schedule_rounds": spherical_round_count(q),
-        }));
+        records.push(
+            Value::object()
+                .with("kind", "model")
+                .with("q", q)
+                .with("P", p)
+                .with("n", n)
+                .with("scheduled_words", bounds::scheduled_words_total(n, q))
+                .with("alltoall_words", bounds::alltoall_words_total(n, q))
+                .with("lower_bound", bounds::lower_bound_words(n, p))
+                .with("baseline_3d_words", baseline_3d_words(n, g))
+                .with("baseline_1d_words", baseline_1d_words(n, p))
+                .with("schedule_rounds", spherical_round_count(q)),
+        );
     }
 
-    let out = serde_json::to_string_pretty(&records).expect("serialize");
-    match std::env::args().nth(1) {
+    let count = records.len();
+    let out = Value::Array(records).to_string_pretty();
+    match rest.first() {
         Some(path) => {
-            std::fs::write(&path, &out).expect("write output file");
-            eprintln!("wrote {} records to {path}", records.len());
+            std::fs::write(path, &out).expect("write output file");
+            eprintln!("wrote {count} records to {path}");
         }
         None => println!("{out}"),
     }
+    sink.flush();
 }

@@ -17,10 +17,7 @@ fn main() {
     println!();
     print!("{}", render_rowblock_table(&part));
     println!();
-    println!(
-        "Invariant (Lemma 6.4): every |Q_i| = q(q+1) = {} processors.",
-        part.lambda1()
-    );
+    println!("Invariant (Lemma 6.4): every |Q_i| = q(q+1) = {} processors.", part.lambda1());
     for i in 0..part.num_row_blocks() {
         assert_eq!(part.q_set(i).len(), part.lambda1());
     }

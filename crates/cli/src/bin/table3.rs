@@ -32,11 +32,8 @@ fn main() {
         vec![3, 4, 7, 8],
         vec![5, 6, 7, 8],
     ];
-    let ours: Vec<Vec<usize>> = system
-        .blocks()
-        .iter()
-        .map(|b| b.iter().map(|&x| x + 1).collect())
-        .collect();
+    let ours: Vec<Vec<usize>> =
+        system.blocks().iter().map(|b| b.iter().map(|&x| x + 1).collect()).collect();
     assert_eq!(ours, paper_rp, "R_p sets must match the paper's Table 3 exactly");
 
     let part = TetraPartition::new(system, 56).expect("partition");

@@ -1,0 +1,165 @@
+//! One-shot observability driver: runs a single traced Algorithm-5 STTSV
+//! and prints/exports everything `symtensor-obs` can see about it.
+//!
+//! Usage: `trace [--q Q] [--scale S] [--mode scheduled|padded|sparse]
+//!               [--trace out.json] [--metrics out.json]`
+//!
+//! Defaults: `--q 3`, `--scale 1`, `--mode scheduled`. The printed report
+//! covers the per-phase cost breakdown (which partitions the run's total
+//! traffic exactly), the P×P communication matrix marginals, and the
+//! round-occupancy check against the paper's `q³/2 + 3q²/2 − 1` step
+//! bound. `--trace` writes a Perfetto-loadable Chrome trace (open at
+//! `ui.perfetto.dev`), `--metrics` the flat metrics JSON.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symtensor_cli::obsout::ObsSink;
+use symtensor_core::generate::random_symmetric;
+use symtensor_obs::occupancy::spherical_step_bound;
+use symtensor_obs::{phase_stats, RunObservation};
+use symtensor_parallel::schedule::spherical_round_count;
+use symtensor_parallel::{bounds, parallel_sttsv_traced, CommSchedule, Mode, TetraPartition};
+use symtensor_steiner::spherical;
+
+fn main() {
+    let (sink, rest) = ObsSink::from_args(std::env::args().skip(1));
+    let mut q = 3usize;
+    let mut scale = 1usize;
+    let mut mode = Mode::Scheduled;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--q" => q = parse_num(iter.next(), "--q"),
+            "--scale" => scale = parse_num(iter.next(), "--scale"),
+            "--mode" => {
+                mode = match iter.next().map(String::as_str) {
+                    Some("scheduled") => Mode::Scheduled,
+                    Some("padded") => Mode::AllToAllPadded,
+                    Some("sparse") => Mode::AllToAllSparse,
+                    other => usage(&format!("unknown --mode {other:?}")),
+                }
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if !(2..=5).contains(&q) {
+        usage("--q must be in 2..=5 (simulated ranks = q(q²+1)(q+1)/2 threads)");
+    }
+
+    let p = bounds::spherical_procs(q);
+    let n = (q * q + 1) * q * (q + 1) * scale;
+    let mode_label = match mode {
+        Mode::Scheduled => "scheduled",
+        Mode::AllToAllPadded => "padded",
+        Mode::AllToAllSparse => "sparse",
+    };
+    println!("== traced Algorithm-5 STTSV: q = {q}, P = {p}, n = {n}, mode = {mode_label} ==");
+
+    let part = TetraPartition::new(spherical(q as u64), n).unwrap();
+    let mut rng = StdRng::seed_from_u64(4242);
+    let tensor = random_symmetric(n, &mut rng);
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let (run, traces) = parallel_sttsv_traced(&tensor, &part, &x, mode);
+    let obs = RunObservation::new(run.report.clone(), traces);
+
+    // Per-phase breakdown (top-level spans partition the totals exactly).
+    println!("\n-- per-phase cost breakdown --");
+    println!(
+        "{:<16} {:>6} {:>12} {:>12} {:>12} {:>10}",
+        "phase", "spans", "words sent", "words recv", "max bw", "time (µs)"
+    );
+    let spans = obs.spans();
+    let stats = phase_stats(&spans);
+    let mut sent_sum = 0u64;
+    for (name, s) in &stats {
+        println!(
+            "{:<16} {:>6} {:>12} {:>12} {:>12} {:>10.1}",
+            name,
+            s.count,
+            s.total_cost.words_sent,
+            s.total_cost.words_recv,
+            s.max_bandwidth,
+            s.total_ns as f64 / 1_000.0
+        );
+        sent_sum += s.total_cost.words_sent;
+    }
+    println!(
+        "{:<16} {:>6} {:>12} {:>12}",
+        "(total)",
+        "",
+        obs.report.total_words_sent(),
+        obs.report.total_words_recv()
+    );
+    assert_eq!(sent_sum, obs.report.total_words_sent(), "phases must partition the total");
+
+    // Comm matrix (validated against the hot-path counters).
+    let matrix = obs.comm_matrix();
+    println!("\n-- P×P communication matrix (words) --");
+    if p <= 16 {
+        print!("{}", matrix.render_text());
+    } else {
+        let max_row = (0..p).map(|s| matrix.row_words(s)).max().unwrap();
+        let max_col = (0..p).map(|d| matrix.col_words(d)).max().unwrap();
+        println!("P = {p} (matrix suppressed; marginals only)");
+        println!("max row (sent by one rank)  = {max_row}");
+        println!("max col (recv by one rank)  = {max_col}");
+    }
+    println!("matrix marginals reconcile with CostReport ✓");
+
+    // Round occupancy vs the paper's step bound.
+    let occ = obs.occupancy();
+    println!("\n-- schedule-round occupancy --");
+    if mode == Mode::Scheduled {
+        let sched = CommSchedule::build(&part);
+        println!(
+            "rounds observed = {} | schedule = {} | bound q³/2+3q²/2−1 = {} | P−1 = {}",
+            occ.num_rounds(),
+            sched.num_rounds(),
+            spherical_round_count(q),
+            p - 1
+        );
+        println!(
+            "mean sender utilization: observed {:.3} | planned {:.3}",
+            occ.mean_sender_utilization(),
+            sched.planned_utilization()
+        );
+        assert_eq!(occ.num_rounds() as u64, spherical_step_bound(q));
+        assert!(occ.within_step_bound(q));
+    } else {
+        println!(
+            "mode '{mode_label}' is not round-annotated ({} unannotated words)",
+            occ.unannotated_words
+        );
+    }
+
+    println!(
+        "\nbandwidth cost = {} words (lower bound {:.1})",
+        obs.report.bandwidth_cost(),
+        bounds::lower_bound_words(n, p)
+    );
+
+    sink.record(format!("trace q={q} n={n} {mode_label}"), obs);
+    if sink.enabled() {
+        println!();
+        sink.flush();
+    } else {
+        println!(
+            "\n(pass --trace out.json to export a Perfetto trace, --metrics m.json for metrics)"
+        );
+    }
+}
+
+fn parse_num(arg: Option<&String>, flag: &str) -> usize {
+    match arg.and_then(|s| s.parse().ok()) {
+        Some(v) => v,
+        None => usage(&format!("{flag} requires a number")),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: trace [--q Q] [--scale S] [--mode scheduled|padded|sparse] [--trace out.json] [--metrics out.json]"
+    );
+    std::process::exit(2);
+}

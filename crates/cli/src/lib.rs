@@ -8,6 +8,8 @@
 use symtensor_parallel::tetra::BlockIdx;
 use symtensor_parallel::TetraPartition;
 
+pub mod obsout;
+
 /// Formats a set of 0-based indices as the paper's 1-based `{a,b,c}` sets.
 pub fn fmt_set(set: &[usize]) -> String {
     let inner: Vec<String> = set.iter().map(|&x| (x + 1).to_string()).collect();

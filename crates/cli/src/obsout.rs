@@ -1,0 +1,153 @@
+//! `--trace` / `--metrics` output plumbing shared by the `experiment`,
+//! `sweep` and `trace` binaries.
+//!
+//! A binary strips the two flags from its argument list with
+//! [`ObsSink::from_args`], passes the sink down to whatever runs it
+//! executes, and calls [`ObsSink::flush`] once at the end:
+//!
+//! * `--trace <out.json>` — one Perfetto-loadable Chrome trace document
+//!   containing every recorded run as its own named process (one thread
+//!   track per simulated rank).
+//! * `--metrics <out.json>` — a flat metrics JSON keyed by run label:
+//!   the metrics-registry dump (cost counters, message-size and per-round
+//!   histograms, per-phase word totals) plus the P×P communication matrix
+//!   and the round-occupancy report.
+//!
+//! When neither flag is present the sink is disabled and recording is a
+//! no-op, so binaries can call [`ObsSink::record`] unconditionally.
+
+use std::cell::RefCell;
+use symtensor_obs::json::Value;
+use symtensor_obs::{chrome_trace_multi, RunObservation};
+
+/// Collects labeled [`RunObservation`]s and writes them to the paths given
+/// on the command line.
+pub struct ObsSink {
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
+    runs: RefCell<Vec<(String, RunObservation)>>,
+}
+
+impl ObsSink {
+    /// Splits `--trace <path>` and `--metrics <path>` out of a raw argument
+    /// list, returning the sink and the remaining (positional) arguments.
+    ///
+    /// # Panics
+    /// Panics (after printing usage to stderr) when either flag is missing
+    /// its path argument.
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> (ObsSink, Vec<String>) {
+        let mut trace_path = None;
+        let mut metrics_path = None;
+        let mut rest = Vec::new();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--trace" => match iter.next() {
+                    Some(path) => trace_path = Some(path),
+                    None => missing_value("--trace"),
+                },
+                "--metrics" => match iter.next() {
+                    Some(path) => metrics_path = Some(path),
+                    None => missing_value("--metrics"),
+                },
+                _ => rest.push(arg),
+            }
+        }
+        (ObsSink { trace_path, metrics_path, runs: RefCell::new(Vec::new()) }, rest)
+    }
+
+    /// A disabled sink (records nothing, writes nothing).
+    pub fn disabled() -> ObsSink {
+        ObsSink { trace_path: None, metrics_path: None, runs: RefCell::new(Vec::new()) }
+    }
+
+    /// Whether either output was requested — callers use this to decide
+    /// between the plain and `_traced` run variants.
+    pub fn enabled(&self) -> bool {
+        self.trace_path.is_some() || self.metrics_path.is_some()
+    }
+
+    /// Stores one run's observation under `label`. No-op when disabled.
+    pub fn record(&self, label: impl Into<String>, obs: RunObservation) {
+        if self.enabled() {
+            self.runs.borrow_mut().push((label.into(), obs));
+        }
+    }
+
+    /// Number of runs recorded so far.
+    pub fn len(&self) -> usize {
+        self.runs.borrow().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes the requested files (reporting each on stderr). Call once,
+    /// after all runs completed.
+    ///
+    /// # Panics
+    /// Panics if a recorded run's trace-derived comm-matrix marginals
+    /// disagree with its hot-path `CostReport` (the tracer dropped events)
+    /// or if a file cannot be written.
+    pub fn flush(&self) {
+        if !self.enabled() {
+            return;
+        }
+        let runs = self.runs.borrow();
+        if let Some(path) = &self.trace_path {
+            let labeled: Vec<(String, Vec<Vec<symtensor_mpsim::CommEvent>>)> =
+                runs.iter().map(|(label, obs)| (label.clone(), obs.traces.clone())).collect();
+            let doc = chrome_trace_multi(&labeled);
+            std::fs::write(path, doc.to_string_pretty()).expect("write --trace file");
+            eprintln!("wrote Perfetto trace ({} runs) to {path}", runs.len());
+        }
+        if let Some(path) = &self.metrics_path {
+            let mut doc = Value::object();
+            for (label, obs) in runs.iter() {
+                let entry = Value::object()
+                    .with("metrics", obs.metrics().to_json())
+                    .with("comm_matrix", obs.comm_matrix().to_json())
+                    .with("occupancy", obs.occupancy().to_json());
+                doc.set(label.clone(), entry);
+            }
+            std::fs::write(path, doc.to_string_pretty()).expect("write --metrics file");
+            eprintln!("wrote metrics ({} runs) to {path}", runs.len());
+        }
+    }
+}
+
+fn missing_value(flag: &str) -> ! {
+    eprintln!("{flag} requires a file path argument");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_are_stripped_and_positionals_kept() {
+        let (sink, rest) =
+            ObsSink::from_args(args(&["all", "--trace", "t.json", "--metrics", "m.json", "x"]));
+        assert!(sink.enabled());
+        assert_eq!(rest, vec!["all".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn no_flags_disables_sink() {
+        let (sink, rest) = ObsSink::from_args(args(&["comm"]));
+        assert!(!sink.enabled());
+        assert_eq!(rest, vec!["comm".to_string()]);
+        // Recording into a disabled sink is a no-op.
+        let (_, report, traces) = symtensor_mpsim::Universe::new(1).run_traced(|_| ());
+        sink.record("x", RunObservation::new(report, traces));
+        assert!(sink.is_empty());
+        sink.flush(); // writes nothing
+    }
+}

@@ -263,11 +263,8 @@ mod fit_tests {
             }
         }
         let start = cp_objective(&odeco.tensor, &x0);
-        let res = cp_fit(
-            &odeco.tensor,
-            &x0,
-            CpFitOptions { max_iters: 200, ..CpFitOptions::default() },
-        );
+        let res =
+            cp_fit(&odeco.tensor, &x0, CpFitOptions { max_iters: 200, ..CpFitOptions::default() });
         assert!(res.objective < start * 0.1, "{} -> {}", start, res.objective);
     }
 

@@ -8,7 +8,7 @@
 //! large enough shift `α`.
 
 use crate::ops::{contract_all, norm2};
-use crate::seq::sttsv_sym;
+use crate::seq::{sttsv_sym, OpCount};
 use crate::storage::SymTensor3;
 
 /// Stopping controls for the power iterations.
@@ -39,6 +39,10 @@ pub struct HopmResult {
     pub converged: bool,
     /// Final eigen-residual `‖𝓐 ×₂ x ×₃ x − λ x‖`.
     pub residual: f64,
+    /// Accumulated STTSV work across all iterations (including the final
+    /// residual evaluation): the §7.1 ternary-multiplication count, from
+    /// which `flops = 3·ternary_mults`.
+    pub ops: OpCount,
 }
 
 /// Algorithm 1: plain higher-order power method on a symmetric tensor.
@@ -64,8 +68,10 @@ fn power_iterate(tensor: &SymTensor3, x0: &[f64], alpha: f64, opts: HopmOptions)
     let mut x: Vec<f64> = x0.iter().map(|&v| v / nrm0).collect();
     let mut iters = 0;
     let mut converged = false;
+    let mut ops = OpCount::default();
     while iters < opts.max_iters {
-        let (mut y, _) = sttsv_sym(tensor, &x);
+        let (mut y, count) = sttsv_sym(tensor, &x);
+        ops.absorb(&count);
         if alpha != 0.0 {
             for (yi, &xi) in y.iter_mut().zip(&x) {
                 *yi += alpha * xi;
@@ -82,10 +88,8 @@ fn power_iterate(tensor: &SymTensor3, x0: &[f64], alpha: f64, opts: HopmOptions)
         iters += 1;
         // Sign-aligned step difference (eigenvectors are sign-ambiguous for
         // the unshifted iteration when λ < 0).
-        let diff_pos: f64 =
-            x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
-        let diff_neg: f64 =
-            x.iter().zip(&y).map(|(a, b)| (a + b) * (a + b)).sum::<f64>().sqrt();
+        let diff_pos: f64 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let diff_neg: f64 = x.iter().zip(&y).map(|(a, b)| (a + b) * (a + b)).sum::<f64>().sqrt();
         let diff = diff_pos.min(diff_neg);
         x = y;
         if diff < opts.tol {
@@ -94,10 +98,11 @@ fn power_iterate(tensor: &SymTensor3, x0: &[f64], alpha: f64, opts: HopmOptions)
         }
     }
     let lambda = contract_all(tensor, &x);
-    let (ax, _) = sttsv_sym(tensor, &x);
+    let (ax, count) = sttsv_sym(tensor, &x);
+    ops.absorb(&count);
     let residual =
         ax.iter().zip(&x).map(|(a, xi)| (a - lambda * xi) * (a - lambda * xi)).sum::<f64>().sqrt();
-    HopmResult { lambda, x, iters, converged, residual }
+    HopmResult { lambda, x, iters, converged, residual, ops }
 }
 
 /// A safe shift for S-HOPM: `α = (d − 1)·max|a_{ijk}|·n^{(d−1)/2}` style
@@ -126,7 +131,12 @@ mod tests {
         x0[1] += 0.1;
         let res = hopm(&odeco.tensor, &x0, HopmOptions::default());
         assert!(res.converged, "HOPM did not converge");
-        assert!((res.lambda - odeco.eigenvalues[0]).abs() < 1e-8, "lambda {} vs {}", res.lambda, odeco.eigenvalues[0]);
+        assert!(
+            (res.lambda - odeco.eigenvalues[0]).abs() < 1e-8,
+            "lambda {} vs {}",
+            res.lambda,
+            odeco.eigenvalues[0]
+        );
         let align = dot(&res.x, &odeco.vectors[0]).abs();
         assert!(align > 1.0 - 1e-8, "eigenvector alignment {align}");
         assert!(res.residual < 1e-8);
@@ -139,7 +149,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
         let t = random_symmetric(8, &mut rng);
         let x0: Vec<f64> = (0..8).map(|i| ((i + 1) as f64).sin()).collect();
-        let res = shifted_hopm(&t, &x0, safe_shift(&t), HopmOptions { tol: 1e-13, max_iters: 20000 });
+        let res =
+            shifted_hopm(&t, &x0, safe_shift(&t), HopmOptions { tol: 1e-13, max_iters: 20000 });
         assert!(res.converged);
         assert!(res.residual < 1e-6, "residual {}", res.residual);
     }
@@ -180,6 +191,19 @@ mod tests {
         let t = SymTensor3::zeros(3);
         hopm(&t, &[0.0; 3], HopmOptions::default());
     }
+
+    #[test]
+    fn ops_account_for_every_sttsv_call() {
+        // (iters + 1) STTSV evaluations: one per iteration plus the final
+        // residual check, each costing sym_ternary_mults(n).
+        let mut rng = StdRng::seed_from_u64(25);
+        let n = 7;
+        let odeco = random_odeco(n, 3, &mut rng);
+        let res = hopm(&odeco.tensor, &odeco.vectors[0].clone(), HopmOptions::default());
+        let per_call = crate::seq::sym_ternary_mults(n);
+        assert_eq!(res.ops.ternary_mults, (res.iters as u64 + 1) * per_call);
+        assert_eq!(res.ops.flops(), 3 * res.ops.ternary_mults);
+    }
 }
 
 /// Adaptive-shift power method (a lightweight take on Kolda–Mayo's GEAP
@@ -200,8 +224,10 @@ pub fn adaptive_shifted_hopm(tensor: &SymTensor3, x0: &[f64], opts: HopmOptions)
     let mut prev_lambda = contract_all(tensor, &x);
     let mut iters = 0;
     let mut converged = false;
+    let mut ops = OpCount::default();
     while iters < opts.max_iters {
-        let (mut y, _) = sttsv_sym(tensor, &x);
+        let (mut y, count) = sttsv_sym(tensor, &x);
+        ops.absorb(&count);
         for (yi, &xi) in y.iter_mut().zip(&x) {
             *yi += alpha * xi;
         }
@@ -218,8 +244,7 @@ pub fn adaptive_shifted_hopm(tensor: &SymTensor3, x0: &[f64], opts: HopmOptions)
             // Monotone step: accept and relax the shift toward the raw
             // iteration (the safe shift is guaranteed monotone, so
             // backtracking below can always restore progress).
-            let diff: f64 =
-                x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            let diff: f64 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
             x = y;
             prev_lambda = lambda;
             // Relax the shift, but keep it at the |λ| scale: below that the
@@ -236,10 +261,11 @@ pub fn adaptive_shifted_hopm(tensor: &SymTensor3, x0: &[f64], opts: HopmOptions)
         }
     }
     let lambda = contract_all(tensor, &x);
-    let (ax, _) = sttsv_sym(tensor, &x);
+    let (ax, count) = sttsv_sym(tensor, &x);
+    ops.absorb(&count);
     let residual =
         ax.iter().zip(&x).map(|(a, xi)| (a - lambda * xi) * (a - lambda * xi)).sum::<f64>().sqrt();
-    HopmResult { lambda, x, iters, converged, residual }
+    HopmResult { lambda, x, iters, converged, residual, ops }
 }
 
 #[cfg(test)]
@@ -360,12 +386,8 @@ mod deflate_tests {
         // Match each found pair to a distinct planted pair.
         let mut used = [false; 3];
         for pair in &found {
-            let hit = odeco
-                .eigenvalues
-                .iter()
-                .zip(&odeco.vectors)
-                .enumerate()
-                .find(|(idx, (lam, v))| {
+            let hit =
+                odeco.eigenvalues.iter().zip(&odeco.vectors).enumerate().find(|(idx, (lam, v))| {
                     !used[*idx]
                         && (pair.lambda - **lam).abs() < 1e-6
                         && dot(&pair.x, v).abs() > 1.0 - 1e-6
@@ -391,7 +413,12 @@ mod deflate_tests {
             for i in 0..n {
                 for j in 0..=i {
                     for k in 0..=j {
-                        rebuilt.add_assign(i, j, k, pair.lambda * pair.x[i] * pair.x[j] * pair.x[k]);
+                        rebuilt.add_assign(
+                            i,
+                            j,
+                            k,
+                            pair.lambda * pair.x[i] * pair.x[j] * pair.x[k],
+                        );
                     }
                 }
             }

@@ -25,14 +25,14 @@ pub mod io;
 pub mod mttkrp;
 pub mod ops;
 pub mod seq;
-pub mod symmat;
 pub mod storage;
+pub mod symmat;
 
 pub use cp::cp_gradient;
 pub use dsym::{sttsv_d_naive, sttsv_d_sym, SymTensorD};
 pub use generate::{random_odeco, random_symmetric, OdecoTensor};
-pub use mttkrp::{mttkrp_sym, mttkrp_sym_fused};
 pub use hopm::{hopm, shifted_hopm, HopmOptions, HopmResult};
+pub use mttkrp::{mttkrp_sym, mttkrp_sym_fused};
 pub use ops::Matrix;
 pub use seq::{sttsv_naive, sttsv_sym, OpCount};
 pub use storage::{DenseTensor3, SymTensor3};

@@ -29,8 +29,7 @@ pub fn mttkrp_sym(tensor: &SymTensor3, x_mat: &Matrix) -> (Matrix, OpCount) {
         let xl = x_mat.col(l);
         let (yl, ops) = sttsv_sym(tensor, &xl);
         y.set_col(l, &yl);
-        total.ternary_mults += ops.ternary_mults;
-        total.points += ops.points;
+        total.absorb(&ops);
     }
     (y, total)
 }
@@ -134,8 +133,9 @@ mod tests {
         let (y, ops) = mttkrp_sym(&t, &x);
         let y_ref = mttkrp_dense_reference(&t, &x);
         assert_matrix_close(&y, &y_ref, 1e-10);
-        // r STTSVs worth of work.
+        // r STTSVs worth of work; flops follow the 3× conversion.
         assert_eq!(ops.ternary_mults, 4 * (9u64 * 9 * 10 / 2));
+        assert_eq!(ops.flops(), 3 * 4 * (9u64 * 9 * 10 / 2));
     }
 
     #[test]

@@ -146,9 +146,7 @@ impl SymTensor3 {
     pub fn iter_lower(&self) -> impl Iterator<Item = (usize, usize, usize, f64)> + '_ {
         let n = self.n;
         (0..n).flat_map(move |i| {
-            (0..=i).flat_map(move |j| {
-                (0..=j).map(move |k| (i, j, k, self.get_sorted(i, j, k)))
-            })
+            (0..=i).flat_map(move |j| (0..=j).map(move |k| (i, j, k, self.get_sorted(i, j, k))))
         })
     }
 }
@@ -264,9 +262,7 @@ mod tests {
     fn get_is_permutation_invariant() {
         let mut t = SymTensor3::zeros(6);
         t.set(5, 2, 4, 7.5);
-        for &(i, j, k) in
-            &[(5, 2, 4), (5, 4, 2), (2, 5, 4), (2, 4, 5), (4, 5, 2), (4, 2, 5)]
-        {
+        for &(i, j, k) in &[(5, 2, 4), (5, 4, 2), (2, 5, 4), (2, 4, 5), (4, 5, 2), (4, 2, 5)] {
             assert_eq!(t.get(i, j, k), 7.5);
         }
     }

@@ -252,7 +252,8 @@ impl Gf {
     /// # Panics
     /// Panics if `GF(q0)` is not a subfield of this field.
     pub fn subfield_elements(&self, q0: u64) -> Vec<FieldElem> {
-        let (p0, m0) = crate::prime_power(q0).unwrap_or_else(|| panic!("GF({q0}): not a prime power"));
+        let (p0, m0) =
+            crate::prime_power(q0).unwrap_or_else(|| panic!("GF({q0}): not a prime power"));
         assert_eq!(p0, self.p, "GF({q0}) is not a subfield of GF({})", self.q);
         assert!(self.m % m0 == 0, "GF({q0}) is not a subfield of GF({})", self.q);
         let sub: Vec<FieldElem> = self.elements().filter(|&x| self.pow(x, q0) == x).collect();
@@ -463,8 +464,7 @@ mod tests {
                 }
             }
             // Trace is surjective onto GF(p) (it is GF(p)-linear, nonzero).
-            let traces: std::collections::HashSet<_> =
-                f.elements().map(|a| f.trace(a)).collect();
+            let traces: std::collections::HashSet<_> = f.elements().map(|a| f.trace(a)).collect();
             assert_eq!(traces.len() as u32, p);
         }
     }

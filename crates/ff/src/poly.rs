@@ -100,9 +100,7 @@ impl Poly {
 
     /// Remainder of `self` divided by monic-after-scaling `divisor`.
     pub fn rem(&self, divisor: &Poly, p: u64) -> Poly {
-        let dd = divisor
-            .degree()
-            .expect("division by the zero polynomial");
+        let dd = divisor.degree().expect("division by the zero polynomial");
         let lead = *divisor.coeffs.last().unwrap();
         let lead_inv = mod_inverse(lead, p);
         let mut rem = self.clone();
@@ -283,7 +281,18 @@ mod tests {
 
     #[test]
     fn find_irreducible_has_right_degree_and_is_irreducible() {
-        for &(p, m) in &[(2u64, 2usize), (2, 3), (2, 4), (2, 6), (3, 2), (3, 4), (5, 2), (7, 2), (11, 2), (13, 2)] {
+        for &(p, m) in &[
+            (2u64, 2usize),
+            (2, 3),
+            (2, 4),
+            (2, 6),
+            (3, 2),
+            (3, 4),
+            (5, 2),
+            (7, 2),
+            (11, 2),
+            (13, 2),
+        ] {
             let f = find_irreducible(p, m);
             assert_eq!(f.degree(), Some(m), "degree for p={p} m={m}");
             assert!(is_irreducible(&f, p), "irreducible for p={p} m={m}");

@@ -108,8 +108,7 @@ mod tests {
     fn complete_graph_coloring() {
         // K_{n,n} is n-regular.
         let n = 6;
-        let edges: Vec<(usize, usize)> =
-            (0..n).flat_map(|x| (0..n).map(move |y| (x, y))).collect();
+        let edges: Vec<(usize, usize)> = (0..n).flat_map(|x| (0..n).map(move |y| (x, y))).collect();
         check_coloring(n, &edges);
     }
 

@@ -90,10 +90,7 @@ pub fn is_valid_matching(g: &BipartiteGraph, m: &Matching) -> bool {
 /// and demand a matching that saturates every replica; replica `i` of `x`
 /// contributes `x`'s edge in matching `i`. Returns `None` when no such family
 /// exists (i.e., the replicated graph has no left-saturating matching).
-pub fn disjoint_left_saturating_matchings(
-    g: &BipartiteGraph,
-    d: usize,
-) -> Option<Vec<Matching>> {
+pub fn disjoint_left_saturating_matchings(g: &BipartiteGraph, d: usize) -> Option<Vec<Matching>> {
     let nx = g.num_left();
     let mut rep = BipartiteGraph::new(nx * d, g.num_right());
     for x in 0..nx {

@@ -33,42 +33,46 @@ impl Comm {
     /// Pairwise-exchange algorithm: `P − 1` steps; at step `s`, rank `r`
     /// sends to `(r + s) mod P` and receives from `(r − s) mod P`.
     pub fn all_to_all_v(&self, mut sendbufs: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, CommError> {
-        let p = self.size();
-        assert_eq!(sendbufs.len(), p, "all_to_all_v needs one buffer per rank");
-        let rank = self.rank();
-        let mut recv: Vec<Vec<f64>> = vec![Vec::new(); p];
-        recv[rank] = std::mem::take(&mut sendbufs[rank]);
-        for step in 1..p {
-            let dst = (rank + step) % p;
-            let src = (rank + p - step) % p;
-            self.send(dst, TAG_ALL_TO_ALL + step as u64, std::mem::take(&mut sendbufs[dst]));
-            recv[src] = self.recv(src, TAG_ALL_TO_ALL + step as u64)?;
-            self.count_round();
-        }
-        Ok(recv)
+        self.with_fallback_phase("coll:all-to-all", || {
+            let p = self.size();
+            assert_eq!(sendbufs.len(), p, "all_to_all_v needs one buffer per rank");
+            let rank = self.rank();
+            let mut recv: Vec<Vec<f64>> = vec![Vec::new(); p];
+            recv[rank] = std::mem::take(&mut sendbufs[rank]);
+            for step in 1..p {
+                let dst = (rank + step) % p;
+                let src = (rank + p - step) % p;
+                self.send(dst, TAG_ALL_TO_ALL + step as u64, std::mem::take(&mut sendbufs[dst]));
+                recv[src] = self.recv(src, TAG_ALL_TO_ALL + step as u64)?;
+                self.count_round();
+            }
+            Ok(recv)
+        })
     }
 
     /// All-gather: returns `out` with `out[r]` = rank `r`'s `local`
     /// contribution, on every rank. Ring algorithm, `P − 1` steps.
     pub fn all_gather(&self, local: Vec<f64>) -> Result<Vec<Vec<f64>>, CommError> {
-        let p = self.size();
-        let rank = self.rank();
-        let mut out: Vec<Option<Vec<f64>>> = vec![None; p];
-        out[rank] = Some(local);
-        if p > 1 {
-            let next = (rank + 1) % p;
-            let prev = (rank + p - 1) % p;
-            for step in 0..p - 1 {
-                // Forward the block that originated at (rank - step) mod p.
-                let fwd_origin = (rank + p - step) % p;
-                let block = out[fwd_origin].clone().expect("ring invariant");
-                self.send(next, TAG_ALL_GATHER + step as u64, block);
-                let recv_origin = (rank + p - step - 1) % p;
-                out[recv_origin] = Some(self.recv(prev, TAG_ALL_GATHER + step as u64)?);
-                self.count_round();
+        self.with_fallback_phase("coll:all-gather", || {
+            let p = self.size();
+            let rank = self.rank();
+            let mut out: Vec<Option<Vec<f64>>> = vec![None; p];
+            out[rank] = Some(local);
+            if p > 1 {
+                let next = (rank + 1) % p;
+                let prev = (rank + p - 1) % p;
+                for step in 0..p - 1 {
+                    // Forward the block that originated at (rank - step) mod p.
+                    let fwd_origin = (rank + p - step) % p;
+                    let block = out[fwd_origin].clone().expect("ring invariant");
+                    self.send(next, TAG_ALL_GATHER + step as u64, block);
+                    let recv_origin = (rank + p - step - 1) % p;
+                    out[recv_origin] = Some(self.recv(prev, TAG_ALL_GATHER + step as u64)?);
+                    self.count_round();
+                }
             }
-        }
-        Ok(out.into_iter().map(Option::unwrap).collect())
+            Ok(out.into_iter().map(Option::unwrap).collect())
+        })
     }
 
     /// Reduce-scatter: rank `r` contributes `contribs[d]` toward rank `d`'s
@@ -77,83 +81,103 @@ impl Comm {
     /// exchange, `P − 1` steps; the accumulation order is fixed by the
     /// schedule, so results are deterministic across runs.
     pub fn reduce_scatter(&self, mut contribs: Vec<Vec<f64>>) -> Result<Vec<f64>, CommError> {
-        let p = self.size();
-        assert_eq!(contribs.len(), p, "reduce_scatter needs one contribution per rank");
-        let rank = self.rank();
-        let mut acc = std::mem::take(&mut contribs[rank]);
-        for step in 1..p {
-            let dst = (rank + step) % p;
-            let src = (rank + p - step) % p;
-            self.send(dst, TAG_REDUCE_SCATTER + step as u64, std::mem::take(&mut contribs[dst]));
-            let piece = self.recv(src, TAG_REDUCE_SCATTER + step as u64)?;
-            assert_eq!(piece.len(), acc.len(), "reduce_scatter length mismatch from rank {src}");
-            for (a, b) in acc.iter_mut().zip(&piece) {
-                *a += b;
+        self.with_fallback_phase("coll:reduce-scatter", || {
+            let p = self.size();
+            assert_eq!(contribs.len(), p, "reduce_scatter needs one contribution per rank");
+            let rank = self.rank();
+            let mut acc = std::mem::take(&mut contribs[rank]);
+            for step in 1..p {
+                let dst = (rank + step) % p;
+                let src = (rank + p - step) % p;
+                self.send(
+                    dst,
+                    TAG_REDUCE_SCATTER + step as u64,
+                    std::mem::take(&mut contribs[dst]),
+                );
+                let piece = self.recv(src, TAG_REDUCE_SCATTER + step as u64)?;
+                assert_eq!(
+                    piece.len(),
+                    acc.len(),
+                    "reduce_scatter length mismatch from rank {src}"
+                );
+                for (a, b) in acc.iter_mut().zip(&piece) {
+                    *a += b;
+                }
+                self.count_round();
             }
-            self.count_round();
-        }
-        Ok(acc)
+            Ok(acc)
+        })
     }
 
     /// All-reduce (element-wise sum): star algorithm through rank 0 with a
     /// deterministic rank-ascending summation order. Intended for small
     /// payloads only.
     pub fn all_reduce(&self, local: Vec<f64>) -> Result<Vec<f64>, CommError> {
-        let p = self.size();
-        if p == 1 {
-            return Ok(local);
-        }
-        let rank = self.rank();
-        if rank == 0 {
-            let mut acc = local;
-            for src in 1..p {
-                let piece = self.recv(src, TAG_STAR)?;
-                assert_eq!(piece.len(), acc.len(), "all_reduce length mismatch from rank {src}");
-                for (a, b) in acc.iter_mut().zip(&piece) {
-                    *a += b;
+        self.with_fallback_phase("coll:all-reduce", || {
+            let p = self.size();
+            if p == 1 {
+                return Ok(local);
+            }
+            let rank = self.rank();
+            if rank == 0 {
+                let mut acc = local;
+                for src in 1..p {
+                    let piece = self.recv(src, TAG_STAR)?;
+                    assert_eq!(
+                        piece.len(),
+                        acc.len(),
+                        "all_reduce length mismatch from rank {src}"
+                    );
+                    for (a, b) in acc.iter_mut().zip(&piece) {
+                        *a += b;
+                    }
                 }
+                for dst in 1..p {
+                    self.send(dst, TAG_STAR + 1, acc.clone());
+                }
+                Ok(acc)
+            } else {
+                self.send(0, TAG_STAR, local);
+                self.recv(0, TAG_STAR + 1)
             }
-            for dst in 1..p {
-                self.send(dst, TAG_STAR + 1, acc.clone());
-            }
-            Ok(acc)
-        } else {
-            self.send(0, TAG_STAR, local);
-            self.recv(0, TAG_STAR + 1)
-        }
+        })
     }
 
     /// Broadcast `data` from `root` to all ranks (star).
     pub fn broadcast(&self, root: usize, data: Vec<f64>) -> Result<Vec<f64>, CommError> {
-        let rank = self.rank();
-        if rank == root {
-            for dst in 0..self.size() {
-                if dst != root {
-                    self.send(dst, TAG_STAR + 2, data.clone());
+        self.with_fallback_phase("coll:broadcast", || {
+            let rank = self.rank();
+            if rank == root {
+                for dst in 0..self.size() {
+                    if dst != root {
+                        self.send(dst, TAG_STAR + 2, data.clone());
+                    }
                 }
+                Ok(data)
+            } else {
+                self.recv(root, TAG_STAR + 2)
             }
-            Ok(data)
-        } else {
-            self.recv(root, TAG_STAR + 2)
-        }
+        })
     }
 
     /// Gather every rank's `local` at `root`; non-root ranks get `None`.
     pub fn gather(&self, root: usize, local: Vec<f64>) -> Result<Option<Vec<Vec<f64>>>, CommError> {
-        let rank = self.rank();
-        if rank == root {
-            let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.size()];
-            out[root] = local;
-            for (src, slot) in out.iter_mut().enumerate() {
-                if src != root {
-                    *slot = self.recv(src, TAG_STAR + 3)?;
+        self.with_fallback_phase("coll:gather", || {
+            let rank = self.rank();
+            if rank == root {
+                let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.size()];
+                out[root] = local;
+                for (src, slot) in out.iter_mut().enumerate() {
+                    if src != root {
+                        *slot = self.recv(src, TAG_STAR + 3)?;
+                    }
                 }
+                Ok(Some(out))
+            } else {
+                self.send(root, TAG_STAR + 3, local);
+                Ok(None)
             }
-            Ok(Some(out))
-        } else {
-            self.send(root, TAG_STAR + 3, local);
-            Ok(None)
-        }
+        })
     }
 }
 
@@ -179,8 +203,7 @@ mod tests {
         }
         // Each rank sends Σ_{d≠r} len(d) words.
         for rank in 0..p {
-            let expected: u64 =
-                (0..p).filter(|&d| d != rank).map(|d| (d % 3) as u64 + 1).sum();
+            let expected: u64 = (0..p).filter(|&d| d != rank).map(|d| (d % 3) as u64 + 1).sum();
             assert_eq!(report.per_rank[rank].words_sent, expected);
         }
         assert_eq!(report.max_rounds(), (p - 1) as u64);
@@ -189,9 +212,8 @@ mod tests {
     #[test]
     fn all_gather_collects_in_rank_order() {
         let p = 6;
-        let (results, report) = Universe::new(p).run(|comm| {
-            comm.all_gather(vec![comm.rank() as f64; 2]).unwrap()
-        });
+        let (results, report) =
+            Universe::new(p).run(|comm| comm.all_gather(vec![comm.rank() as f64; 2]).unwrap());
         for recv in &results {
             for (src, buf) in recv.iter().enumerate() {
                 assert_eq!(buf, &vec![src as f64; 2]);
@@ -237,9 +259,8 @@ mod tests {
     #[test]
     fn gather_collects_at_root() {
         let p = 4;
-        let (results, _) = Universe::new(p).run(|comm| {
-            comm.gather(1, vec![comm.rank() as f64]).unwrap()
-        });
+        let (results, _) =
+            Universe::new(p).run(|comm| comm.gather(1, vec![comm.rank() as f64]).unwrap());
         assert!(results[0].is_none());
         let at_root = results[1].as_ref().unwrap();
         for (src, buf) in at_root.iter().enumerate() {

@@ -15,74 +15,78 @@ impl Comm {
     /// non-power-of-two `P`, the excess ranks fold into the power-of-two
     /// core first (one extra exchange).
     pub fn all_reduce_rd(&self, local: Vec<f64>) -> Result<Vec<f64>, CommError> {
-        let p = self.size();
-        if p == 1 {
-            return Ok(local);
-        }
-        let rank = self.rank();
-        let pof2 = p.next_power_of_two() >> if p.is_power_of_two() { 0 } else { 1 };
-        let rem = p - pof2;
-        let mut acc = local;
-
-        // Fold phase: ranks ≥ pof2 send to (rank − pof2) and go idle.
-        if rank >= pof2 {
-            self.send(rank - pof2, TAG_RD_ALLREDUCE, acc.clone());
-        } else if rank < rem {
-            let piece = self.recv(rank + pof2, TAG_RD_ALLREDUCE)?;
-            add_assign(&mut acc, &piece)?;
-        }
-
-        if rank < pof2 {
-            let mut mask = 1usize;
-            while mask < pof2 {
-                let partner = rank ^ mask;
-                self.send(partner, TAG_RD_ALLREDUCE + mask as u64, acc.clone());
-                let piece = self.recv(partner, TAG_RD_ALLREDUCE + mask as u64)?;
-                add_assign(&mut acc, &piece)?;
-                self.count_round();
-                mask <<= 1;
+        self.with_fallback_phase("coll:all-reduce-rd", || {
+            let p = self.size();
+            if p == 1 {
+                return Ok(local);
             }
-        }
+            let rank = self.rank();
+            let pof2 = p.next_power_of_two() >> if p.is_power_of_two() { 0 } else { 1 };
+            let rem = p - pof2;
+            let mut acc = local;
 
-        // Unfold phase: core ranks push the result back out.
-        if rank < rem {
-            self.send(rank + pof2, (TAG_RD_ALLREDUCE + (pof2 as u64)) << 1, acc.clone());
-        } else if rank >= pof2 {
-            acc = self.recv(rank - pof2, (TAG_RD_ALLREDUCE + (pof2 as u64)) << 1)?;
-        }
-        Ok(acc)
+            // Fold phase: ranks ≥ pof2 send to (rank − pof2) and go idle.
+            if rank >= pof2 {
+                self.send(rank - pof2, TAG_RD_ALLREDUCE, acc.clone());
+            } else if rank < rem {
+                let piece = self.recv(rank + pof2, TAG_RD_ALLREDUCE)?;
+                add_assign(&mut acc, &piece)?;
+            }
+
+            if rank < pof2 {
+                let mut mask = 1usize;
+                while mask < pof2 {
+                    let partner = rank ^ mask;
+                    self.send(partner, TAG_RD_ALLREDUCE + mask as u64, acc.clone());
+                    let piece = self.recv(partner, TAG_RD_ALLREDUCE + mask as u64)?;
+                    add_assign(&mut acc, &piece)?;
+                    self.count_round();
+                    mask <<= 1;
+                }
+            }
+
+            // Unfold phase: core ranks push the result back out.
+            if rank < rem {
+                self.send(rank + pof2, (TAG_RD_ALLREDUCE + (pof2 as u64)) << 1, acc.clone());
+            } else if rank >= pof2 {
+                acc = self.recv(rank - pof2, (TAG_RD_ALLREDUCE + (pof2 as u64)) << 1)?;
+            }
+            Ok(acc)
+        })
     }
 
     /// Broadcast from `root` via a binomial tree: `⌈log₂ P⌉` rounds, each
     /// rank sends at most `log₂ P` times and receives once.
     pub fn broadcast_binomial(&self, root: usize, data: Vec<f64>) -> Result<Vec<f64>, CommError> {
-        let p = self.size();
-        if p == 1 {
-            return Ok(data);
-        }
-        let rank = self.rank();
-        // Work in a rotated space where the root is 0.
-        let vrank = (rank + p - root) % p;
-        let mut payload = if vrank == 0 { Some(data) } else { None };
-        let mut mask = p.next_power_of_two();
-        // Receive step: the lowest set bit of vrank determines the parent.
-        if vrank != 0 {
-            let lsb = vrank & vrank.wrapping_neg();
-            let parent = ((vrank - lsb) + root) % p;
-            payload = Some(self.recv(parent, TAG_BINOMIAL + lsb as u64)?);
-            mask = lsb;
-        }
-        // Send steps: children are vrank + m for m < (my receive mask).
-        let mut m = mask >> 1;
-        let data = payload.expect("payload set by now");
-        while m > 0 {
-            if vrank + m < p {
-                let child = (vrank + m + root) % p;
-                self.send(child, TAG_BINOMIAL + m as u64, data.clone());
+        self.with_fallback_phase("coll:broadcast-binomial", || {
+            let p = self.size();
+            if p == 1 {
+                return Ok(data);
             }
-            m >>= 1;
-        }
-        Ok(data)
+            let rank = self.rank();
+            // Work in a rotated space where the root is 0.
+            let vrank = (rank + p - root) % p;
+            let mut payload = if vrank == 0 { Some(data) } else { None };
+            let mut mask = p.next_power_of_two();
+            // Receive step: the lowest set bit of vrank determines the parent.
+            if vrank != 0 {
+                let lsb = vrank & vrank.wrapping_neg();
+                let parent = ((vrank - lsb) + root) % p;
+                payload = Some(self.recv(parent, TAG_BINOMIAL + lsb as u64)?);
+                mask = lsb;
+            }
+            // Send steps: children are vrank + m for m < (my receive mask).
+            let mut m = mask >> 1;
+            let data = payload.expect("payload set by now");
+            while m > 0 {
+                if vrank + m < p {
+                    let child = (vrank + m + root) % p;
+                    self.send(child, TAG_BINOMIAL + m as u64, data.clone());
+                }
+                m >>= 1;
+            }
+            Ok(data)
+        })
     }
 }
 
@@ -136,11 +140,7 @@ mod tests {
         for p in 1..=10usize {
             for root in 0..p {
                 let (results, report) = Universe::new(p).run(|comm| {
-                    let data = if comm.rank() == root {
-                        vec![42.0, root as f64]
-                    } else {
-                        vec![]
-                    };
+                    let data = if comm.rank() == root { vec![42.0, root as f64] } else { vec![] };
                     comm.broadcast_binomial(root, data).unwrap()
                 });
                 for out in &results {

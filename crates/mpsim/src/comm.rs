@@ -1,12 +1,13 @@
 //! The per-rank communicator handle: point-to-point messaging with tags,
-//! an out-of-order mailbox, cost counting and deadlock-surfacing timeouts.
+//! an out-of-order mailbox, cost counting, deadlock-surfacing timeouts and
+//! (when enabled) timestamped event tracing with phase/round annotation.
 
-use crate::cost::{CommEvent, SharedCounters};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use std::cell::RefCell;
+use crate::cost::{CommEvent, CommEventKind, SharedCounters};
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Barrier};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A point-to-point message: source rank, user tag, payload of words.
 #[derive(Clone, Debug)]
@@ -50,10 +51,9 @@ impl std::fmt::Display for CommError {
                 f,
                 "rank {rank}: timed out waiting for message from rank {from} with tag {tag}"
             ),
-            CommError::Disconnected { rank, from, tag } => write!(
-                f,
-                "rank {rank}: peer disconnected while waiting for rank {from} tag {tag}"
-            ),
+            CommError::Disconnected { rank, from, tag } => {
+                write!(f, "rank {rank}: peer disconnected while waiting for rank {from} tag {tag}")
+            }
         }
     }
 }
@@ -71,11 +71,21 @@ pub struct Comm {
     counters: SharedCounters,
     barrier: Arc<Barrier>,
     recv_timeout: Duration,
+    /// Shared start instant of the universe — event timestamps are
+    /// nanoseconds since this epoch.
+    epoch: Instant,
+    /// Innermost phase label currently active (see [`Comm::with_phase`]).
+    phase: Cell<Option<&'static str>>,
+    /// Schedule-round annotation currently active.
+    round: Cell<Option<u64>>,
     /// Event log, populated only when the universe enables tracing.
     trace: Option<RefCell<Vec<CommEvent>>>,
 }
 
 impl Comm {
+    // Crate-internal constructor invoked once per rank by the universe;
+    // the argument list *is* the wiring diagram.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         senders: Vec<Sender<Msg>>,
@@ -83,6 +93,7 @@ impl Comm {
         counters: SharedCounters,
         barrier: Arc<Barrier>,
         recv_timeout: Duration,
+        epoch: Instant,
         tracing: bool,
     ) -> Self {
         Comm {
@@ -93,13 +104,96 @@ impl Comm {
             counters,
             barrier,
             recv_timeout,
+            epoch,
+            phase: Cell::new(None),
+            round: Cell::new(None),
             trace: tracing.then(|| RefCell::new(Vec::new())),
         }
     }
 
-    /// The event log recorded so far (empty when tracing is disabled).
+    /// Whether event tracing is enabled for this run.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Drains the event log recorded so far (empty when tracing is
+    /// disabled). Prefer [`crate::Universe::run_traced`], which collects
+    /// every rank's full log at the end of the run without this mid-run
+    /// destructive drain.
     pub fn take_trace(&self) -> Vec<CommEvent> {
         self.trace.as_ref().map(|t| t.borrow_mut().split_off(0)).unwrap_or_default()
+    }
+
+    /// Nanoseconds since the universe epoch (monotonic).
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    #[inline]
+    fn record(&self, kind: CommEventKind) {
+        // Tracing disabled ⇒ a single branch, no clock read, no allocation.
+        if let Some(trace) = &self.trace {
+            trace.borrow_mut().push(CommEvent {
+                t_ns: self.now_ns(),
+                phase: self.phase.get(),
+                round: self.round.get(),
+                kind,
+            });
+        }
+    }
+
+    /// Runs `f` inside a named phase. When tracing is enabled, a
+    /// `PhaseEnter`/`PhaseExit` pair with counter snapshots brackets the
+    /// call and every event recorded inside carries the phase label; when
+    /// tracing is disabled this is two `Cell` stores. Phases nest — the
+    /// innermost label wins for event attribution.
+    pub fn with_phase<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let prev = self.phase.replace(Some(name));
+        if self.trace.is_some() {
+            let snapshot = self.counters.rank(self.rank).snapshot();
+            self.record(CommEventKind::PhaseEnter { name, snapshot });
+        }
+        let result = f();
+        if self.trace.is_some() {
+            let snapshot = self.counters.rank(self.rank).snapshot();
+            self.record(CommEventKind::PhaseExit { name, snapshot });
+        }
+        self.phase.set(prev);
+        result
+    }
+
+    /// Like [`Comm::with_phase`] but only applies when no phase is already
+    /// active. Collectives use this so that stand-alone calls are labelled
+    /// (`coll:all-gather`, …) while calls nested inside an algorithm phase
+    /// keep the algorithm's attribution.
+    pub fn with_fallback_phase<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        if self.phase.get().is_some() {
+            f()
+        } else {
+            self.with_phase(name, f)
+        }
+    }
+
+    /// The phase label currently in effect, if any.
+    #[inline]
+    pub fn current_phase(&self) -> Option<&'static str> {
+        self.phase.get()
+    }
+
+    /// Sets the schedule-round annotation attached to subsequently recorded
+    /// events (step-counted schedules, Theorem 7.2). Clear with
+    /// [`Comm::clear_round`].
+    #[inline]
+    pub fn annotate_round(&self, round: u64) {
+        self.round.set(Some(round));
+    }
+
+    /// Clears the schedule-round annotation.
+    #[inline]
+    pub fn clear_round(&self) {
+        self.round.set(None);
     }
 
     /// This rank's id in `0..size`.
@@ -121,13 +215,15 @@ impl Comm {
     /// Panics on self-sends — local data movement is free in the model and
     /// should not go through the network.
     pub fn send(&self, dst: usize, tag: u64, data: Vec<f64>) {
-        assert_ne!(dst, self.rank, "rank {}: self-send (local copies are not communication)", self.rank);
+        assert_ne!(
+            dst, self.rank,
+            "rank {}: self-send (local copies are not communication)",
+            self.rank
+        );
         let counters = self.counters.rank(self.rank);
         counters.words_sent.fetch_add(data.len() as u64, Ordering::Relaxed);
         counters.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        if let Some(trace) = &self.trace {
-            trace.borrow_mut().push(CommEvent::Send { dst, tag, words: data.len() as u64 });
-        }
+        self.record(CommEventKind::Send { dst, tag, words: data.len() as u64 });
         // A send can only fail if the destination already exited; that rank's
         // result does not depend on this message, so drop it silently.
         let _ = self.senders[dst].send(Msg { src: self.rank, tag, data });
@@ -144,9 +240,9 @@ impl Comm {
                 return Ok(self.account_recv(msg));
             }
         }
-        let deadline = std::time::Instant::now() + self.recv_timeout;
+        let deadline = Instant::now() + self.recv_timeout;
         loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let remaining = deadline.saturating_duration_since(Instant::now());
             match self.receiver.recv_timeout(remaining) {
                 Ok(msg) => {
                     if msg.src == src && msg.tag == tag {
@@ -168,17 +264,22 @@ impl Comm {
         let counters = self.counters.rank(self.rank);
         counters.words_recv.fetch_add(msg.data.len() as u64, Ordering::Relaxed);
         counters.msgs_recv.fetch_add(1, Ordering::Relaxed);
-        if let Some(trace) = &self.trace {
-            trace
-                .borrow_mut()
-                .push(CommEvent::Recv { src: msg.src, tag: msg.tag, words: msg.data.len() as u64 });
-        }
+        self.record(CommEventKind::Recv {
+            src: msg.src,
+            tag: msg.tag,
+            words: msg.data.len() as u64,
+        });
         msg.data
     }
 
     /// Simultaneous send to and receive from `partner` (the "sendrecv"
     /// exchange used by pairwise schedules).
-    pub fn exchange(&self, partner: usize, tag: u64, data: Vec<f64>) -> Result<Vec<f64>, CommError> {
+    pub fn exchange(
+        &self,
+        partner: usize,
+        tag: u64,
+        data: Vec<f64>,
+    ) -> Result<Vec<f64>, CommError> {
         self.send(partner, tag, data);
         self.recv(partner, tag)
     }
@@ -264,5 +365,79 @@ mod tests {
             }
         });
         assert_eq!(results[1], 4950.0);
+    }
+
+    #[test]
+    fn phases_nest_and_restore() {
+        use crate::cost::CommEventKind;
+        let (_, _, traces) = Universe::new(2).run_traced(|comm| {
+            assert_eq!(comm.current_phase(), None);
+            comm.with_phase("outer", || {
+                assert_eq!(comm.current_phase(), Some("outer"));
+                comm.with_phase("inner", || {
+                    assert_eq!(comm.current_phase(), Some("inner"));
+                });
+                assert_eq!(comm.current_phase(), Some("outer"));
+                if comm.rank() == 0 {
+                    comm.send(1, 9, vec![1.0, 2.0]);
+                } else {
+                    comm.recv(0, 9).unwrap();
+                }
+            });
+            assert_eq!(comm.current_phase(), None);
+        });
+        // Each rank: enter(outer), enter(inner), exit(inner), send/recv
+        // labelled "outer", exit(outer).
+        for trace in &traces {
+            let labels: Vec<_> = trace
+                .iter()
+                .map(|e| match e.kind {
+                    CommEventKind::PhaseEnter { name, .. } => format!("+{name}"),
+                    CommEventKind::PhaseExit { name, .. } => format!("-{name}"),
+                    CommEventKind::Send { .. } => "send".to_string(),
+                    CommEventKind::Recv { .. } => "recv".to_string(),
+                })
+                .collect();
+            assert_eq!(labels[..3], ["+outer", "+inner", "-inner"]);
+            assert_eq!(labels[4], "-outer");
+            let xfer = &trace[3];
+            assert_eq!(xfer.phase, Some("outer"));
+        }
+    }
+
+    #[test]
+    fn round_annotation_attaches_to_events() {
+        let (_, _, traces) = Universe::new(2).run_traced(|comm| {
+            comm.annotate_round(4);
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1.0]);
+            } else {
+                comm.recv(0, 0).unwrap();
+            }
+            comm.clear_round();
+        });
+        for trace in &traces {
+            assert_eq!(trace.len(), 1);
+            assert_eq!(trace[0].round, Some(4));
+        }
+    }
+
+    #[test]
+    fn with_fallback_phase_defers_to_active_phase() {
+        let (_, _, traces) = Universe::new(2).run_traced(|comm| {
+            comm.with_phase("algo", || {
+                comm.with_fallback_phase("coll", || {
+                    if comm.rank() == 0 {
+                        comm.send(1, 0, vec![1.0]);
+                    } else {
+                        comm.recv(0, 0).unwrap();
+                    }
+                });
+            });
+        });
+        for trace in &traces {
+            let xfer = trace.iter().find(|e| e.words() > 0).unwrap();
+            assert_eq!(xfer.phase, Some("algo"));
+        }
     }
 }

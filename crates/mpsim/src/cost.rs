@@ -1,17 +1,26 @@
-//! Per-rank communication-cost counters and reports.
+//! Per-rank communication-cost counters, reports and trace events.
 //!
 //! In the α-β-γ model the bandwidth cost of an algorithm is the maximum over
 //! processors of the number of words sent or received. These counters record
 //! exactly that, plus message counts (the latency term) and the number of
 //! synchronous communication rounds a rank participated in.
+//!
+//! When tracing is enabled ([`crate::Universe::with_tracing`] /
+//! [`crate::Universe::run_traced`]) every send, receive and phase
+//! transition is additionally recorded as a [`CommEvent`] carrying a
+//! monotonic timestamp and the phase/round annotation active at the time.
+//! The `symtensor-obs` crate consumes these logs to build span trees,
+//! communication matrices and Perfetto traces.
 
-use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// One communication event recorded when tracing is enabled.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum CommEvent {
+/// What happened in one trace event.
+///
+/// All payloads are `Copy` so that recording an event is a single `Vec`
+/// push with no further allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommEventKind {
     /// A message left this rank.
     Send {
         /// Destination rank.
@@ -30,6 +39,45 @@ pub enum CommEvent {
         /// Payload length in words.
         words: u64,
     },
+    /// A named phase was entered on this rank (see [`crate::Comm::with_phase`]).
+    PhaseEnter {
+        /// Phase name.
+        name: &'static str,
+        /// This rank's counters at entry — exit minus entry is the phase's
+        /// exact [`RankCost`] delta.
+        snapshot: RankCost,
+    },
+    /// The matching phase exit.
+    PhaseExit {
+        /// Phase name.
+        name: &'static str,
+        /// This rank's counters at exit.
+        snapshot: RankCost,
+    },
+}
+
+/// One timestamped, phase-annotated event recorded when tracing is enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommEvent {
+    /// Nanoseconds since the universe's epoch (monotonic within a rank).
+    pub t_ns: u64,
+    /// Innermost phase active when the event was recorded, if any.
+    pub phase: Option<&'static str>,
+    /// Schedule round annotation active when the event was recorded, if any
+    /// (see [`crate::Comm::annotate_round`]).
+    pub round: Option<u64>,
+    /// The event payload.
+    pub kind: CommEventKind,
+}
+
+impl CommEvent {
+    /// Words moved by this event (0 for phase markers).
+    pub fn words(&self) -> u64 {
+        match self.kind {
+            CommEventKind::Send { words, .. } | CommEventKind::Recv { words, .. } => words,
+            _ => 0,
+        }
+    }
 }
 
 /// Internal shared counters, one set per rank.
@@ -44,6 +92,20 @@ pub(crate) struct RankAtomics {
     pub msgs_sent: AtomicU64,
     pub msgs_recv: AtomicU64,
     pub rounds: AtomicU64,
+}
+
+impl RankAtomics {
+    /// A consistent-enough snapshot of this rank's own counters (only the
+    /// owning rank mutates them, so relaxed loads are exact here).
+    pub fn snapshot(&self) -> RankCost {
+        RankCost {
+            words_sent: self.words_sent.load(Ordering::Relaxed),
+            words_recv: self.words_recv.load(Ordering::Relaxed),
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            msgs_recv: self.msgs_recv.load(Ordering::Relaxed),
+            rounds: self.rounds.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl SharedCounters {
@@ -69,24 +131,12 @@ impl SharedCounters {
     }
 
     pub fn report(&self) -> CostReport {
-        CostReport {
-            per_rank: self
-                .inner
-                .iter()
-                .map(|c| RankCost {
-                    words_sent: c.words_sent.load(Ordering::Relaxed),
-                    words_recv: c.words_recv.load(Ordering::Relaxed),
-                    msgs_sent: c.msgs_sent.load(Ordering::Relaxed),
-                    msgs_recv: c.msgs_recv.load(Ordering::Relaxed),
-                    rounds: c.rounds.load(Ordering::Relaxed),
-                })
-                .collect(),
-        }
+        CostReport { per_rank: self.inner.iter().map(RankAtomics::snapshot).collect() }
     }
 }
 
 /// Communication cost incurred by one rank.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RankCost {
     /// Words (tensor/vector elements) pushed onto the network.
     pub words_sent: u64,
@@ -106,10 +156,22 @@ impl RankCost {
     pub fn bandwidth(&self) -> u64 {
         self.words_sent.max(self.words_recv)
     }
+
+    /// Componentwise `self − earlier` (saturating); the exact cost incurred
+    /// between two snapshots, e.g. across a phase.
+    pub fn delta_since(&self, earlier: &RankCost) -> RankCost {
+        RankCost {
+            words_sent: self.words_sent.saturating_sub(earlier.words_sent),
+            words_recv: self.words_recv.saturating_sub(earlier.words_recv),
+            msgs_sent: self.msgs_sent.saturating_sub(earlier.msgs_sent),
+            msgs_recv: self.msgs_recv.saturating_sub(earlier.msgs_recv),
+            rounds: self.rounds.saturating_sub(earlier.rounds),
+        }
+    }
 }
 
 /// Communication cost of a whole run, indexed by rank.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CostReport {
     /// Per-rank counters, indexed by rank id.
     pub per_rank: Vec<RankCost>,
@@ -202,13 +264,55 @@ mod tests {
     #[test]
     fn merged_adds_componentwise() {
         let a = CostReport {
-            per_rank: vec![RankCost { words_sent: 1, words_recv: 2, msgs_sent: 3, msgs_recv: 4, rounds: 5 }],
+            per_rank: vec![RankCost {
+                words_sent: 1,
+                words_recv: 2,
+                msgs_sent: 3,
+                msgs_recv: 4,
+                rounds: 5,
+            }],
         };
         let b = CostReport {
-            per_rank: vec![RankCost { words_sent: 10, words_recv: 20, msgs_sent: 30, msgs_recv: 40, rounds: 50 }],
+            per_rank: vec![RankCost {
+                words_sent: 10,
+                words_recv: 20,
+                msgs_sent: 30,
+                msgs_recv: 40,
+                rounds: 50,
+            }],
         };
         let m = a.merged(&b);
         assert_eq!(m.per_rank[0].words_sent, 11);
         assert_eq!(m.per_rank[0].rounds, 55);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let early =
+            RankCost { words_sent: 2, words_recv: 1, msgs_sent: 1, msgs_recv: 1, rounds: 0 };
+        let late = RankCost { words_sent: 9, words_recv: 4, msgs_sent: 3, msgs_recv: 2, rounds: 2 };
+        let d = late.delta_since(&early);
+        assert_eq!(
+            d,
+            RankCost { words_sent: 7, words_recv: 3, msgs_sent: 2, msgs_recv: 1, rounds: 2 }
+        );
+    }
+
+    #[test]
+    fn event_words_accessor() {
+        let send = CommEvent {
+            t_ns: 1,
+            phase: Some("gather-x"),
+            round: Some(0),
+            kind: CommEventKind::Send { dst: 1, tag: 0, words: 7 },
+        };
+        assert_eq!(send.words(), 7);
+        let marker = CommEvent {
+            t_ns: 2,
+            phase: None,
+            round: None,
+            kind: CommEventKind::PhaseEnter { name: "x", snapshot: RankCost::default() },
+        };
+        assert_eq!(marker.words(), 0);
     }
 }

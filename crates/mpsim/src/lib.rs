@@ -28,11 +28,11 @@ pub mod comm;
 pub mod cost;
 
 pub use comm::{Comm, CommError, Msg};
-pub use cost::{CommEvent, CostReport, RankCost};
+pub use cost::{CommEvent, CommEventKind, CostReport, RankCost};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration and entry point for a simulated parallel machine.
 #[derive(Clone, Debug)]
@@ -78,19 +78,50 @@ impl Universe {
         F: Fn(&Comm) -> R + Sync,
         R: Send,
     {
+        let (results, report, _traces) = self.run_inner(self.tracing, &f);
+        (results, report)
+    }
+
+    /// Runs `f` on every rank with tracing forced **on** and returns, in
+    /// addition to the results and cost report, each rank's complete event
+    /// log (indexed by rank).
+    ///
+    /// Unlike draining mid-run with [`Comm::take_trace`] — which destroys
+    /// everything recorded so far on that rank — this collects the full,
+    /// untouched log after every rank closure has returned. Any events the
+    /// closure already drained itself with `take_trace` are of course not
+    /// re-collected; don't mix the two styles unless that is what you want.
+    ///
+    /// # Panics
+    /// Propagates a panic from any rank.
+    pub fn run_traced<F, R>(&self, f: F) -> (Vec<R>, CostReport, Vec<Vec<CommEvent>>)
+    where
+        F: Fn(&Comm) -> R + Sync,
+        R: Send,
+    {
+        self.run_inner(true, &f)
+    }
+
+    fn run_inner<F, R>(&self, tracing: bool, f: &F) -> (Vec<R>, CostReport, Vec<Vec<CommEvent>>)
+    where
+        F: Fn(&Comm) -> R + Sync,
+        R: Send,
+    {
         let p = self.size;
         let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(p);
         let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(Some(rx));
         }
         let counters = cost::SharedCounters::new(p);
         let barrier = Arc::new(Barrier::new(p));
-        let f = &f;
+        // One epoch shared by all ranks so per-rank timestamps are mutually
+        // comparable in the merged trace.
+        let epoch = Instant::now();
 
-        let results: Vec<R> = std::thread::scope(|scope| {
+        let outcomes: Vec<(R, Vec<CommEvent>)> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             for (rank, rx_slot) in receivers.iter_mut().enumerate() {
                 let rx = rx_slot.take().unwrap();
@@ -98,10 +129,12 @@ impl Universe {
                 let counters = counters.clone();
                 let barrier = barrier.clone();
                 let timeout = self.recv_timeout;
-                let tracing = self.tracing;
                 handles.push(scope.spawn(move || {
-                    let comm = Comm::new(rank, senders, rx, counters, barrier, timeout, tracing);
-                    f(&comm)
+                    let comm =
+                        Comm::new(rank, senders, rx, counters, barrier, timeout, epoch, tracing);
+                    let result = f(&comm);
+                    let trace = comm.take_trace();
+                    (result, trace)
                 }));
             }
             handles
@@ -110,7 +143,13 @@ impl Universe {
                 .collect()
         });
 
-        (results, counters.report())
+        let mut results = Vec::with_capacity(p);
+        let mut traces = Vec::with_capacity(p);
+        for (r, t) in outcomes {
+            results.push(r);
+            traces.push(t);
+        }
+        (results, counters.report(), traces)
     }
 }
 
@@ -166,13 +205,8 @@ mod tests {
     #[test]
     fn missing_send_times_out_instead_of_hanging() {
         let universe = Universe::new(2).with_recv_timeout(Duration::from_millis(50));
-        let (results, _) = universe.run(|comm| {
-            if comm.rank() == 1 {
-                comm.recv(0, 99).is_err()
-            } else {
-                true
-            }
-        });
+        let (results, _) =
+            universe.run(|comm| if comm.rank() == 1 { comm.recv(0, 99).is_err() } else { true });
         assert!(results[1], "recv with no matching send must time out");
     }
 

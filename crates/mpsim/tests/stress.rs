@@ -94,21 +94,25 @@ fn repeated_universes_are_independent() {
 
 #[test]
 fn tracing_records_every_event_in_order() {
-    use symtensor_mpsim::CommEvent;
-    let (results, _) = Universe::new(3).with_tracing(true).run(|comm| {
+    use symtensor_mpsim::CommEventKind;
+    // `run_traced` collects each rank's full log at the end of the run —
+    // no destructive mid-run `take_trace` needed inside the closure.
+    let (_, _, traces) = Universe::new(3).run_traced(|comm| {
         let me = comm.rank();
         comm.send((me + 1) % 3, 42, vec![1.0, 2.0]);
         comm.recv((me + 2) % 3, 42).unwrap();
-        comm.take_trace()
     });
-    for (rank, trace) in results.iter().enumerate() {
+    for (rank, trace) in traces.iter().enumerate() {
+        let kinds: Vec<_> = trace.iter().map(|e| e.kind).collect();
         assert_eq!(
-            trace,
-            &vec![
-                CommEvent::Send { dst: (rank + 1) % 3, tag: 42, words: 2 },
-                CommEvent::Recv { src: (rank + 2) % 3, tag: 42, words: 2 },
+            kinds,
+            vec![
+                CommEventKind::Send { dst: (rank + 1) % 3, tag: 42, words: 2 },
+                CommEventKind::Recv { src: (rank + 2) % 3, tag: 42, words: 2 },
             ]
         );
+        // Timestamps are non-decreasing within a rank.
+        assert!(trace.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
     }
 }
 
@@ -123,4 +127,24 @@ fn tracing_disabled_yields_empty_logs() {
         comm.take_trace()
     });
     assert!(results.iter().all(Vec::is_empty));
+}
+
+#[test]
+fn run_traced_returns_logs_already_drained_mid_run() {
+    // A closure that drains mid-run only loses what it drained; run_traced
+    // still returns the remainder rather than panicking or double counting.
+    let (results, _, traces) = Universe::new(2).run_traced(|comm| {
+        let other = 1 - comm.rank();
+        comm.send(other, 0, vec![1.0]);
+        comm.recv(other, 0).unwrap();
+        let drained = comm.take_trace().len();
+        comm.send(other, 1, vec![2.0, 3.0]);
+        comm.recv(other, 1).unwrap();
+        drained
+    });
+    assert_eq!(results, vec![2, 2]);
+    for trace in &traces {
+        assert_eq!(trace.len(), 2, "only post-drain events remain");
+        assert_eq!(trace.iter().map(|e| e.words()).sum::<u64>(), 4);
+    }
 }

@@ -1,0 +1,249 @@
+//! Chrome trace-event (Perfetto-loadable) export.
+//!
+//! Emits the JSON object format `{"traceEvents": [...]}` understood by
+//! `ui.perfetto.dev` and `chrome://tracing`:
+//!
+//! * one track per rank (`pid` 1, `tid` = rank, named via `M` metadata
+//!   events),
+//! * every completed phase as an `X` (complete) event with `ts`/`dur` in
+//!   microseconds and the phase's exact word/message deltas in `args`,
+//! * every send and receive as an `i` (instant) event carrying peer, tag,
+//!   word count and (when present) the schedule round.
+//!
+//! Timestamps are the simulator's shared-epoch nanoseconds converted to the
+//! fractional microseconds the format requires, so cross-rank ordering in
+//! the UI matches real interleaving.
+
+use crate::json::Value;
+use crate::span::spans_of_rank;
+use symtensor_mpsim::cost::CommEventKind;
+use symtensor_mpsim::CommEvent;
+
+/// Process id used for all ranks (the whole universe is one process).
+const PID: u64 = 1;
+
+fn us(t_ns: u64) -> f64 {
+    t_ns as f64 / 1_000.0
+}
+
+/// Builds the Chrome trace document from per-rank event logs (indexed by
+/// rank, as returned by [`symtensor_mpsim::Universe::run_traced`]).
+pub fn chrome_trace(traces: &[Vec<CommEvent>]) -> Value {
+    Value::object()
+        .with("traceEvents", Value::Array(chrome_trace_events(PID, None, traces)))
+        .with("displayTimeUnit", "ns")
+}
+
+/// Builds a single document containing several labeled runs, one Perfetto
+/// *process* per run (`pid` = run index + 1, named by an `M`
+/// `process_name` metadata event) with one thread track per rank inside
+/// it. This is how the `experiment`/`sweep` binaries merge every traced
+/// run of a session into one `--trace` file.
+pub fn chrome_trace_multi(runs: &[(String, Vec<Vec<CommEvent>>)]) -> Value {
+    let mut events = Vec::new();
+    for (idx, (label, traces)) in runs.iter().enumerate() {
+        events.extend(chrome_trace_events(idx as u64 + 1, Some(label), traces));
+    }
+    Value::object().with("traceEvents", Value::Array(events)).with("displayTimeUnit", "ns")
+}
+
+/// The flat event list for one run under process id `pid` (optionally
+/// named `process_name`).
+fn chrome_trace_events(
+    pid: u64,
+    process_name: Option<&str>,
+    traces: &[Vec<CommEvent>],
+) -> Vec<Value> {
+    let mut events: Vec<Value> = Vec::new();
+
+    if let Some(name) = process_name {
+        events.push(
+            Value::object()
+                .with("name", "process_name")
+                .with("ph", "M")
+                .with("pid", pid)
+                .with("tid", 0u64)
+                .with("args", Value::object().with("name", name)),
+        );
+    }
+    for rank in 0..traces.len() {
+        // Track naming metadata.
+        events.push(
+            Value::object()
+                .with("name", "thread_name")
+                .with("ph", "M")
+                .with("pid", pid)
+                .with("tid", rank)
+                .with("args", Value::object().with("name", format!("rank {rank}"))),
+        );
+    }
+
+    for (rank, rank_events) in traces.iter().enumerate() {
+        // Completed phases as X (complete) duration events.
+        for span in spans_of_rank(rank, rank_events) {
+            events.push(
+                Value::object()
+                    .with("name", span.name)
+                    .with("cat", "phase")
+                    .with("ph", "X")
+                    .with("pid", pid)
+                    .with("tid", rank)
+                    .with("ts", us(span.start_ns))
+                    .with("dur", us(span.end_ns.saturating_sub(span.start_ns)))
+                    .with(
+                        "args",
+                        Value::object()
+                            .with("words_sent", span.cost.words_sent)
+                            .with("words_recv", span.cost.words_recv)
+                            .with("msgs_sent", span.cost.msgs_sent)
+                            .with("msgs_recv", span.cost.msgs_recv)
+                            .with("rounds", span.cost.rounds),
+                    ),
+            );
+        }
+        // Sends/recvs as instants.
+        for event in rank_events {
+            let (name, cat, peer_key, peer, tag, words) = match event.kind {
+                CommEventKind::Send { dst, tag, words } => ("send", "comm", "dst", dst, tag, words),
+                CommEventKind::Recv { src, tag, words } => ("recv", "comm", "src", src, tag, words),
+                _ => continue,
+            };
+            let mut args =
+                Value::object().with(peer_key, peer).with("tag", tag).with("words", words);
+            if let Some(round) = event.round {
+                args.set("round", round);
+            }
+            if let Some(phase) = event.phase {
+                args.set("phase", phase);
+            }
+            events.push(
+                Value::object()
+                    .with("name", name)
+                    .with("cat", cat)
+                    .with("ph", "i")
+                    .with("s", "t") // thread-scoped instant
+                    .with("pid", pid)
+                    .with("tid", rank)
+                    .with("ts", us(event.t_ns))
+                    .with("args", args),
+            );
+        }
+    }
+
+    // Emit a chronological stream: metadata first, then events by `ts`
+    // (Perfetto sorts internally, but a sorted file is diffable and lets
+    // simple consumers scan per-rank timelines without re-sorting).
+    events.sort_by(|a, b| {
+        let key = |e: &Value| match e.get("ph").and_then(Value::as_str) {
+            Some("M") => (0u8, 0.0f64),
+            _ => (1, e.get("ts").and_then(Value::as_f64).unwrap_or(0.0)),
+        };
+        let (ka, kb) = (key(a), key(b));
+        ka.0.cmp(&kb.0).then(ka.1.partial_cmp(&kb.1).unwrap_or(std::cmp::Ordering::Equal))
+    });
+
+    events
+}
+
+/// Serializes [`chrome_trace`] to a pretty-printed JSON string ready to be
+/// written to a `.json` file and opened in Perfetto.
+pub fn chrome_trace_string(traces: &[Vec<CommEvent>]) -> String {
+    chrome_trace(traces).to_string_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use symtensor_mpsim::Universe;
+
+    fn sample_traces() -> Vec<Vec<CommEvent>> {
+        let (_, _, traces) = Universe::new(2).run_traced(|comm| {
+            comm.with_phase("exchange", || {
+                comm.annotate_round(3);
+                let other = 1 - comm.rank();
+                comm.exchange(other, 9, vec![0.0; 4]).unwrap();
+                comm.clear_round();
+            });
+        });
+        traces
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_expected_events() {
+        let traces = sample_traces();
+        let text = chrome_trace_string(&traces);
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 metadata + 2 phase spans + (2 sends + 2 recvs) instants.
+        assert_eq!(events.len(), 2 + 2 + 4);
+        let phases: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(Value::as_str) == Some("X")).collect();
+        assert_eq!(phases.len(), 2);
+        for phase in &phases {
+            assert_eq!(phase.get("name").unwrap().as_str(), Some("exchange"));
+            assert_eq!(phase.get("args").unwrap().get("words_sent").unwrap().as_u64(), Some(4));
+        }
+        let instants: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(Value::as_str) == Some("i")).collect();
+        assert_eq!(instants.len(), 4);
+        for instant in &instants {
+            let args = instant.get("args").unwrap();
+            assert_eq!(args.get("round").unwrap().as_u64(), Some(3));
+            assert_eq!(args.get("phase").unwrap().as_str(), Some("exchange"));
+            assert_eq!(args.get("words").unwrap().as_u64(), Some(4));
+        }
+    }
+
+    #[test]
+    fn per_rank_timestamps_are_monotone() {
+        let traces = sample_traces();
+        for events in &traces {
+            let mut last = 0;
+            for e in events {
+                assert!(e.t_ns >= last, "timestamps must be non-decreasing per rank");
+                last = e.t_ns;
+            }
+        }
+    }
+
+    #[test]
+    fn multi_run_document_separates_processes() {
+        let runs =
+            vec![("first".to_string(), sample_traces()), ("second".to_string(), sample_traces())];
+        let doc = chrome_trace_multi(&runs);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let process_names: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(Value::as_str) == Some("process_name")
+                    && e.get("ph").and_then(Value::as_str) == Some("M")
+            })
+            .map(|e| {
+                (
+                    e.get("pid").unwrap().as_u64().unwrap(),
+                    e.get("args").unwrap().get("name").unwrap().as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(process_names, vec![(1, "first".to_string()), (2, "second".to_string())]);
+        // Every non-metadata event belongs to pid 1 or 2.
+        for e in events {
+            let pid = e.get("pid").unwrap().as_u64().unwrap();
+            assert!(pid == 1 || pid == 2);
+        }
+    }
+
+    #[test]
+    fn metadata_names_every_rank_track() {
+        let traces = sample_traces();
+        let doc = chrome_trace(&traces);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let names: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["rank 0", "rank 1"]);
+    }
+}

@@ -1,0 +1,247 @@
+//! The P×P communication matrix: words and messages per (src, dst) pair.
+//!
+//! Built from the timestamped `Send` events of a traced run. Row marginals
+//! (words leaving a rank) and column marginals (words arriving at a rank)
+//! must reconcile **exactly** with the [`CostReport`] counters maintained on
+//! the send/recv hot path — [`CommMatrix::reconcile`] checks this, and the
+//! integration tests assert it for Algorithm 5 runs.
+
+use crate::json::Value;
+use symtensor_mpsim::cost::CommEventKind;
+use symtensor_mpsim::{CommEvent, CostReport};
+
+/// Dense P×P matrix of traffic, in words and message counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommMatrix {
+    p: usize,
+    /// `words[src * p + dst]`.
+    words: Vec<u64>,
+    /// `msgs[src * p + dst]`.
+    msgs: Vec<u64>,
+}
+
+/// A discrepancy between the matrix marginals and a [`CostReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReconcileError {
+    /// Rank whose counters disagree.
+    pub rank: usize,
+    /// Quantity name (`words_sent`, `msgs_recv`, …).
+    pub quantity: &'static str,
+    /// Value derived from the matrix.
+    pub from_matrix: u64,
+    /// Value recorded in the cost report.
+    pub from_report: u64,
+}
+
+impl std::fmt::Display for ReconcileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {}: {} disagrees (matrix {}, report {})",
+            self.rank, self.quantity, self.from_matrix, self.from_report
+        )
+    }
+}
+
+impl std::error::Error for ReconcileError {}
+
+impl CommMatrix {
+    /// An all-zero P×P matrix.
+    pub fn new(p: usize) -> Self {
+        CommMatrix { p, words: vec![0; p * p], msgs: vec![0; p * p] }
+    }
+
+    /// Builds the matrix from per-rank event logs (indexed by rank, as
+    /// returned by [`symtensor_mpsim::Universe::run_traced`]). Only `Send`
+    /// events contribute; in the simulator every send is eventually
+    /// received, so using sends avoids double counting.
+    pub fn from_traces(traces: &[Vec<CommEvent>]) -> Self {
+        let p = traces.len();
+        let mut m = CommMatrix::new(p);
+        for (src, events) in traces.iter().enumerate() {
+            for event in events {
+                if let CommEventKind::Send { dst, words, .. } = event.kind {
+                    m.add(src, dst, words);
+                }
+            }
+        }
+        m
+    }
+
+    /// Records one message of `words` words from `src` to `dst`.
+    pub fn add(&mut self, src: usize, dst: usize, words: u64) {
+        self.words[src * self.p + dst] += words;
+        self.msgs[src * self.p + dst] += 1;
+    }
+
+    /// Number of ranks P.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// Words shipped from `src` to `dst` over the whole run.
+    pub fn words(&self, src: usize, dst: usize) -> u64 {
+        self.words[src * self.p + dst]
+    }
+
+    /// Messages shipped from `src` to `dst`.
+    pub fn msgs(&self, src: usize, dst: usize) -> u64 {
+        self.msgs[src * self.p + dst]
+    }
+
+    /// Row marginal: total words sent by `src`.
+    pub fn row_words(&self, src: usize) -> u64 {
+        self.words[src * self.p..(src + 1) * self.p].iter().sum()
+    }
+
+    /// Column marginal: total words received by `dst`.
+    pub fn col_words(&self, dst: usize) -> u64 {
+        (0..self.p).map(|src| self.words[src * self.p + dst]).sum()
+    }
+
+    /// Row marginal in messages.
+    pub fn row_msgs(&self, src: usize) -> u64 {
+        self.msgs[src * self.p..(src + 1) * self.p].iter().sum()
+    }
+
+    /// Column marginal in messages.
+    pub fn col_msgs(&self, dst: usize) -> u64 {
+        (0..self.p).map(|src| self.msgs[src * self.p + dst]).sum()
+    }
+
+    /// Total words across all pairs.
+    pub fn total_words(&self) -> u64 {
+        self.words.iter().sum()
+    }
+
+    /// Checks that every rank's row/column marginals equal the hot-path
+    /// counters in `report` exactly (words and messages, sent and
+    /// received). Returns the first discrepancy found.
+    pub fn reconcile(&self, report: &CostReport) -> Result<(), ReconcileError> {
+        if report.per_rank.len() != self.p {
+            return Err(ReconcileError {
+                rank: 0,
+                quantity: "rank count",
+                from_matrix: self.p as u64,
+                from_report: report.per_rank.len() as u64,
+            });
+        }
+        for (rank, cost) in report.per_rank.iter().enumerate() {
+            let checks = [
+                ("words_sent", self.row_words(rank), cost.words_sent),
+                ("words_recv", self.col_words(rank), cost.words_recv),
+                ("msgs_sent", self.row_msgs(rank), cost.msgs_sent),
+                ("msgs_recv", self.col_msgs(rank), cost.msgs_recv),
+            ];
+            for (quantity, from_matrix, from_report) in checks {
+                if from_matrix != from_report {
+                    return Err(ReconcileError { rank, quantity, from_matrix, from_report });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// JSON export: `{"p": P, "words": [[...]], "msgs": [[...]]}` with
+    /// row-major nested arrays.
+    pub fn to_json(&self) -> Value {
+        let rows = |data: &[u64]| {
+            Value::Array(
+                (0..self.p)
+                    .map(|src| {
+                        Value::Array(
+                            (0..self.p).map(|dst| data[src * self.p + dst].into()).collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        Value::object()
+            .with("p", self.p)
+            .with("words", rows(&self.words))
+            .with("msgs", rows(&self.msgs))
+    }
+
+    /// Plain-text rendering (words only), for terminal display.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let width = self.words.iter().map(|w| w.to_string().len()).max().unwrap_or(1).max(4);
+        let mut out = String::new();
+        let _ = write!(out, "{:>6} ", "src\\dst");
+        for dst in 0..self.p {
+            let _ = write!(out, "{dst:>width$} ");
+        }
+        let _ = writeln!(out, "{:>width$}", "Σrow");
+        for src in 0..self.p {
+            let _ = write!(out, "{src:>6} ");
+            for dst in 0..self.p {
+                let _ = write!(out, "{:>width$} ", self.words(src, dst));
+            }
+            let _ = writeln!(out, "{:>width$}", self.row_words(src));
+        }
+        let _ = write!(out, "{:>6} ", "Σcol");
+        for dst in 0..self.p {
+            let _ = write!(out, "{:>width$} ", self.col_words(dst));
+        }
+        let _ = writeln!(out, "{:>width$}", self.total_words());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symtensor_mpsim::Universe;
+
+    fn ring_run(p: usize) -> (CostReport, Vec<Vec<CommEvent>>) {
+        let (_, report, traces) = Universe::new(p).run_traced(|comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 0, vec![0.0; 2 + comm.rank()]);
+            comm.recv(prev, 0).unwrap();
+        });
+        (report, traces)
+    }
+
+    #[test]
+    fn matrix_matches_ring_topology() {
+        let (report, traces) = ring_run(4);
+        let m = CommMatrix::from_traces(&traces);
+        assert_eq!(m.words(0, 1), 2);
+        assert_eq!(m.words(3, 0), 5);
+        assert_eq!(m.words(0, 2), 0);
+        assert_eq!(m.msgs(0, 1), 1);
+        m.reconcile(&report).unwrap();
+        assert_eq!(m.total_words(), report.total_words_sent());
+    }
+
+    #[test]
+    fn reconcile_detects_missing_traffic() {
+        let (report, traces) = ring_run(3);
+        let mut m = CommMatrix::from_traces(&traces);
+        m.add(0, 2, 10); // phantom message not in the report
+        let e = m.reconcile(&report).unwrap_err();
+        assert_eq!(e.quantity, "words_sent");
+        assert_eq!(e.rank, 0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let (_, traces) = ring_run(2);
+        let m = CommMatrix::from_traces(&traces);
+        let v = m.to_json();
+        assert_eq!(v.get("p").unwrap().as_u64(), Some(2));
+        let words = v.get("words").unwrap().as_array().unwrap();
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0].as_array().unwrap()[1].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn text_render_includes_marginals() {
+        let (_, traces) = ring_run(2);
+        let m = CommMatrix::from_traces(&traces);
+        let text = m.render_text();
+        assert!(text.contains("Σrow"));
+        assert!(text.contains("Σcol"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Schedule-step occupancy: who is busy in each communication round.
+//!
+//! The paper's step-counted schedule (§7.2) bounds the number of
+//! synchronous communication steps of the P2P exchange phase by
+//! `q³/2 + 3q²/2 − 1`. When an algorithm annotates its sends with
+//! [`symtensor_mpsim::Comm::annotate_round`], this module derives, per
+//! round, how many ranks acted as senders and receivers and how many words
+//! moved — i.e. how well the schedule packs the machine — and compares the
+//! observed round count against the bound.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+use symtensor_mpsim::cost::CommEventKind;
+use symtensor_mpsim::CommEvent;
+
+/// Occupancy of one schedule round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundOccupancy {
+    /// Round index (as annotated by the algorithm).
+    pub round: u64,
+    /// Number of distinct ranks that sent in this round.
+    pub senders: usize,
+    /// Number of distinct ranks that received in this round.
+    pub receivers: usize,
+    /// Total words moved in this round.
+    pub words: u64,
+    /// Total messages moved in this round.
+    pub msgs: u64,
+}
+
+/// Whole-run occupancy report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OccupancyReport {
+    /// Number of ranks P.
+    pub p: usize,
+    /// Per-round occupancy, ordered by round index.
+    pub rounds: Vec<RoundOccupancy>,
+    /// Words sent outside any annotated round (setup traffic, collectives).
+    pub unannotated_words: u64,
+}
+
+impl OccupancyReport {
+    /// Derives the report from per-rank event logs (`Send` events only, so
+    /// nothing is double counted).
+    pub fn from_traces(traces: &[Vec<CommEvent>]) -> Self {
+        let p = traces.len();
+        // round -> (sender bitset as Vec<bool>, receiver set, words, msgs)
+        struct Acc {
+            senders: Vec<bool>,
+            receivers: Vec<bool>,
+            words: u64,
+            msgs: u64,
+        }
+        let mut per_round: BTreeMap<u64, Acc> = BTreeMap::new();
+        let mut unannotated_words = 0u64;
+        for (rank, events) in traces.iter().enumerate() {
+            for event in events {
+                if let CommEventKind::Send { dst, words, .. } = event.kind {
+                    match event.round {
+                        Some(round) => {
+                            let acc = per_round.entry(round).or_insert_with(|| Acc {
+                                senders: vec![false; p],
+                                receivers: vec![false; p],
+                                words: 0,
+                                msgs: 0,
+                            });
+                            acc.senders[rank] = true;
+                            acc.receivers[dst] = true;
+                            acc.words += words;
+                            acc.msgs += 1;
+                        }
+                        None => unannotated_words += words,
+                    }
+                }
+            }
+        }
+        let rounds = per_round
+            .into_iter()
+            .map(|(round, acc)| RoundOccupancy {
+                round,
+                senders: acc.senders.iter().filter(|&&b| b).count(),
+                receivers: acc.receivers.iter().filter(|&&b| b).count(),
+                words: acc.words,
+                msgs: acc.msgs,
+            })
+            .collect();
+        OccupancyReport { p, rounds, unannotated_words }
+    }
+
+    /// Number of annotated rounds observed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Mean sender utilization across rounds: `avg(senders_r / P)`.
+    pub fn mean_sender_utilization(&self) -> f64 {
+        if self.rounds.is_empty() || self.p == 0 {
+            return 0.0;
+        }
+        let total: usize = self.rounds.iter().map(|r| r.senders).sum();
+        total as f64 / (self.rounds.len() * self.p) as f64
+    }
+
+    /// `true` when the observed round count is within the paper's step
+    /// bound for tetrahedral partition parameter `q`.
+    pub fn within_step_bound(&self, q: usize) -> bool {
+        self.num_rounds() as u64 <= spherical_step_bound(q)
+    }
+
+    /// JSON export.
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("p", self.p)
+            .with("num_rounds", self.num_rounds())
+            .with("mean_sender_utilization", self.mean_sender_utilization())
+            .with("unannotated_words", self.unannotated_words)
+            .with(
+                "rounds",
+                Value::Array(
+                    self.rounds
+                        .iter()
+                        .map(|r| {
+                            Value::object()
+                                .with("round", r.round)
+                                .with("senders", r.senders)
+                                .with("receivers", r.receivers)
+                                .with("words", r.words)
+                                .with("msgs", r.msgs)
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// The paper's §7.2 step bound for the spherical/tetrahedral schedule:
+/// `q³/2 + 3q²/2 − 1 = q²(q+3)/2 − 1` synchronous communication steps.
+///
+/// (Kept in closed form here so the observability layer does not depend on
+/// the scheduling crate; `symtensor-parallel`'s `spherical_round_count` is
+/// the same formula and the CLI cross-checks the two.)
+pub fn spherical_step_bound(q: usize) -> u64 {
+    debug_assert!(q >= 1);
+    (q * q * (q + 3) / 2 - 1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symtensor_mpsim::Universe;
+
+    #[test]
+    fn step_bound_formula() {
+        // q³/2 + 3q²/2 − 1 for even/odd q (q² (q+3) is always even).
+        assert_eq!(spherical_step_bound(2), 9);
+        assert_eq!(spherical_step_bound(3), 26);
+        assert_eq!(spherical_step_bound(4), 55);
+    }
+
+    #[test]
+    fn occupancy_counts_distinct_ranks_per_round() {
+        let (_, _, traces) = Universe::new(4).run_traced(|comm| {
+            // Round 0: pairwise exchange (0↔1, 2↔3) — all ranks busy.
+            comm.annotate_round(0);
+            let partner = comm.rank() ^ 1;
+            comm.exchange(partner, 0, vec![0.0; 2]).unwrap();
+            // Round 1: only 0 → 2.
+            comm.annotate_round(1);
+            if comm.rank() == 0 {
+                comm.send(2, 1, vec![0.0; 3]);
+            } else if comm.rank() == 2 {
+                comm.recv(0, 1).unwrap();
+            }
+            comm.clear_round();
+            // Unannotated setup traffic.
+            if comm.rank() == 3 {
+                comm.send(0, 2, vec![0.0; 5]);
+            } else if comm.rank() == 0 {
+                comm.recv(3, 2).unwrap();
+            }
+        });
+        let report = OccupancyReport::from_traces(&traces);
+        assert_eq!(report.p, 4);
+        assert_eq!(report.num_rounds(), 2);
+        assert_eq!(report.rounds[0].senders, 4);
+        assert_eq!(report.rounds[0].receivers, 4);
+        assert_eq!(report.rounds[0].words, 8);
+        assert_eq!(report.rounds[1].senders, 1);
+        assert_eq!(report.rounds[1].receivers, 1);
+        assert_eq!(report.rounds[1].words, 3);
+        assert_eq!(report.unannotated_words, 5);
+        assert!((report.mean_sender_utilization() - (4 + 1) as f64 / 8.0).abs() < 1e-12);
+        assert!(report.within_step_bound(2));
+    }
+
+    #[test]
+    fn json_export_has_round_entries() {
+        let (_, _, traces) = Universe::new(2).run_traced(|comm| {
+            comm.annotate_round(7);
+            let other = 1 - comm.rank();
+            comm.exchange(other, 0, vec![1.0]).unwrap();
+            comm.clear_round();
+        });
+        let v = OccupancyReport::from_traces(&traces).to_json();
+        assert_eq!(v.get("num_rounds").unwrap().as_u64(), Some(1));
+        let rounds = v.get("rounds").unwrap().as_array().unwrap();
+        assert_eq!(rounds[0].get("round").unwrap().as_u64(), Some(7));
+    }
+}

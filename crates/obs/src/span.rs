@@ -1,0 +1,193 @@
+//! Phase-span extraction from per-rank event logs.
+//!
+//! [`crate::Comm::with_phase`](symtensor_mpsim::Comm::with_phase) brackets a
+//! region with `PhaseEnter`/`PhaseExit` events carrying counter snapshots.
+//! This module replays a rank's event log and reconstructs the tree of
+//! phases as flat [`PhaseSpan`] records: wall-clock interval, nesting depth,
+//! and the *exact* [`RankCost`] delta incurred inside the phase (exit
+//! snapshot minus enter snapshot).
+
+use std::collections::BTreeMap;
+use symtensor_mpsim::cost::CommEventKind;
+use symtensor_mpsim::{CommEvent, RankCost};
+
+/// One completed phase on one rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Rank the phase ran on.
+    pub rank: usize,
+    /// Phase label.
+    pub name: &'static str,
+    /// Nesting depth (0 = outermost).
+    pub depth: usize,
+    /// Nanoseconds since the universe epoch at entry.
+    pub start_ns: u64,
+    /// Nanoseconds since the universe epoch at exit.
+    pub end_ns: u64,
+    /// Exact communication-cost delta incurred within the phase
+    /// (including nested phases).
+    pub cost: RankCost,
+}
+
+impl PhaseSpan {
+    /// Wall-clock duration of the span.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Reconstructs the completed phase spans of one rank's event log, in order
+/// of phase *entry*. Unmatched `PhaseEnter`s (phases still open when the log
+/// was collected) are dropped; unmatched `PhaseExit`s are ignored.
+pub fn spans_of_rank(rank: usize, events: &[CommEvent]) -> Vec<PhaseSpan> {
+    // (position in `out`, start time, enter snapshot)
+    let mut stack: Vec<(usize, u64, RankCost)> = Vec::new();
+    let mut out: Vec<Option<PhaseSpan>> = Vec::new();
+    for event in events {
+        match event.kind {
+            CommEventKind::PhaseEnter { name, snapshot } => {
+                let depth = stack.len();
+                out.push(Some(PhaseSpan {
+                    rank,
+                    name,
+                    depth,
+                    start_ns: event.t_ns,
+                    end_ns: event.t_ns,
+                    cost: RankCost::default(),
+                }));
+                stack.push((out.len() - 1, event.t_ns, snapshot));
+            }
+            CommEventKind::PhaseExit { name, snapshot } => {
+                if let Some((slot, start_ns, entered)) = stack.pop() {
+                    let span = out[slot].as_mut().expect("span slot filled at enter");
+                    debug_assert_eq!(span.name, name, "mismatched phase nesting");
+                    span.start_ns = start_ns;
+                    span.end_ns = event.t_ns;
+                    span.cost = snapshot.delta_since(&entered);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Drop phases never exited.
+    while let Some((slot, _, _)) = stack.pop() {
+        out[slot] = None;
+    }
+    out.into_iter().flatten().collect()
+}
+
+/// All ranks' spans, flattened (rank-major, entry order within a rank).
+pub fn spans(traces: &[Vec<CommEvent>]) -> Vec<PhaseSpan> {
+    traces.iter().enumerate().flat_map(|(rank, events)| spans_of_rank(rank, events)).collect()
+}
+
+/// Aggregate statistics for one phase label across ranks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Number of spans with this label (across all ranks and repetitions).
+    pub count: u64,
+    /// Total wall-clock nanoseconds across spans.
+    pub total_ns: u64,
+    /// Maximum single-span duration.
+    pub max_ns: u64,
+    /// Summed communication cost across spans.
+    pub total_cost: RankCost,
+    /// Maximum over spans of `max(words_sent, words_recv)` — the per-phase
+    /// bandwidth-cost contribution in the α-β-γ model.
+    pub max_bandwidth: u64,
+}
+
+/// Per-phase aggregate over a set of spans, keyed by label.
+///
+/// Only **top-level** spans (`depth == 0`) are aggregated so that word
+/// totals partition the run: nested phases would otherwise double-count
+/// their parents' traffic.
+pub fn phase_stats(spans: &[PhaseSpan]) -> BTreeMap<&'static str, PhaseStats> {
+    let mut map: BTreeMap<&'static str, PhaseStats> = BTreeMap::new();
+    for span in spans.iter().filter(|s| s.depth == 0) {
+        let entry = map.entry(span.name).or_default();
+        entry.count += 1;
+        entry.total_ns += span.duration_ns();
+        entry.max_ns = entry.max_ns.max(span.duration_ns());
+        entry.total_cost = RankCost {
+            words_sent: entry.total_cost.words_sent + span.cost.words_sent,
+            words_recv: entry.total_cost.words_recv + span.cost.words_recv,
+            msgs_sent: entry.total_cost.msgs_sent + span.cost.msgs_sent,
+            msgs_recv: entry.total_cost.msgs_recv + span.cost.msgs_recv,
+            rounds: entry.total_cost.rounds + span.cost.rounds,
+        };
+        entry.max_bandwidth = entry.max_bandwidth.max(span.cost.bandwidth());
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symtensor_mpsim::Universe;
+
+    #[test]
+    fn spans_reconstruct_nesting_and_cost() {
+        let (_, _, traces) = Universe::new(2).run_traced(|comm| {
+            comm.with_phase("outer", || {
+                comm.with_phase("inner", || {
+                    if comm.rank() == 0 {
+                        comm.send(1, 0, vec![0.0; 5]);
+                    } else {
+                        comm.recv(0, 0).unwrap();
+                    }
+                });
+            });
+        });
+        let spans0 = spans_of_rank(0, &traces[0]);
+        assert_eq!(spans0.len(), 2);
+        let outer = spans0.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans0.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        // Nested traffic is included in the parent's delta.
+        assert_eq!(outer.cost.words_sent, 5);
+        assert_eq!(inner.cost.words_sent, 5);
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(inner.end_ns <= outer.end_ns);
+        let spans1 = spans_of_rank(1, &traces[1]);
+        assert_eq!(spans1.iter().find(|s| s.name == "inner").unwrap().cost.words_recv, 5);
+    }
+
+    #[test]
+    fn stats_aggregate_top_level_only() {
+        let (_, report, traces) = Universe::new(2).run_traced(|comm| {
+            comm.with_phase("a", || {
+                comm.with_phase("a-sub", || {
+                    let other = 1 - comm.rank();
+                    comm.exchange(other, 1, vec![1.0; 3]).unwrap();
+                });
+            });
+            comm.with_phase("b", || {
+                let other = 1 - comm.rank();
+                comm.exchange(other, 2, vec![1.0; 4]).unwrap();
+            });
+        });
+        let stats = phase_stats(&spans(&traces));
+        // Nested "a-sub" is not a top-level key.
+        assert!(!stats.contains_key("a-sub"));
+        assert_eq!(stats["a"].total_cost.words_sent, 6); // 3 words × 2 ranks
+        assert_eq!(stats["b"].total_cost.words_sent, 8);
+        // Top-level phases partition the run: per-phase totals sum to the
+        // whole run's totals.
+        let sum: u64 = stats.values().map(|s| s.total_cost.words_sent).sum();
+        assert_eq!(sum, report.total_words_sent());
+    }
+
+    #[test]
+    fn unclosed_phase_is_dropped() {
+        use symtensor_mpsim::cost::CommEventKind;
+        let events = vec![CommEvent {
+            t_ns: 1,
+            phase: None,
+            round: None,
+            kind: CommEventKind::PhaseEnter { name: "open", snapshot: RankCost::default() },
+        }];
+        assert!(spans_of_rank(0, &events).is_empty());
+    }
+}

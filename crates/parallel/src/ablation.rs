@@ -53,9 +53,8 @@ impl GreedyDiagonals {
         }
         // Central blocks.
         for i in 0..m {
-            let candidates: Vec<usize> = (0..p_count)
-                .filter(|&p| system.blocks()[p].binary_search(&i).is_ok())
-                .collect();
+            let candidates: Vec<usize> =
+                (0..p_count).filter(|&p| system.blocks()[p].binary_search(&i).is_ok()).collect();
             let &winner = candidates
                 .iter()
                 .min_by_key(|&&p| d_sets[p].len())
@@ -91,10 +90,7 @@ impl GreedyDiagonals {
                     blk.kind(),
                     BlockKind::NonCentralIIK | BlockKind::NonCentralIKK
                 ));
-                if [blk.i, blk.j, blk.k]
-                    .iter()
-                    .any(|idx| rp.binary_search(idx).is_err())
-                {
+                if [blk.i, blk.j, blk.k].iter().any(|idx| rp.binary_search(idx).is_err()) {
                     return false;
                 }
             }

@@ -27,7 +27,7 @@ use crate::blocks::OwnedBlocks;
 use crate::partition::TetraPartition;
 use crate::schedule::{shared_row_blocks, CommSchedule};
 use symtensor_core::SymTensor3;
-use symtensor_mpsim::{Comm, CostReport, Universe};
+use symtensor_mpsim::{Comm, CommEvent, CostReport, Universe};
 
 /// Communication strategy for the two vector phases.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,26 +89,32 @@ impl<'a> RankContext<'a> {
             debug_assert_eq!(my_shards[t].len(), range.len());
             x_full[t][range].copy_from_slice(&my_shards[t]);
         }
-        self.exchange_phase(
-            comm,
-            TAG_X,
-            1,
-            // Pack: my shard of shared row block i.
-            |_, t, _peer| my_shards[t].clone(),
-            // Unpack: the peer's shard of row block i, placed at its range.
-            |i, t, peer| {
-                let range = part.shard_range(i, peer);
-                (range.len(), Box::new(move |x_dst: &mut [Vec<f64>], piece: &[f64]| {
-                    x_dst[t][range.clone()].copy_from_slice(piece);
-                }))
-            },
-            &mut x_full,
-        );
+        comm.with_phase("gather-x", || {
+            self.exchange_phase(
+                comm,
+                TAG_X,
+                1,
+                // Pack: my shard of shared row block i.
+                |_, t, _peer| my_shards[t].clone(),
+                // Unpack: the peer's shard of row block i, placed at its range.
+                |i, t, peer| {
+                    let range = part.shard_range(i, peer);
+                    (
+                        range.len(),
+                        Box::new(move |x_dst: &mut [Vec<f64>], piece: &[f64]| {
+                            x_dst[t][range.clone()].copy_from_slice(piece);
+                        }),
+                    )
+                },
+                &mut x_full,
+            )
+        });
 
         // --- Phase 2: local ternary multiplications (lines 24-36).
         let mut y_acc: Vec<Vec<f64>> = vec![vec![0.0; b]; rp.len()];
-        let ternary =
-            self.owned.compute(&x_full, &mut y_acc, |i| rp.binary_search(&i).unwrap());
+        let ternary = comm.with_phase("local-compute", || {
+            self.owned.compute(&x_full, &mut y_acc, |i| rp.binary_search(&i).unwrap())
+        });
 
         // --- Phase 3: distribute and reduce partial y (lines 38-50).
         let mut y_out: Vec<Vec<f64>> = rp
@@ -116,23 +122,28 @@ impl<'a> RankContext<'a> {
             .enumerate()
             .map(|(t, &i)| y_acc[t][part.shard_range(i, p)].to_vec())
             .collect();
-        self.exchange_phase(
-            comm,
-            TAG_Y,
-            1,
-            // Pack: my partial of the *peer's* shard of row block i.
-            |i, t, peer| y_acc[t][part.shard_range(i, peer)].to_vec(),
-            // Unpack: a partial of *my* shard of row block i — accumulate.
-            |i, t, _peer| {
-                let len = part.shard_range(i, p).len();
-                (len, Box::new(move |y_dst: &mut [Vec<f64>], piece: &[f64]| {
-                    for (acc, &v) in y_dst[t].iter_mut().zip(piece) {
-                        *acc += v;
-                    }
-                }))
-            },
-            &mut y_out,
-        );
+        comm.with_phase("reduce-y", || {
+            self.exchange_phase(
+                comm,
+                TAG_Y,
+                1,
+                // Pack: my partial of the *peer's* shard of row block i.
+                |i, t, peer| y_acc[t][part.shard_range(i, peer)].to_vec(),
+                // Unpack: a partial of *my* shard of row block i — accumulate.
+                |i, t, _peer| {
+                    let len = part.shard_range(i, p).len();
+                    (
+                        len,
+                        Box::new(move |y_dst: &mut [Vec<f64>], piece: &[f64]| {
+                            for (acc, &v) in y_dst[t].iter_mut().zip(piece) {
+                                *acc += v;
+                            }
+                        }),
+                    )
+                },
+                &mut y_out,
+            )
+        });
 
         (y_out, ternary)
     }
@@ -181,6 +192,7 @@ impl<'a> RankContext<'a> {
             Mode::Scheduled => {
                 let schedule = self.schedule.expect("scheduled mode requires a schedule");
                 for (round, act) in schedule.actions(p).iter().enumerate() {
+                    comm.annotate_round(round as u64);
                     if let Some(dst) = act.send_to {
                         comm.send(dst, tag_base + round as u64, pack_for(dst));
                     }
@@ -194,6 +206,7 @@ impl<'a> RankContext<'a> {
                         comm.count_round();
                     }
                 }
+                comm.clear_round();
             }
             Mode::AllToAllPadded | Mode::AllToAllSparse => {
                 let p_count = part.num_procs();
@@ -264,13 +277,38 @@ pub fn parallel_sttsv(
     x: &[f64],
     mode: Mode,
 ) -> SttsvRun {
+    let (run, _traces) = run_sttsv(tensor, part, x, mode, false);
+    run
+}
+
+/// Like [`parallel_sttsv`] but with per-rank event tracing enabled: also
+/// returns each rank's full [`CommEvent`] log (phase-annotated sends/recvs,
+/// round annotations from the scheduled exchanges), ready for the
+/// `symtensor-obs` exporters. The [`CostReport`] is identical to the
+/// untraced run — tracing never touches the counters.
+pub fn parallel_sttsv_traced(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x: &[f64],
+    mode: Mode,
+) -> (SttsvRun, Vec<Vec<CommEvent>>) {
+    run_sttsv(tensor, part, x, mode, true)
+}
+
+fn run_sttsv(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x: &[f64],
+    mode: Mode,
+    traced: bool,
+) -> (SttsvRun, Vec<Vec<CommEvent>>) {
     let n = part.dim();
     assert_eq!(tensor.dim(), n);
     assert_eq!(x.len(), n);
     let p_count = part.num_procs();
     let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
 
-    let (rank_results, report) = Universe::new(p_count).run(|comm| {
+    let rank_main = |comm: &Comm| {
         let p = comm.rank();
         let ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref());
         let my_shards: Vec<Vec<f64>> = part
@@ -282,7 +320,14 @@ pub fn parallel_sttsv(
             })
             .collect();
         ctx.sttsv(comm, &my_shards)
-    });
+    };
+    let universe = Universe::new(p_count);
+    let (rank_results, report, traces) = if traced {
+        universe.run_traced(rank_main)
+    } else {
+        let (results, report) = universe.run(rank_main);
+        (results, report, Vec::new())
+    };
 
     let mut y = vec![0.0; n];
     let mut ternary_per_rank = Vec::with_capacity(p_count);
@@ -294,7 +339,7 @@ pub fn parallel_sttsv(
             y[global.start + local.start..global.start + local.end].copy_from_slice(&shards[t]);
         }
     }
-    SttsvRun { y, report, ternary_per_rank }
+    (SttsvRun { y, report, ternary_per_rank }, traces)
 }
 
 /// Runs Algorithm 5 for an arbitrary dimension by zero-padding the tensor

@@ -39,27 +39,32 @@ pub fn sttsv_1d(tensor: &SymTensor3, x: &[f64], p_count: usize) -> SttsvRun {
             let p = comm.rank();
             let my_rows = chunk_bounds(n, p_count, p);
             // Gather the full x from per-rank chunks (ring all-gather).
-            let local = x[chunk_bounds(n, p_count, p)].to_vec();
-            let pieces = comm.all_gather(local).expect("all_gather failed");
-            let mut x_full = Vec::with_capacity(n);
-            for piece in pieces {
-                x_full.extend_from_slice(&piece);
-            }
+            let x_full = comm.with_phase("gather-x", || {
+                let local = x[chunk_bounds(n, p_count, p)].to_vec();
+                let pieces = comm.all_gather(local).expect("all_gather failed");
+                let mut x_full = Vec::with_capacity(n);
+                for piece in pieces {
+                    x_full.extend_from_slice(&piece);
+                }
+                x_full
+            });
             // Compute owned rows without exploiting symmetry (the tensor is
             // read through the packed store, but every (j,k) is visited).
-            let mut y_rows = Vec::with_capacity(my_rows.len());
-            let mut ternary = 0u64;
-            for i in my_rows.clone() {
-                let mut acc = 0.0;
-                for (j, &xj) in x_full.iter().enumerate() {
-                    for (k, &xk) in x_full.iter().enumerate() {
-                        acc += tensor.get(i, j, k) * xj * xk;
+            comm.with_phase("local-compute", || {
+                let mut y_rows = Vec::with_capacity(my_rows.len());
+                let mut ternary = 0u64;
+                for i in my_rows.clone() {
+                    let mut acc = 0.0;
+                    for (j, &xj) in x_full.iter().enumerate() {
+                        for (k, &xk) in x_full.iter().enumerate() {
+                            acc += tensor.get(i, j, k) * xj * xk;
+                        }
                     }
+                    ternary += (n * n) as u64;
+                    y_rows.push(acc);
                 }
-                ternary += (n * n) as u64;
-                y_rows.push(acc);
-            }
-            (y_rows, ternary)
+                (y_rows, ternary)
+            })
         });
 
     let mut y = vec![0.0; n];
@@ -94,104 +99,113 @@ pub fn sttsv_3d(tensor: &SymTensor3, x: &[f64], g: usize) -> SttsvRun {
             // --- Gather x[jrange]: owners are the ranks (a, cj, c); my own
             // piece is (ci·g + ck). Also everyone with K-coordinate = cj
             // needs chunk cj for mode 3; I send my piece to them.
-            let chunk_len = jrange.len();
-            let my_piece_range = {
-                let local = chunk_bounds(chunk_len, g * g, ci * g + ck);
-                jrange.start + local.start..jrange.start + local.end
-            };
-            let my_piece = x[my_piece_range.clone()].to_vec();
-            // Send my piece to the other owners of chunk cj (mode-2 users)…
-            for a in 0..g {
-                for c in 0..g {
-                    let dst = rank_of(a, cj, c);
-                    if dst != comm.rank() {
-                        comm.send(dst, TAG_X2, my_piece.clone());
-                    }
-                }
-            }
-            // …and to every rank whose mode-3 chunk is cj.
-            for a in 0..g {
-                for bcoord in 0..g {
-                    let dst = rank_of(a, bcoord, cj);
-                    if dst != comm.rank() {
-                        comm.send(dst, TAG_X3, my_piece.clone());
-                    }
-                }
-            }
-            // Receive chunk cj (mode 2) from its owners.
-            let mut x2 = vec![0.0; jrange.len()];
-            {
-                let local = chunk_bounds(chunk_len, g * g, ci * g + ck);
-                x2[local].copy_from_slice(&my_piece);
-            }
-            for a in 0..g {
-                for c in 0..g {
-                    let src = rank_of(a, cj, c);
-                    if src != comm.rank() {
-                        let piece = comm.recv(src, TAG_X2).expect("x2 gather failed");
-                        let local = chunk_bounds(chunk_len, g * g, a * g + c);
-                        x2[local].copy_from_slice(&piece);
-                    }
-                }
-            }
-            // Receive chunk ck (mode 3) from its owners (ranks (a, ck, c)).
-            let klen = krange.len();
-            let mut x3 = vec![0.0; klen];
-            for a in 0..g {
-                for c in 0..g {
-                    let src = rank_of(a, ck, c);
-                    if src == comm.rank() {
-                        // Only possible when cj == ck: reuse my own piece.
-                        let local = chunk_bounds(klen, g * g, a * g + c);
-                        x3[local].copy_from_slice(&my_piece);
-                    } else {
-                        let piece = comm.recv(src, TAG_X3).expect("x3 gather failed");
-                        let local = chunk_bounds(klen, g * g, a * g + c);
-                        x3[local].copy_from_slice(&piece);
-                    }
-                }
-            }
-
-            // --- Local compute over the dense cube.
-            let mut y_partial = vec![0.0; irange.len()];
-            let mut ternary = 0u64;
-            for (li, i) in irange.clone().enumerate() {
-                let mut acc = 0.0;
-                for (lj, j) in jrange.clone().enumerate() {
-                    let xj = x2[lj];
-                    for (lk, k) in krange.clone().enumerate() {
-                        acc += tensor.get(i, j, k) * xj * x3[lk];
-                    }
-                }
-                ternary += (jrange.len() * krange.len()) as u64;
-                y_partial[li] = acc;
-            }
-
-            // --- Reduce y within the plane sharing I: owners of chunk ci's
-            // pieces are ranks (ci, a, c) with piece a·g + c.
-            let ilen = irange.len();
-            for a in 0..g {
-                for c in 0..g {
-                    let dst = rank_of(ci, a, c);
-                    if dst != comm.rank() {
-                        let local = chunk_bounds(ilen, g * g, a * g + c);
-                        comm.send(dst, TAG_Y, y_partial[local].to_vec());
-                    }
-                }
-            }
-            let my_y_local = chunk_bounds(ilen, g * g, cj * g + ck);
-            let mut y_mine = y_partial[my_y_local].to_vec();
-            for a in 0..g {
-                for c in 0..g {
-                    let src = rank_of(ci, a, c);
-                    if src != comm.rank() {
-                        let piece = comm.recv(src, TAG_Y).expect("y reduce failed");
-                        for (acc, &v) in y_mine.iter_mut().zip(&piece) {
-                            *acc += v;
+            let (x2, x3) = comm.with_phase("gather-x", || {
+                let chunk_len = jrange.len();
+                let my_piece_range = {
+                    let local = chunk_bounds(chunk_len, g * g, ci * g + ck);
+                    jrange.start + local.start..jrange.start + local.end
+                };
+                let my_piece = x[my_piece_range.clone()].to_vec();
+                // Send my piece to the other owners of chunk cj (mode-2 users)…
+                for a in 0..g {
+                    for c in 0..g {
+                        let dst = rank_of(a, cj, c);
+                        if dst != comm.rank() {
+                            comm.send(dst, TAG_X2, my_piece.clone());
                         }
                     }
                 }
-            }
+                // …and to every rank whose mode-3 chunk is cj.
+                for a in 0..g {
+                    for bcoord in 0..g {
+                        let dst = rank_of(a, bcoord, cj);
+                        if dst != comm.rank() {
+                            comm.send(dst, TAG_X3, my_piece.clone());
+                        }
+                    }
+                }
+                // Receive chunk cj (mode 2) from its owners.
+                let mut x2 = vec![0.0; jrange.len()];
+                {
+                    let local = chunk_bounds(chunk_len, g * g, ci * g + ck);
+                    x2[local].copy_from_slice(&my_piece);
+                }
+                for a in 0..g {
+                    for c in 0..g {
+                        let src = rank_of(a, cj, c);
+                        if src != comm.rank() {
+                            let piece = comm.recv(src, TAG_X2).expect("x2 gather failed");
+                            let local = chunk_bounds(chunk_len, g * g, a * g + c);
+                            x2[local].copy_from_slice(&piece);
+                        }
+                    }
+                }
+                // Receive chunk ck (mode 3) from its owners (ranks (a, ck, c)).
+                let klen = krange.len();
+                let mut x3 = vec![0.0; klen];
+                for a in 0..g {
+                    for c in 0..g {
+                        let src = rank_of(a, ck, c);
+                        if src == comm.rank() {
+                            // Only possible when cj == ck: reuse my own piece.
+                            let local = chunk_bounds(klen, g * g, a * g + c);
+                            x3[local].copy_from_slice(&my_piece);
+                        } else {
+                            let piece = comm.recv(src, TAG_X3).expect("x3 gather failed");
+                            let local = chunk_bounds(klen, g * g, a * g + c);
+                            x3[local].copy_from_slice(&piece);
+                        }
+                    }
+                }
+                (x2, x3)
+            });
+
+            // --- Local compute over the dense cube.
+            let (y_partial, ternary) = comm.with_phase("local-compute", || {
+                let mut y_partial = vec![0.0; irange.len()];
+                let mut ternary = 0u64;
+                for (li, i) in irange.clone().enumerate() {
+                    let mut acc = 0.0;
+                    for (lj, j) in jrange.clone().enumerate() {
+                        let xj = x2[lj];
+                        for (lk, k) in krange.clone().enumerate() {
+                            acc += tensor.get(i, j, k) * xj * x3[lk];
+                        }
+                    }
+                    ternary += (jrange.len() * krange.len()) as u64;
+                    y_partial[li] = acc;
+                }
+                (y_partial, ternary)
+            });
+
+            // --- Reduce y within the plane sharing I: owners of chunk ci's
+            // pieces are ranks (ci, a, c) with piece a·g + c.
+            let y_mine = comm.with_phase("reduce-y", || {
+                let ilen = irange.len();
+                for a in 0..g {
+                    for c in 0..g {
+                        let dst = rank_of(ci, a, c);
+                        if dst != comm.rank() {
+                            let local = chunk_bounds(ilen, g * g, a * g + c);
+                            comm.send(dst, TAG_Y, y_partial[local].to_vec());
+                        }
+                    }
+                }
+                let my_y_local = chunk_bounds(ilen, g * g, cj * g + ck);
+                let mut y_mine = y_partial[my_y_local].to_vec();
+                for a in 0..g {
+                    for c in 0..g {
+                        let src = rank_of(ci, a, c);
+                        if src != comm.rank() {
+                            let piece = comm.recv(src, TAG_Y).expect("y reduce failed");
+                            for (acc, &v) in y_mine.iter_mut().zip(&piece) {
+                                *acc += v;
+                            }
+                        }
+                    }
+                }
+                y_mine
+            });
             (y_mine, ternary)
         });
 
@@ -288,10 +302,7 @@ mod tests {
         let run = sttsv_3d(&tensor, &x, g);
         let model = baseline_3d_words(n, g);
         let max_recv = run.report.max_words_recv() as f64;
-        assert!(
-            (max_recv - model).abs() / model < 0.25,
-            "measured {max_recv} vs model {model}"
-        );
+        assert!((max_recv - model).abs() / model < 0.25, "measured {max_recv} vs model {model}");
     }
 
     #[test]

@@ -447,11 +447,8 @@ mod tests {
             let mut y_acc: Vec<Vec<f64>> = vec![vec![0.0; b]; rp.len()];
             let pos = |i: usize| rp.binary_search(&i).unwrap();
             let measured = owned.compute(&x_full, &mut y_acc, pos);
-            let formula: u64 = part
-                .owned_blocks(p)
-                .iter()
-                .map(|blk| ternary_mults_in_block(blk.kind(), b))
-                .sum();
+            let formula: u64 =
+                part.owned_blocks(p).iter().map(|blk| ternary_mults_in_block(blk.kind(), b)).sum();
             assert_eq!(measured, formula, "processor {p}");
             assert_eq!(measured, part.ternary_mults(p));
         }

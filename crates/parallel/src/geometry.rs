@@ -57,10 +57,8 @@ pub fn is_strictly_sorted(v: &PointSet) -> bool {
 pub fn symmetric_inequality_sides(v: &PointSet) -> (usize, usize) {
     assert!(is_strictly_sorted(v), "Lemma 4.2 needs V ⊆ {{i > j > k}}");
     let (pi, pj, pk) = projections(v);
-    let union: BTreeSet<i64> = pi.union(&pj).cloned().collect::<BTreeSet<_>>()
-        .union(&pk)
-        .cloned()
-        .collect();
+    let union: BTreeSet<i64> =
+        pi.union(&pj).cloned().collect::<BTreeSet<_>>().union(&pk).cloned().collect();
     (6 * v.len(), union.len().pow(3))
 }
 

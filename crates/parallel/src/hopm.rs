@@ -11,6 +11,7 @@ use crate::algorithm5::{Mode, RankContext};
 use crate::partition::TetraPartition;
 use crate::schedule::CommSchedule;
 use symtensor_core::hopm::{HopmOptions, HopmResult};
+use symtensor_core::seq::OpCount;
 use symtensor_core::SymTensor3;
 use symtensor_mpsim::{Comm, CostReport, Universe};
 
@@ -63,11 +64,17 @@ pub fn parallel_shifted_hopm(
     let mut iters = 0;
     let mut converged = false;
     let mut residual = 0.0;
+    // Machine-wide work: sum of per-rank §7.1 ternary-multiplication
+    // counts. (The distributed kernel does not track iteration-space
+    // points, so `ops.points` stays 0; the parallel residual comes from
+    // scalar all-reduces, not an extra STTSV, so no final-call term.)
+    let mut ops = OpCount::default();
     for (p, out) in rank_results.into_iter().enumerate() {
         lambda = out.lambda;
         iters = out.iters;
         converged = out.converged;
         residual = out.residual;
+        ops.ternary_mults += out.ternary;
         for (t, &i) in part.r_set(p).iter().enumerate() {
             let global = part.block_range(i);
             let local = part.shard_range(i, p);
@@ -75,7 +82,7 @@ pub fn parallel_shifted_hopm(
                 .copy_from_slice(&out.x_shards[t]);
         }
     }
-    (HopmResult { lambda, x, iters, converged, residual }, report)
+    (HopmResult { lambda, x, iters, converged, residual, ops }, report)
 }
 
 /// Per-rank HOPM state returned to the driver.
@@ -85,6 +92,8 @@ struct RankHopmOut {
     iters: usize,
     converged: bool,
     residual: f64,
+    /// Ternary multiplications this rank performed across all iterations.
+    ternary: u64,
 }
 
 fn rank_hopm(
@@ -108,16 +117,14 @@ fn rank_hopm(
     let mut residual = 0.0;
     let mut iters = 0;
     let mut converged = false;
+    let mut ternary = 0u64;
     while iters < opts.max_iters {
-        let (mut y_raw, _) = ctx.sttsv(comm, &x_shards);
+        let (mut y_raw, count) = ctx.sttsv(comm, &x_shards);
+        ternary += count;
         // ‖y_raw‖² and xᵀy_raw before shifting (for λ and the residual).
         let raw_sq: f64 = y_raw.iter().flatten().map(|&v| v * v).sum();
-        let x_dot_raw: f64 = x_shards
-            .iter()
-            .flatten()
-            .zip(y_raw.iter().flatten())
-            .map(|(&a, &b)| a * b)
-            .sum();
+        let x_dot_raw: f64 =
+            x_shards.iter().flatten().zip(y_raw.iter().flatten()).map(|(&a, &b)| a * b).sum();
         // Shifted iterate y = A·x·x + α·x.
         if alpha != 0.0 {
             for (shard, xs) in y_raw.iter_mut().zip(&x_shards) {
@@ -156,7 +163,7 @@ fn rank_hopm(
             break;
         }
     }
-    RankHopmOut { x_shards, lambda, iters, converged, residual }
+    RankHopmOut { x_shards, lambda, iters, converged, residual, ternary }
 }
 
 #[cfg(test)]
@@ -216,10 +223,29 @@ mod tests {
         let alpha = safe_shift(&tensor);
         let opts = HopmOptions { tol: 1e-13, max_iters: 20000 };
         let seq = shifted_hopm(&tensor, &x0, alpha, opts);
-        let (par, _) = super::parallel_shifted_hopm(&tensor, &part, &x0, alpha, opts, Mode::Scheduled);
+        let (par, _) =
+            super::parallel_shifted_hopm(&tensor, &part, &x0, alpha, opts, Mode::Scheduled);
         assert!(par.converged && seq.converged);
         assert!((par.lambda - seq.lambda).abs() < 1e-6, "{} vs {}", par.lambda, seq.lambda);
         assert!(par.residual < 1e-5, "residual {}", par.residual);
+    }
+
+    #[test]
+    fn ops_count_iterations_times_machine_work() {
+        let n = 30;
+        let part = TetraPartition::new(spherical(2), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(95);
+        let odeco = random_odeco(n, 3, &mut rng);
+        let mut x0 = odeco.vectors[0].clone();
+        x0[3] += 0.05;
+        let opts = HopmOptions { tol: 1e-12, max_iters: 500 };
+        let (par, _) = parallel_hopm(&odeco.tensor, &part, &x0, opts, Mode::Scheduled);
+        assert!(par.converged);
+        // One Algorithm-5 STTSV per iteration; each costs the sum of the
+        // per-rank §7.1 ternary counts.
+        let per_call: u64 = (0..part.num_procs()).map(|p| part.ternary_mults(p)).sum();
+        assert_eq!(par.ops.ternary_mults, par.iters as u64 * per_call);
+        assert_eq!(par.ops.flops(), 3 * par.ops.ternary_mults);
     }
 
     #[test]

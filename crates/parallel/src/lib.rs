@@ -42,6 +42,8 @@ pub mod schedule;
 pub mod tetra;
 pub mod triangle;
 
-pub use algorithm5::{parallel_sttsv, parallel_sttsv_padded, Mode, SttsvRun};
+pub use algorithm5::{
+    parallel_sttsv, parallel_sttsv_padded, parallel_sttsv_traced, Mode, SttsvRun,
+};
 pub use partition::TetraPartition;
 pub use schedule::CommSchedule;

@@ -29,7 +29,12 @@ impl RankContext<'_> {
     /// this rank's shard of row block `R_p[t]` for every column,
     /// column-major: `[col0 shard | col1 shard | …]`. Returns wide `y`
     /// shards (same layout) and the ternary-multiplication count.
-    pub fn mttkrp(&self, comm: &Comm, my_wide_shards: &[Vec<f64>], r: usize) -> (Vec<Vec<f64>>, u64) {
+    pub fn mttkrp(
+        &self,
+        comm: &Comm,
+        my_wide_shards: &[Vec<f64>],
+        r: usize,
+    ) -> (Vec<Vec<f64>>, u64) {
         let part = self.part;
         let p = comm.rank();
         let rp = part.r_set(p);
@@ -55,12 +60,15 @@ impl RankContext<'_> {
             |i, t, peer| {
                 let range = part.shard_range(i, peer);
                 let s = range.len();
-                (s * r, Box::new(move |x_dst: &mut [Vec<f64>], piece: &[f64]| {
-                    for col in 0..r {
-                        x_dst[t][col * b + range.start..col * b + range.end]
-                            .copy_from_slice(&piece[col * s..(col + 1) * s]);
-                    }
-                }))
+                (
+                    s * r,
+                    Box::new(move |x_dst: &mut [Vec<f64>], piece: &[f64]| {
+                        for col in 0..r {
+                            x_dst[t][col * b + range.start..col * b + range.end]
+                                .copy_from_slice(&piece[col * s..(col + 1) * s]);
+                        }
+                    }),
+                )
             },
             &mut x_wide,
         );
@@ -102,19 +110,20 @@ impl RankContext<'_> {
                 let s = range.len();
                 let mut buf = Vec::with_capacity(s * r);
                 for col in 0..r {
-                    buf.extend_from_slice(
-                        &y_wide[t][col * b + range.start..col * b + range.end],
-                    );
+                    buf.extend_from_slice(&y_wide[t][col * b + range.start..col * b + range.end]);
                 }
                 buf
             },
             |i, t, _peer| {
                 let s = part.shard_range(i, p).len();
-                (s * r, Box::new(move |y_dst: &mut [Vec<f64>], piece: &[f64]| {
-                    for (acc, &v) in y_dst[t].iter_mut().zip(piece) {
-                        *acc += v;
-                    }
-                }))
+                (
+                    s * r,
+                    Box::new(move |y_dst: &mut [Vec<f64>], piece: &[f64]| {
+                        for (acc, &v) in y_dst[t].iter_mut().zip(piece) {
+                            *acc += v;
+                        }
+                    }),
+                )
             },
             &mut y_out,
         );

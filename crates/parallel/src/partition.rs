@@ -275,7 +275,8 @@ impl TetraPartition {
     /// that construct systems from untrusted input.
     pub fn verify(&self) -> Result<(), String> {
         let m = self.num_row_blocks();
-        let mut owner: std::collections::HashMap<BlockIdx, usize> = std::collections::HashMap::new();
+        let mut owner: std::collections::HashMap<BlockIdx, usize> =
+            std::collections::HashMap::new();
         for p in 0..self.num_procs() {
             for blk in self.owned_blocks(p) {
                 if let Some(prev) = owner.insert(blk, p) {

@@ -34,53 +34,55 @@ pub fn scatter_from_root(
     let p_count = part.num_procs();
 
     Universe::new(p_count).run(|comm| {
-        let p = comm.rank();
-        if p == 0 {
-            // Root: extract and ship every other rank's data.
-            for dst in 1..p_count {
-                let owned = OwnedBlocks::extract(tensor, part, dst);
-                // Ship all blocks as one concatenated message (the block
-                // structure is deterministic, so the receiver can re-split).
-                let mut payload = Vec::with_capacity(owned.words());
-                for blk in &owned.blocks {
-                    payload.extend_from_slice(&blk.data);
+        comm.with_phase("scatter", || {
+            let p = comm.rank();
+            if p == 0 {
+                // Root: extract and ship every other rank's data.
+                for dst in 1..p_count {
+                    let owned = OwnedBlocks::extract(tensor, part, dst);
+                    // Ship all blocks as one concatenated message (the block
+                    // structure is deterministic, so the receiver can re-split).
+                    let mut payload = Vec::with_capacity(owned.words());
+                    for blk in &owned.blocks {
+                        payload.extend_from_slice(&blk.data);
+                    }
+                    comm.send(dst, TAG_SCATTER_T, payload);
+                    let shards: Vec<f64> = part
+                        .r_set(dst)
+                        .iter()
+                        .flat_map(|&i| {
+                            let global = part.block_range(i);
+                            let local = part.shard_range(i, dst);
+                            x[global.start + local.start..global.start + local.end].to_vec()
+                        })
+                        .collect();
+                    comm.send(dst, TAG_SCATTER_X, shards);
                 }
-                comm.send(dst, TAG_SCATTER_T, payload);
-                let shards: Vec<f64> = part
-                    .r_set(dst)
-                    .iter()
-                    .flat_map(|&i| {
-                        let global = part.block_range(i);
-                        let local = part.shard_range(i, dst);
-                        x[global.start + local.start..global.start + local.end].to_vec()
-                    })
-                    .collect();
-                comm.send(dst, TAG_SCATTER_X, shards);
+                let owned = OwnedBlocks::extract(tensor, part, 0);
+                let shards = local_shards(part, 0, x);
+                (owned, shards)
+            } else {
+                let payload = comm.recv(0, TAG_SCATTER_T).expect("tensor scatter");
+                // Rebuild the block structure from the deterministic layout.
+                let mut owned = OwnedBlocks::extract_empty(part, p);
+                let mut offset = 0;
+                for blk in &mut owned.blocks {
+                    let len = blk.data.len();
+                    blk.data.copy_from_slice(&payload[offset..offset + len]);
+                    offset += len;
+                }
+                assert_eq!(offset, payload.len(), "scatter payload length mismatch");
+                let flat = comm.recv(0, TAG_SCATTER_X).expect("vector scatter");
+                let mut shards = Vec::new();
+                let mut pos = 0;
+                for &i in part.r_set(p) {
+                    let len = part.shard_range(i, p).len();
+                    shards.push(flat[pos..pos + len].to_vec());
+                    pos += len;
+                }
+                (owned, shards)
             }
-            let owned = OwnedBlocks::extract(tensor, part, 0);
-            let shards = local_shards(part, 0, x);
-            (owned, shards)
-        } else {
-            let payload = comm.recv(0, TAG_SCATTER_T).expect("tensor scatter");
-            // Rebuild the block structure from the deterministic layout.
-            let mut owned = OwnedBlocks::extract_empty(part, p);
-            let mut offset = 0;
-            for blk in &mut owned.blocks {
-                let len = blk.data.len();
-                blk.data.copy_from_slice(&payload[offset..offset + len]);
-                offset += len;
-            }
-            assert_eq!(offset, payload.len(), "scatter payload length mismatch");
-            let flat = comm.recv(0, TAG_SCATTER_X).expect("vector scatter");
-            let mut shards = Vec::new();
-            let mut pos = 0;
-            for &i in part.r_set(p) {
-                let len = part.shard_range(i, p).len();
-                shards.push(flat[pos..pos + len].to_vec());
-                pos += len;
-            }
-            (owned, shards)
-        }
+        })
     })
 }
 

@@ -96,6 +96,32 @@ impl CommSchedule {
     pub fn actions(&self, rank: usize) -> &[RoundAction] {
         &self.actions[rank]
     }
+
+    /// Planned per-round occupancy: `(senders, receivers)` counts for each
+    /// round. By Lemma 7.1 both are `≤ P` with equality exactly when a
+    /// round is a perfect pairing; the runtime-observed occupancy (built by
+    /// `symtensor-obs` from round-annotated traces) must match this plan
+    /// exactly in scheduled mode.
+    pub fn planned_occupancy(&self) -> Vec<(usize, usize)> {
+        self.rounds
+            .iter()
+            .map(|round| {
+                // Each rank appears at most once per role, so the pair
+                // count *is* the distinct sender/receiver count.
+                (round.len(), round.len())
+            })
+            .collect()
+    }
+
+    /// Mean planned sender utilization: `avg_r(senders_r / P)` where `P` is
+    /// inferred from `actions`.
+    pub fn planned_utilization(&self) -> f64 {
+        if self.rounds.is_empty() || self.actions.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.rounds.iter().map(Vec::len).sum();
+        total as f64 / (self.rounds.len() * self.actions.len()) as f64
+    }
 }
 
 /// Row blocks shared by processors `a` and `b`: `R_a ∩ R_b` (sorted).
@@ -206,11 +232,21 @@ mod tests {
         // pairs must exist for q = 3: 30 − 1 − 18 − 8 = 3 of them per rank.
         let part = TetraPartition::new(spherical(3), 120).unwrap();
         for p in 0..30 {
-            let disjoint = (0..30)
-                .filter(|&o| o != p && shared_row_blocks(&part, p, o).is_empty())
-                .count();
+            let disjoint =
+                (0..30).filter(|&o| o != p && shared_row_blocks(&part, p, o).is_empty()).count();
             assert_eq!(disjoint, 3);
         }
+    }
+
+    #[test]
+    fn planned_occupancy_matches_rounds() {
+        let part = TetraPartition::new(sqs8(), 56).unwrap();
+        let schedule = CommSchedule::build(&part);
+        let occ = schedule.planned_occupancy();
+        assert_eq!(occ.len(), schedule.num_rounds());
+        // Figure 1's schedule: every round is a perfect pairing of P = 14.
+        assert!(occ.iter().all(|&(s, r)| s == 14 && r == 14));
+        assert!((schedule.planned_utilization() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -97,7 +97,9 @@ pub fn ternary_mults_in_block(kind: BlockKind, b: usize) -> u64 {
     match kind {
         BlockKind::OffDiagonal => 3 * b * b * b,
         BlockKind::NonCentralIIK | BlockKind::NonCentralIKK => 3 * b * b * (b - 1) / 2 + 2 * b * b,
-        BlockKind::CentralDiagonal => 3 * b * (b.saturating_sub(1)) * (b.saturating_sub(2)) / 6 + 2 * b * (b - 1) + b,
+        BlockKind::CentralDiagonal => {
+            3 * b * (b.saturating_sub(1)) * (b.saturating_sub(2)) / 6 + 2 * b * (b - 1) + b
+        }
     }
 }
 

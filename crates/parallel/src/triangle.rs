@@ -26,7 +26,6 @@ use symtensor_matching::{hopcroft_karp, BipartiteGraph};
 use symtensor_mpsim::{CostReport, Universe};
 use symtensor_steiner::plane::{projective_plane, Steiner2};
 
-
 /// The triangle data distribution for one projective plane and dimension.
 #[derive(Clone, Debug)]
 pub struct TrianglePartition {
@@ -219,14 +218,13 @@ pub fn parallel_symv(matrix: &SymMatrix, part: &TrianglePartition, x: &[f64]) ->
                 x_full[t][local.clone()]
                     .copy_from_slice(&x[global.start + local.start..global.start + local.end]);
             }
-            let shared =
-                |a: usize, bb: usize| -> Vec<usize> {
-                    part.r_set(a)
-                        .iter()
-                        .copied()
-                        .filter(|i| part.r_set(bb).binary_search(i).is_ok())
-                        .collect()
-                };
+            let shared = |a: usize, bb: usize| -> Vec<usize> {
+                part.r_set(a)
+                    .iter()
+                    .copied()
+                    .filter(|i| part.r_set(bb).binary_search(i).is_ok())
+                    .collect()
+            };
             let mut sendbufs: Vec<Vec<f64>> = vec![Vec::new(); p_count];
             for (peer, buf) in sendbufs.iter_mut().enumerate() {
                 if peer == p {
@@ -235,9 +233,7 @@ pub fn parallel_symv(matrix: &SymMatrix, part: &TrianglePartition, x: &[f64]) ->
                 for i in shared(p, peer) {
                     let local = part.shard_range(i, p);
                     let global = part.block_range(i);
-                    buf.extend_from_slice(
-                        &x[global.start + local.start..global.start + local.end],
-                    );
+                    buf.extend_from_slice(&x[global.start + local.start..global.start + local.end]);
                 }
             }
             let recvd = comm.all_to_all_v(sendbufs).expect("x gather");
@@ -495,8 +491,7 @@ pub fn parallel_syrk(a: &[f64], k: usize, part: &TrianglePartition) -> SyrkRun {
             for i in shared(p, peer) {
                 let t = rp.binary_search(&i).unwrap();
                 for row in part.shard_range(i, peer) {
-                    a_full[t][row * k..(row + 1) * k]
-                        .copy_from_slice(&buf[offset..offset + k]);
+                    a_full[t][row * k..(row + 1) * k].copy_from_slice(&buf[offset..offset + k]);
                     offset += k;
                 }
             }

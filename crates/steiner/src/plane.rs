@@ -94,10 +94,7 @@ impl Steiner2 {
         for a in 0..self.n {
             for b in a + 1..self.n {
                 if cover[a * self.n + b] != 1 {
-                    return Err(format!(
-                        "pair ({a},{b}) covered {} times",
-                        cover[a * self.n + b]
-                    ));
+                    return Err(format!("pair ({a},{b}) covered {} times", cover[a * self.n + b]));
                 }
             }
         }

@@ -39,8 +39,7 @@ pub fn spherical_alpha(q: u64, alpha: u32) -> SteinerSystem {
     let f = line.field();
 
     // Base block: F_q ∪ {∞} inside PG(1, q^α).
-    let mut base: Vec<PPoint> =
-        f.subfield_elements(q).into_iter().map(PPoint::Finite).collect();
+    let mut base: Vec<PPoint> = f.subfield_elements(q).into_iter().map(PPoint::Finite).collect();
     base.push(PPoint::Infinity);
 
     let n = line.num_points();

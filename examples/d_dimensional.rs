@@ -6,9 +6,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use symtensor_core::dsym::{
-    binomial, lower_bound_words_d, sttsv_d_naive, sttsv_d_sym, SymTensorD,
-};
+use symtensor_core::dsym::{binomial, lower_bound_words_d, sttsv_d_naive, sttsv_d_sym, SymTensorD};
 
 fn main() {
     let n = 14;
@@ -26,11 +24,8 @@ fn main() {
         let x: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).recip()).collect();
         let (y_naive, ops_naive) = sttsv_d_naive(&t, &x);
         let (y_sym, ops_sym) = sttsv_d_sym(&t, &x);
-        let max_diff = y_naive
-            .iter()
-            .zip(&y_sym)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let max_diff =
+            y_naive.iter().zip(&y_sym).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         assert!(max_diff < 1e-9, "kernels must agree (got {max_diff:.2e})");
         let dense = (n as u64).pow(d as u32);
         let packed = binomial(n + d - 1, d);

@@ -18,7 +18,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(11);
     // An odeco tensor has known eigenpairs: A = Σ λ_ℓ v_ℓ∘v_ℓ∘v_ℓ.
     let odeco = random_odeco(n, 6, &mut rng);
-    println!("planted eigenvalues: {:?}", odeco.eigenvalues.iter().map(|l| (l * 1e4).round() / 1e4).collect::<Vec<_>>());
+    println!(
+        "planted eigenvalues: {:?}",
+        odeco.eigenvalues.iter().map(|l| (l * 1e4).round() / 1e4).collect::<Vec<_>>()
+    );
 
     let mut x0 = odeco.vectors[0].clone();
     x0[1] += 0.08; // generic start biased into the dominant basin

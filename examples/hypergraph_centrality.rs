@@ -53,7 +53,12 @@ fn main() {
 
     let mut ranked: Vec<(usize, f64)> = par.x.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    println!("centrality eigenvalue λ = {:.6} ({} iterations, P = {})", par.lambda, par.iters, part.num_procs());
+    println!(
+        "centrality eigenvalue λ = {:.6} ({} iterations, P = {})",
+        par.lambda,
+        par.iters,
+        part.num_procs()
+    );
     println!("top 8 vertices by centrality:");
     for &(v, c) in ranked.iter().take(8) {
         println!("  vertex {v:>3}: {c:.5}");

@@ -39,12 +39,7 @@ fn main() {
         ("sparse All-to-All       ", Mode::AllToAllSparse),
     ] {
         let run = parallel_sttsv(&tensor, &part, &x, mode);
-        let max_err = run
-            .y
-            .iter()
-            .zip(&y_ref)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let max_err = run.y.iter().zip(&y_ref).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         println!(
             "{label}: max words/rank = {:>5}, rounds = {:>3}, max |err| = {max_err:.2e}",
             run.report.bandwidth_cost(),

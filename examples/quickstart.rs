@@ -33,13 +33,15 @@ fn main() {
     let (y_sym, ops_sym) = sttsv_sym(&tensor, &x);
     let sym_time = t1.elapsed();
 
-    let max_diff = y_naive
-        .iter()
-        .zip(&y_sym)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
-    println!("Algorithm 3 (naive):     {:>12} ternary mults in {naive_time:?}", ops_naive.ternary_mults);
-    println!("Algorithm 4 (symmetric): {:>12} ternary mults in {sym_time:?}", ops_sym.ternary_mults);
+    let max_diff = y_naive.iter().zip(&y_sym).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    println!(
+        "Algorithm 3 (naive):     {:>12} ternary mults in {naive_time:?}",
+        ops_naive.ternary_mults
+    );
+    println!(
+        "Algorithm 4 (symmetric): {:>12} ternary mults in {sym_time:?}",
+        ops_sym.ternary_mults
+    );
     println!(
         "work ratio: {:.3} (paper: n³ vs n²(n+1)/2 ≈ 2x); max |Δy| = {max_diff:.2e}",
         ops_naive.ternary_mults as f64 / ops_sym.ternary_mults as f64

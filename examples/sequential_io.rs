@@ -40,12 +40,8 @@ fn main() {
     let t1 = std::time::Instant::now();
     let (y_blk, ops_blk) = sttsv_sym_blocked(&tensor, &x, 24);
     let t_blk = t1.elapsed();
-    let max_diff =
-        y_row.iter().zip(&y_blk).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    let max_diff = y_row.iter().zip(&y_blk).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     assert_eq!(ops_row.ternary_mults, ops_blk.ternary_mults);
     println!("real kernels at n = {n}: row-major {t_row:?}, blocked(24) {t_blk:?}");
-    println!(
-        "identical work ({} ternary mults), max |Δy| = {max_diff:.2e}",
-        ops_row.ternary_mults
-    );
+    println!("identical work ({} ternary mults), max |Δy| = {max_diff:.2e}", ops_row.ternary_mults);
 }

@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use symtensor_core::generate::random_symmetric;
 use symtensor_parallel::partition::PartitionError;
 use symtensor_parallel::{parallel_sttsv, Mode, TetraPartition};
-use symtensor_steiner::{double_sqs, sqs8, spherical};
+use symtensor_steiner::{double_sqs, spherical, sqs8};
 
 /// Doubled quadruple systems are valid Steiner systems but fail the
 /// partition's extra divisibility requirement `λ₂ | r(r−1)` — mirroring the

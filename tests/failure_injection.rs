@@ -5,7 +5,7 @@
 use std::time::Duration;
 use symtensor_mpsim::{CommError, Universe};
 use symtensor_parallel::{parallel_sttsv, Mode, TetraPartition};
-use symtensor_steiner::{SteinerSystem, sqs8, spherical};
+use symtensor_steiner::{spherical, sqs8, SteinerSystem};
 
 #[test]
 fn mismatched_schedule_surfaces_as_timeout() {

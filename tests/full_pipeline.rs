@@ -23,11 +23,8 @@ fn assert_vec_close(a: &[f64], b: &[f64], tol: f64) {
 #[test]
 fn all_modes_and_systems_match_both_sequential_algorithms() {
     let mut rng = StdRng::seed_from_u64(100);
-    let configs: Vec<(symtensor_steiner::SteinerSystem, usize)> = vec![
-        (spherical(2), 30),
-        (spherical(3), 60),
-        (sqs8(), 40),
-    ];
+    let configs: Vec<(symtensor_steiner::SteinerSystem, usize)> =
+        vec![(spherical(2), 30), (spherical(3), 60), (sqs8(), 40)];
     for (system, n) in configs {
         let part = TetraPartition::new(system, n).unwrap();
         part.verify().unwrap();
@@ -163,7 +160,7 @@ fn executed_message_sequence_matches_the_schedule_exactly() {
     // Trace every send/recv of a scheduled-mode run and check it is
     // exactly the edge-colored schedule, twice (x phase then y phase),
     // with per-round tags in order — the executable form of Theorem 7.2.
-    use symtensor_mpsim::{CommEvent, Universe};
+    use symtensor_mpsim::{CommEventKind, Universe};
     use symtensor_parallel::algorithm5::RankContext;
     use symtensor_parallel::CommSchedule;
 
@@ -174,7 +171,7 @@ fn executed_message_sequence_matches_the_schedule_exactly() {
     let tensor = random_symmetric(n, &mut rng);
     let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
 
-    let (traces, _) = Universe::new(part.num_procs()).with_tracing(true).run(|comm| {
+    let (_, _, traces) = Universe::new(part.num_procs()).run_traced(|comm| {
         let p = comm.rank();
         let ctx = RankContext::new(&tensor, &part, p, Mode::Scheduled, Some(&schedule));
         let my_shards: Vec<Vec<f64>> = part
@@ -186,7 +183,6 @@ fn executed_message_sequence_matches_the_schedule_exactly() {
             })
             .collect();
         let _ = ctx.sttsv(comm, &my_shards);
-        comm.take_trace()
     });
 
     let rounds = schedule.num_rounds();
@@ -195,15 +191,15 @@ fn executed_message_sequence_matches_the_schedule_exactly() {
         // regular schedule covers every rank in both roles).
         let sends: Vec<_> = trace
             .iter()
-            .filter_map(|e| match e {
-                CommEvent::Send { dst, tag, .. } => Some((*dst, *tag)),
+            .filter_map(|e| match e.kind {
+                CommEventKind::Send { dst, tag, .. } => Some((dst, tag)),
                 _ => None,
             })
             .collect();
         let recvs: Vec<_> = trace
             .iter()
-            .filter_map(|e| match e {
-                CommEvent::Recv { src, tag, .. } => Some((*src, *tag)),
+            .filter_map(|e| match e.kind {
+                CommEventKind::Recv { src, tag, .. } => Some((src, tag)),
                 _ => None,
             })
             .collect();

@@ -61,7 +61,9 @@ fn claim_steiner_block_counts() {
                     let count = sys
                         .blocks()
                         .iter()
-                        .filter(|blk| blk.binary_search(&a).is_ok() && blk.binary_search(&b).is_ok())
+                        .filter(|blk| {
+                            blk.binary_search(&a).is_ok() && blk.binary_search(&b).is_ok()
+                        })
                         .count();
                     assert_eq!(count, spherical_counts::blocks_through_pair(q));
                 }

@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use symtensor_core::generate::{random_odeco, random_symmetric};
 use symtensor_core::io::{read_tensor, write_tensor};
-use symtensor_core::symmat::{random_symmetric_matrix, symv_sym};
 use symtensor_core::seq::sttsv_sym;
+use symtensor_core::symmat::{random_symmetric_matrix, symv_sym};
 use symtensor_mpsim::Universe;
 use symtensor_parallel::algorithm5::RankContext;
 use symtensor_parallel::scatter::scatter_from_root;
@@ -109,12 +109,8 @@ fn two_d_and_three_d_schemes_share_the_cost_framework() {
     let n3d = 30;
     let tet = TetraPartition::new(spherical(2), n3d).unwrap();
     let odeco = random_odeco(n3d, 2, &mut rng);
-    let run = symtensor_parallel::parallel_sttsv(
-        &odeco.tensor,
-        &tet,
-        &odeco.vectors[0],
-        Mode::Scheduled,
-    );
+    let run =
+        symtensor_parallel::parallel_sttsv(&odeco.tensor, &tet, &odeco.vectors[0], Mode::Scheduled);
     // STTSV of an eigenvector gives λ·v.
     for (i, &v) in odeco.vectors[0].iter().enumerate() {
         assert!((run.y[i] - odeco.eigenvalues[0] * v).abs() < 1e-9);
