@@ -1,0 +1,86 @@
+//! E10 — local kernel throughput: the flat-slab cursor kernel vs the seed
+//! per-point kernel, the blocked variant, the work-stealing parallel panel
+//! kernel, and the batched multi-vector path.
+//!
+//! Claims under test: the flat-slab walk beats the per-point
+//! `tet(i)+tri(j)+k` addressing (≥2× at n = 512); `sttsv_sym_multi`
+//! amortizes the slab traversal across a batch (one pass over the tensor
+//! instead of `B`); `sttsv_sym_par` scales with threads on multi-core
+//! hosts while staying bit-identical across thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use symtensor_bench::{bench_tensor, bench_vector};
+use symtensor_core::seq::{sttsv_sym, sttsv_sym_blocked, sttsv_sym_multi, sttsv_sym_ref};
+use symtensor_core::{sttsv_sym_par, sttsv_sym_par_multi, Pool};
+
+/// Ternary-multiplication count of one STTSV — the paper's work measure,
+/// used as Criterion throughput so reports read in elements/sec.
+fn ternary(n: usize) -> u64 {
+    let n = n as u64;
+    n * n * (n + 1) / 2
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_throughput");
+    group.sample_size(10);
+    for n in [128usize, 256, 512] {
+        let tensor = bench_tensor(n, 10);
+        let x = bench_vector(n);
+        group.throughput(Throughput::Elements(ternary(n)));
+        group.bench_with_input(BenchmarkId::new("ref_per_point", n), &n, |bench, _| {
+            bench.iter(|| sttsv_sym_ref(black_box(&tensor), black_box(&x)))
+        });
+        group.bench_with_input(BenchmarkId::new("flat_slab", n), &n, |bench, _| {
+            bench.iter(|| sttsv_sym(black_box(&tensor), black_box(&x)))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_b64", n), &n, |bench, _| {
+            bench.iter(|| sttsv_sym_blocked(black_box(&tensor), black_box(&x), 64))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kernel_parallel");
+    group.sample_size(10);
+    for n in [256usize, 512] {
+        let tensor = bench_tensor(n, 11);
+        let x = bench_vector(n);
+        group.throughput(Throughput::Elements(ternary(n)));
+        for threads in [1usize, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("par_t{threads}"), n),
+                &n,
+                |bench, _| bench.iter(|| sttsv_sym_par(black_box(&tensor), black_box(&x), &pool)),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kernel_batched");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        let tensor = bench_tensor(n, 12);
+        let batch = 8usize;
+        let xs: Vec<Vec<f64>> = (0..batch)
+            .map(|v| (0..n).map(|i| ((i * 3 + v + 1) as f64 * 0.017).sin()).collect())
+            .collect();
+        group.throughput(Throughput::Elements(batch as u64 * ternary(n)));
+        group.bench_with_input(BenchmarkId::new("independent_x8", n), &n, |bench, _| {
+            bench.iter(|| {
+                xs.iter().map(|x| sttsv_sym(black_box(&tensor), black_box(x))).collect::<Vec<_>>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("multi_x8", n), &n, |bench, _| {
+            bench.iter(|| sttsv_sym_multi(black_box(&tensor), black_box(&xs)))
+        });
+        let pool = Pool::new(4);
+        group.bench_with_input(BenchmarkId::new("par_multi_x8_t4", n), &n, |bench, _| {
+            bench.iter(|| sttsv_sym_par_multi(black_box(&tensor), black_box(&xs), &pool))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

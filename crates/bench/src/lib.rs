@@ -13,6 +13,7 @@
 //! | `hopm` | E8: sequential vs parallel HOPM |
 //! | `wallclock` | E9: strong scaling of the thread backend |
 //! | `substrates` | Steiner construction, matching, mpsim collectives |
+//! | `kernels` | E10: flat-slab / blocked / parallel / batched local kernels |
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,6 +1,7 @@
 //! Paper-vs-measured experiment driver.
 //!
-//! Usage: `experiment [comm|baselines|balance|memory|schedule|hopm|all]
+//! Usage: `experiment [comm|baselines|balance|memory|schedule|hopm|kernels|all]
+//!                    [--threads N] [--batch B]
 //!                    [--trace out.json] [--metrics out.json]`
 //!
 //! Each subcommand executes the relevant algorithms on the simulated
@@ -23,13 +24,33 @@ use symtensor_parallel::bounds;
 use symtensor_parallel::hopm::parallel_hopm;
 use symtensor_parallel::schedule::spherical_round_count;
 use symtensor_parallel::{
-    parallel_sttsv, parallel_sttsv_traced, CommSchedule, Mode, SttsvRun, TetraPartition,
+    parallel_sttsv, parallel_sttsv_multi, parallel_sttsv_traced, CommSchedule, Mode, SttsvRun,
+    TetraPartition,
 };
 use symtensor_steiner::spherical;
 
 fn main() {
     let (sink, rest) = ObsSink::from_args(std::env::args().skip(1));
-    let arg = rest.first().cloned().unwrap_or_else(|| "all".to_string());
+    // Node-level knobs for the local kernels (`kernels` subcommand and the
+    // distributed batched run): worker threads per rank and batch size.
+    let mut threads = 1usize;
+    let mut batch = 4usize;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it.next().expect("--threads needs a value");
+                threads = v.parse().expect("--threads expects a positive integer");
+            }
+            "--batch" => {
+                let v = it.next().expect("--batch needs a value");
+                batch = v.parse().expect("--batch expects a positive integer");
+            }
+            _ => positional.push(a),
+        }
+    }
+    let arg = positional.first().cloned().unwrap_or_else(|| "all".to_string());
     match arg.as_str() {
         "comm" => comm(&sink),
         "baselines" => baselines(),
@@ -40,6 +61,7 @@ fn main() {
         "seqio" => seqio(),
         "ablation" => ablation(),
         "triangle" => triangle(),
+        "kernels" => kernels(threads, batch),
         "all" => {
             comm(&sink);
             baselines();
@@ -50,11 +72,12 @@ fn main() {
             seqio();
             ablation();
             triangle();
+            kernels(threads, batch);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: experiment [comm|baselines|balance|memory|schedule|hopm|seqio|ablation|all] [--trace out.json] [--metrics out.json]"
+                "usage: experiment [comm|baselines|balance|memory|schedule|hopm|seqio|ablation|kernels|all] [--threads N] [--batch B] [--trace out.json] [--metrics out.json]"
             );
             std::process::exit(2);
         }
@@ -345,6 +368,101 @@ fn seqio() {
         assert_eq!(row.tensor_misses, blk.tensor_misses);
     }
     println!("(blocking wins while the cache is smaller than the two vectors = {} words)", 2 * n);
+    println!();
+}
+
+/// E11: local kernel throughput — the flat-slab cursor kernel vs the seed
+/// per-point kernel, the work-stealing parallel panels and the batched
+/// multi-vector path, plus the distributed batched STTSV whose exchange
+/// phases amortize latency across the batch.
+fn kernels(threads: usize, batch: usize) {
+    use std::time::Instant;
+    use symtensor_core::seq::{sttsv_sym, sttsv_sym_multi, sttsv_sym_ref};
+    use symtensor_core::{sttsv_sym_par, sttsv_sym_par_multi, Pool};
+
+    /// Best-of-3 wall time in seconds.
+    fn time<R>(mut f: impl FnMut() -> R) -> (R, f64) {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..3 {
+            let t = Instant::now();
+            out = Some(f());
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        (out.unwrap(), best)
+    }
+    let rate = |n: usize, secs: f64| {
+        let n = n as f64;
+        n * n * (n + 1.0) / 2.0 / secs / 1e6
+    };
+
+    println!("== E11: local kernel throughput (threads = {threads}, batch = {batch}) ==");
+    println!(
+        "{:>5} | {:>10} {:>10} {:>10} {:>12} {:>14} | {:>8}",
+        "n", "per-point", "flat slab", "par", "indep x batch", "multi x batch", "flat/pp"
+    );
+    let pool = Pool::new(threads);
+    let mut rng = StdRng::seed_from_u64(1006);
+    for n in [96usize, 160, 256] {
+        let tensor = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.013).sin() + 0.2).collect();
+        let xs: Vec<Vec<f64>> = (0..batch)
+            .map(|v| (0..n).map(|i| ((i * 3 + v + 1) as f64 * 0.017).sin()).collect())
+            .collect();
+        let ((y_ref, c_ref), t_ref) = time(|| sttsv_sym_ref(&tensor, &x));
+        let ((y_flat, c_flat), t_flat) = time(|| sttsv_sym(&tensor, &x));
+        let ((y_par, _), t_par) = time(|| sttsv_sym_par(&tensor, &x, &pool));
+        let ((ys_ind, _), t_ind) =
+            time(|| (xs.iter().map(|x| sttsv_sym(&tensor, x)).collect::<Vec<_>>(), ()));
+        let ((ys_multi, c_multi), t_multi) = time(|| sttsv_sym_multi(&tensor, &xs));
+        let (_, t_par_multi) = time(|| sttsv_sym_par_multi(&tensor, &xs, &pool));
+
+        // Agreement and exact paper op counts.
+        let n64 = n as u64;
+        assert_eq!(c_ref.ternary_mults, n64 * n64 * (n64 + 1) / 2);
+        assert_eq!(c_flat.ternary_mults, c_ref.ternary_mults);
+        assert_eq!(c_multi.ternary_mults, batch as u64 * c_ref.ternary_mults);
+        for i in 0..n {
+            assert!((y_ref[i] - y_flat[i]).abs() < 1e-12 * (1.0 + y_ref[i].abs()));
+            assert!((y_par[i] - y_flat[i]).abs() < 1e-12 * (1.0 + y_flat[i].abs()));
+        }
+        for (v, (y_one, _)) in ys_ind.iter().enumerate() {
+            for i in 0..n {
+                assert_eq!(y_one[i].to_bits(), ys_multi[v][i].to_bits(), "multi must be exact");
+            }
+        }
+        println!(
+            "{n:>5} | {:>8.1}Me {:>8.1}Me {:>8.1}Me {:>10.1}Me {:>12.1}Me | {:>8.2}",
+            rate(n, t_ref),
+            rate(n, t_flat),
+            rate(n, t_par),
+            batch as f64 * rate(n, t_ind),
+            batch as f64 * rate(n, t_multi),
+            t_ref / t_flat
+        );
+        let _ = t_par_multi;
+    }
+    println!("(Me = 1e6 ternary multiplications per second, best of 3)");
+
+    // Distributed batched STTSV: one pair of exchange phases for the whole
+    // batch — same messages and rounds as a single STTSV, words × batch.
+    let n = 120;
+    let q = 2usize;
+    let part = TetraPartition::new(spherical(q as u64), n).unwrap();
+    let tensor = random_symmetric(n, &mut rng);
+    let xs: Vec<Vec<f64>> = (0..batch.max(1))
+        .map(|v| (0..n).map(|i| ((i + v) as f64 * 0.01).cos()).collect())
+        .collect();
+    let single = parallel_sttsv(&tensor, &part, &xs[0], Mode::Scheduled);
+    let multi = parallel_sttsv_multi(&tensor, &part, &xs, Mode::Scheduled, threads);
+    let (sw, mw) = (single.report.bandwidth_cost(), multi.report.bandwidth_cost());
+    let (sr, mr) = (single.report.max_rounds(), multi.report.max_rounds());
+    println!(
+        "distributed batch (q={q}, n={n}): words {sw} -> {mw} ({}x), rounds {sr} -> {mr} (1x)",
+        mw / sw
+    );
+    assert_eq!(mw, xs.len() as u64 * sw, "words scale with the batch");
+    assert_eq!(mr, sr, "rounds must not scale with the batch");
     println!();
 }
 

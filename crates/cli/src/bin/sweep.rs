@@ -88,6 +88,30 @@ fn main() {
         );
     }
 
+    // Continuous model sweep: the f64 closed-form twins evaluate the cost
+    // model at dimensions the integer formulas reject (no divisibility by
+    // (q²+1) / λ₁ required) — e.g. power-of-two n for plotting smooth
+    // curves through the exact points above.
+    for q in [2usize, 3, 5, 7] {
+        let p = bounds::spherical_procs(q);
+        for n in [1000usize, 4096, 100_000] {
+            records.push(
+                Value::object()
+                    .with("kind", "model_f64")
+                    .with("q", q)
+                    .with("P", p)
+                    .with("n", n)
+                    .with(
+                        "scheduled_words_per_vector",
+                        bounds::scheduled_words_per_vector_f64(n, q),
+                    )
+                    .with("scheduled_words", bounds::scheduled_words_total_f64(n, q))
+                    .with("alltoall_words", bounds::alltoall_words_total_f64(n, q))
+                    .with("lower_bound", bounds::lower_bound_words(n, p)),
+            );
+        }
+    }
+
     let count = records.len();
     let out = Value::Array(records).to_string_pretty();
     match rest.first() {

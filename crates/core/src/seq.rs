@@ -8,10 +8,24 @@
 //! * [`sttsv_sym`] (Algorithm 4) visits only the lower tetrahedron
 //!   (`n(n+1)(n+2)/6` points) and performs all updates an element
 //!   contributes at once — `n²(n+1)/2` ternary multiplications, roughly half
-//!   of Algorithm 3.
+//!   of Algorithm 3. Its implementation is a **flat-slab walk**: the packed
+//!   layout `tet(i)+tri(j)+k` *is* the `(i ≥ j ≥ k)` iteration order, so the
+//!   kernel marches a cursor straight through [`SymTensor3::packed`] and
+//!   never evaluates the `packed_index` polynomial per point; the `i == j` /
+//!   `j == k` diagonal cases are peeled out of the inner loop into per-row
+//!   epilogues (see [`row_segment`]).
+//! * [`sttsv_sym_ref`] is the straightforward per-point case-analysis
+//!   kernel (one `packed_index` evaluation per tetrahedron point). It is the
+//!   validation reference and the baseline the flat-slab rewrite is
+//!   benchmarked against.
+//! * [`sttsv_sym_multi`] batches `B` contractions against **one** pass over
+//!   the packed slab — the serving/throughput path: the tensor (the big
+//!   operand, `Θ(n³)` words) is streamed once and amortized across all
+//!   vectors.
 //!
-//! Both return an [`OpCount`] so tests and benchmarks can verify the paper's
-//! operation counts exactly.
+//! All kernels return an [`OpCount`] so tests and benchmarks can verify the
+//! paper's operation counts exactly. Shared-memory parallel variants
+//! (`sttsv_sym_par`, `sttsv_sym_par_multi`) live in [`crate::par`].
 
 use crate::storage::SymTensor3;
 
@@ -70,12 +84,89 @@ pub fn sttsv_naive(tensor: &SymTensor3, x: &[f64]) -> (Vec<f64>, OpCount) {
     (y, ops)
 }
 
-/// Algorithm 4: STTSV exploiting the symmetric structure.
+/// The Algorithm 4 updates for one contiguous run of `k`-values of packed
+/// row `(i, j)` — the shared inner loop of every symmetric kernel in this
+/// crate (flat, blocked, batched, and the parallel panels in
+/// [`crate::par`]).
+///
+/// `slab` is `packed[tet(i)+tri(j)+k0 ..]` truncated to the run; it covers
+/// global indices `(i, j, k)` for `k ∈ k0 .. k0+slab.len()`, with
+/// `k0 + slab.len() ≤ j + 1`. The diagonal case analysis of Algorithm 4 is
+/// peeled out of the per-point loop:
+///
+/// * `i > j`, `k < j` — strictly lower tetrahedral, 3 updates per point.
+///   The `y[i]`/`y[j]` contributions share the dot product `Σ_k a·x_k`, so
+///   the inner loop is one fused multiply pass over the slab.
+/// * `i > j`, `k == j` — 2 updates (epilogue, at most once per row).
+/// * `i == j`, `k < i` — 2 updates per point, same dot-product fusion.
+/// * `i == j == k` — the central diagonal, 1 update (epilogue).
+///
+/// Returns the exact ternary-multiplication count (3/2/1 per point as
+/// above), identical to what the per-point reference kernel counts.
+#[inline(always)]
+pub(crate) fn row_segment(
+    slab: &[f64],
+    i: usize,
+    j: usize,
+    k0: usize,
+    x: &[f64],
+    y: &mut [f64],
+) -> u64 {
+    debug_assert!(j <= i && k0 + slab.len() <= j + 1);
+    let xi = x[i];
+    let xj = x[j];
+    if i != j {
+        // Strict ks: k in k0 .. min(k0+len, j).
+        let strict = slab.len().min(j - k0);
+        let pref = 2.0 * xi * xj;
+        let mut dot = 0.0;
+        for ((&a, &xv), yv) in
+            slab[..strict].iter().zip(&x[k0..k0 + strict]).zip(&mut y[k0..k0 + strict])
+        {
+            dot += a * xv;
+            *yv += pref * a;
+        }
+        y[i] += 2.0 * xj * dot;
+        y[j] += 2.0 * xi * dot;
+        let mut ternary = 3 * strict as u64;
+        if k0 + slab.len() == j + 1 {
+            // k == j epilogue: i > j == k.
+            let a = slab[strict];
+            y[i] += a * xj * xj;
+            y[j] += 2.0 * a * xi * xj;
+            ternary += 2;
+        }
+        ternary
+    } else {
+        // i == j row: ks k < i get 2 updates, the k == i point gets 1.
+        let strict = slab.len().min(i - k0);
+        let sq = xi * xi;
+        let mut dot = 0.0;
+        for ((&a, &xv), yv) in
+            slab[..strict].iter().zip(&x[k0..k0 + strict]).zip(&mut y[k0..k0 + strict])
+        {
+            dot += a * xv;
+            *yv += sq * a;
+        }
+        y[i] += 2.0 * xi * dot;
+        let mut ternary = 2 * strict as u64;
+        if k0 + slab.len() == i + 1 {
+            // Central diagonal epilogue: i == j == k.
+            y[i] += slab[strict] * sq;
+            ternary += 1;
+        }
+        ternary
+    }
+}
+
+/// Algorithm 4: STTSV exploiting the symmetric structure, as a flat-slab
+/// walk over the packed lower tetrahedron.
 ///
 /// Visits the lower tetrahedron `i ≥ j ≥ k` and, per element, performs every
 /// update that element contributes to `y` (3 for strictly distinct indices,
 /// 2 on non-central diagonals, 1 at the central diagonal). Performs exactly
-/// `n²(n+1)/2` ternary multiplications.
+/// `n²(n+1)/2` ternary multiplications. The cursor `pos` marches linearly
+/// through [`SymTensor3::packed`]; no per-point index arithmetic.
 ///
 /// ```
 /// use symtensor_core::{SymTensor3, seq::sttsv_sym};
@@ -93,6 +184,33 @@ pub fn sttsv_naive(tensor: &SymTensor3, x: &[f64]) -> (Vec<f64>, OpCount) {
 /// assert_eq!(ops.ternary_mults, 2 * 2 * 3 / 2);
 /// ```
 pub fn sttsv_sym(tensor: &SymTensor3, x: &[f64]) -> (Vec<f64>, OpCount) {
+    let n = tensor.dim();
+    assert_eq!(x.len(), n, "vector length must match tensor dimension");
+    let mut y = vec![0.0; n];
+    let mut ops = OpCount::default();
+    let packed = tensor.packed();
+    let mut pos = 0;
+    for i in 0..n {
+        for j in 0..=i {
+            let row = &packed[pos..pos + j + 1];
+            ops.ternary_mults += row_segment(row, i, j, 0, x, &mut y);
+            ops.points += (j + 1) as u64;
+            pos += j + 1;
+        }
+    }
+    debug_assert_eq!(pos, packed.len());
+    (y, ops)
+}
+
+/// The per-point reference implementation of Algorithm 4 (the seed kernel
+/// the flat-slab [`sttsv_sym`] replaced): one [`SymTensor3::get_sorted`]
+/// (and hence one `packed_index` polynomial evaluation) per tetrahedron
+/// point, with the full diagonal case analysis inline.
+///
+/// Kept as the ground truth for property tests and as the baseline of the
+/// `kernels` benchmark; results agree with [`sttsv_sym`] up to
+/// floating-point summation order, and [`OpCount`]s are identical.
+pub fn sttsv_sym_ref(tensor: &SymTensor3, x: &[f64]) -> (Vec<f64>, OpCount) {
     let n = tensor.dim();
     assert_eq!(x.len(), n, "vector length must match tensor dimension");
     let mut y = vec![0.0; n];
@@ -126,6 +244,44 @@ pub fn sttsv_sym(tensor: &SymTensor3, x: &[f64]) -> (Vec<f64>, OpCount) {
         }
     }
     (y, ops)
+}
+
+/// Batched STTSV: contracts **one** flat-slab pass over the tensor against
+/// `B = xs.len()` input vectors at once, returning the `B` outputs.
+///
+/// This is the serving/throughput kernel: the tensor (`n(n+1)(n+2)/6`
+/// packed words, the dominant memory traffic) is streamed through the cache
+/// hierarchy once and amortized over all `B` contractions, where `B`
+/// independent [`sttsv_sym`] calls would stream it `B` times.
+///
+/// Per vector, the arithmetic is performed in exactly the order of
+/// [`sttsv_sym`], so `ys[b]` is **bit-identical** to
+/// `sttsv_sym(tensor, &xs[b]).0`.
+///
+/// The returned [`OpCount`] reports the batch totals: `ternary_mults` is
+/// `B · n²(n+1)/2` (every contraction's multiplications really happen);
+/// `points` is `n(n+1)(n+2)/6` — the tensor slab is visited **once**, which
+/// is the entire point of batching.
+pub fn sttsv_sym_multi(tensor: &SymTensor3, xs: &[Vec<f64>]) -> (Vec<Vec<f64>>, OpCount) {
+    let n = tensor.dim();
+    for (b, x) in xs.iter().enumerate() {
+        assert_eq!(x.len(), n, "vector {b} length must match tensor dimension");
+    }
+    let mut ys = vec![vec![0.0; n]; xs.len()];
+    let mut ops = OpCount::default();
+    let packed = tensor.packed();
+    let mut pos = 0;
+    for i in 0..n {
+        for j in 0..=i {
+            let row = &packed[pos..pos + j + 1];
+            for (x, y) in xs.iter().zip(&mut ys) {
+                ops.ternary_mults += row_segment(row, i, j, 0, x, y);
+            }
+            ops.points += (j + 1) as u64;
+            pos += j + 1;
+        }
+    }
+    (ys, ops)
 }
 
 /// The paper's count of ternary multiplications for Algorithm 3: `n³`.
@@ -183,6 +339,19 @@ mod tests {
     }
 
     #[test]
+    fn flat_slab_matches_reference_kernel() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for n in [1usize, 2, 3, 4, 6, 9, 17, 32] {
+            let t = random_symmetric(n, &mut rng);
+            let x: Vec<f64> = (0..n).map(|i| ((i * 3 + 1) as f64 * 0.11).sin()).collect();
+            let (y_ref, ops_ref) = sttsv_sym_ref(&t, &x);
+            let (y_flat, ops_flat) = sttsv_sym(&t, &x);
+            assert_eq!(ops_flat, ops_ref, "n={n}: OpCounts must be identical");
+            assert_close(&y_ref, &y_flat, 1e-12);
+        }
+    }
+
+    #[test]
     fn operation_counts_match_paper() {
         let mut rng = StdRng::seed_from_u64(1);
         for n in [1usize, 2, 3, 4, 7, 10, 16] {
@@ -190,9 +359,11 @@ mod tests {
             let x = vec![1.0; n];
             let (_, naive_ops) = sttsv_naive(&t, &x);
             let (_, sym_ops) = sttsv_sym(&t, &x);
+            let (_, ref_ops) = sttsv_sym_ref(&t, &x);
             assert_eq!(naive_ops.ternary_mults, naive_ternary_mults(n), "naive n={n}");
             assert_eq!(sym_ops.ternary_mults, sym_ternary_mults(n), "sym n={n}");
             assert_eq!(sym_ops.points, lower_tetra_points(n), "points n={n}");
+            assert_eq!(ref_ops, sym_ops, "reference kernel counts n={n}");
         }
     }
 
@@ -278,58 +449,82 @@ mod tests {
         assert_eq!(y1, vec![12.0]);
         assert_eq!(ops1.ternary_mults, 1);
     }
+
+    #[test]
+    fn multi_is_bitwise_identical_to_single_calls() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for n in [1usize, 5, 12, 23] {
+            let t = random_symmetric(n, &mut rng);
+            let xs: Vec<Vec<f64>> = (0..4)
+                .map(|b| (0..n).map(|i| ((i + b * 7 + 1) as f64 * 0.19).sin()).collect())
+                .collect();
+            let (ys, ops) = sttsv_sym_multi(&t, &xs);
+            assert_eq!(ys.len(), xs.len());
+            for (b, x) in xs.iter().enumerate() {
+                let (y_single, _) = sttsv_sym(&t, x);
+                assert_eq!(ys[b], y_single, "n={n} vector {b} must match bitwise");
+            }
+            // Batch totals: B× the mults, 1× the slab points.
+            assert_eq!(ops.ternary_mults, xs.len() as u64 * sym_ternary_mults(n));
+            assert_eq!(ops.points, lower_tetra_points(n));
+        }
+    }
+
+    #[test]
+    fn multi_empty_batch() {
+        let t = SymTensor3::zeros(5);
+        let (ys, ops) = sttsv_sym_multi(&t, &[]);
+        assert!(ys.is_empty());
+        assert_eq!(ops.ternary_mults, 0);
+        assert_eq!(ops.points, lower_tetra_points(5));
+    }
 }
 
-/// Cache-blocked Algorithm 4: identical arithmetic (same iteration points,
-/// same case analysis, same ternary-multiplication count) executed in
-/// tetrahedral-block order — blocks `(I ≥ J ≥ K)` of size `b`, all points
-/// inside a block before the next. This is the sequential twin of the
-/// parallel tetrahedral distribution: one block touches only `3b` entries
-/// of each vector for up to `b³` tensor entries, which is what
+/// Cache-blocked Algorithm 4: identical arithmetic points (same iteration
+/// space, same case analysis, same ternary-multiplication count) executed
+/// in tetrahedral-block order — blocks `(I ≥ J ≥ K)` of size `b`, all
+/// points inside a block before the next. This is the sequential twin of
+/// the parallel tetrahedral distribution: one block touches only `3b`
+/// entries of each vector for up to `b³` tensor entries, which is what
 /// `symtensor-cachesim` measures and the paper's Lemma 4.2 bounds.
 ///
+/// Each `(i, j)` row intersects a block in one contiguous `k`-run of the
+/// packed slab, so the inner loop is the same [`row_segment`] walk as
+/// [`sttsv_sym`] — the only per-row index arithmetic is one `tet(i)+tri(j)`
+/// base offset, amortized over the run. With `b ≥ n` there is a single
+/// block covering every full row and the kernel degenerates to
+/// [`sttsv_sym`] exactly (bit-identical output).
+///
 /// Results can differ from [`sttsv_sym`] only by floating-point summation
-/// order.
+/// order (each row's dot product is accumulated per `k`-run).
 pub fn sttsv_sym_blocked(tensor: &SymTensor3, x: &[f64], b: usize) -> (Vec<f64>, OpCount) {
+    use crate::storage::{tet, tri};
     let n = tensor.dim();
     assert_eq!(x.len(), n, "vector length must match tensor dimension");
     assert!(b >= 1, "block size must be positive");
     let mut y = vec![0.0; n];
     let mut ops = OpCount::default();
+    let packed = tensor.packed();
     let m = n.div_ceil(b);
     let range = |blk: usize| blk * b..((blk + 1) * b).min(n);
     for bi in 0..m {
         for bj in 0..=bi {
             for bk in 0..=bj {
+                let k_lo = bk * b;
                 for i in range(bi) {
+                    let row_base = tet(i);
                     for j in range(bj) {
                         if j > i {
                             break;
                         }
-                        for k in range(bk) {
-                            if k > j {
-                                break;
-                            }
-                            let a = tensor.get_sorted(i, j, k);
-                            ops.points += 1;
-                            if i != j && j != k {
-                                y[i] += 2.0 * a * x[j] * x[k];
-                                y[j] += 2.0 * a * x[i] * x[k];
-                                y[k] += 2.0 * a * x[i] * x[j];
-                                ops.ternary_mults += 3;
-                            } else if i == j && j != k {
-                                y[i] += 2.0 * a * x[j] * x[k];
-                                y[k] += a * x[i] * x[j];
-                                ops.ternary_mults += 2;
-                            } else if i != j && j == k {
-                                y[i] += a * x[j] * x[k];
-                                y[j] += 2.0 * a * x[i] * x[k];
-                                ops.ternary_mults += 2;
-                            } else {
-                                y[i] += a * x[j] * x[k];
-                                ops.ternary_mults += 1;
-                            }
+                        if k_lo > j {
+                            break;
                         }
+                        let k_hi = ((bk + 1) * b).min(n).min(j + 1);
+                        let base = row_base + tri(j);
+                        let row = &packed[base + k_lo..base + k_hi];
+                        ops.ternary_mults += row_segment(row, i, j, k_lo, x, &mut y);
+                        ops.points += (k_hi - k_lo) as u64;
                     }
                 }
             }
@@ -374,5 +569,18 @@ mod blocked_tests {
         let (y_big, _) = sttsv_sym_blocked(&t, &x, 100);
         let (y_ref, _) = sttsv_sym(&t, &x);
         assert_eq!(y_big, y_ref);
+    }
+
+    #[test]
+    fn blocked_matches_per_point_reference_counts() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let n = 13;
+        let t = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).cos()).collect();
+        let (_, ops_ref) = sttsv_sym_ref(&t, &x);
+        for b in [1usize, 4, 6, 13] {
+            let (_, ops_blk) = sttsv_sym_blocked(&t, &x, b);
+            assert_eq!(ops_blk, ops_ref, "b={b}");
+        }
     }
 }

@@ -4,10 +4,16 @@
 
 use crate::cost::{CommEvent, CommEventKind, SharedCounters};
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
+
+/// Granularity at which a blocked [`Comm::recv`] re-checks the universe's
+/// abort flag. A panicking peer therefore surfaces as
+/// [`CommError::Disconnected`] within this bound (sub-100 ms) instead of
+/// after the full receive timeout (60 s by default).
+const ABORT_POLL: Duration = Duration::from_millis(25);
 
 /// A point-to-point message: source rank, user tag, payload of words.
 #[derive(Clone, Debug)]
@@ -71,6 +77,12 @@ pub struct Comm {
     counters: SharedCounters,
     barrier: Arc<Barrier>,
     recv_timeout: Duration,
+    /// Set by the universe when any rank panics; blocked receives poll it
+    /// (at [`ABORT_POLL`] granularity) so surviving ranks fail fast instead
+    /// of waiting out the full timeout — surviving sender clones keep the
+    /// mpsc channels alive, so the `Disconnected` state would otherwise
+    /// never be observed.
+    abort: Arc<AtomicBool>,
     /// Shared start instant of the universe — event timestamps are
     /// nanoseconds since this epoch.
     epoch: Instant,
@@ -93,6 +105,7 @@ impl Comm {
         counters: SharedCounters,
         barrier: Arc<Barrier>,
         recv_timeout: Duration,
+        abort: Arc<AtomicBool>,
         epoch: Instant,
         tracing: bool,
     ) -> Self {
@@ -104,6 +117,7 @@ impl Comm {
             counters,
             barrier,
             recv_timeout,
+            abort,
             epoch,
             phase: Cell::new(None),
             round: Cell::new(None),
@@ -230,7 +244,11 @@ impl Comm {
     }
 
     /// Receives the message from `src` carrying `tag`, buffering any other
-    /// messages that arrive first. Errors after the configured timeout.
+    /// messages that arrive first. Errors after the configured timeout, or
+    /// with [`CommError::Disconnected`] as soon as the universe's abort
+    /// flag reports that a peer rank panicked (polled at sub-100 ms
+    /// granularity while blocked, so a dead peer never costs the full
+    /// timeout).
     pub fn recv(&self, src: usize, tag: u64) -> Result<Vec<f64>, CommError> {
         // Check the mailbox first.
         {
@@ -242,17 +260,22 @@ impl Comm {
         }
         let deadline = Instant::now() + self.recv_timeout;
         loop {
+            if self.abort.load(Ordering::Acquire) {
+                return Err(CommError::Disconnected { rank: self.rank, from: src, tag });
+            }
             let remaining = deadline.saturating_duration_since(Instant::now());
-            match self.receiver.recv_timeout(remaining) {
+            if remaining.is_zero() {
+                return Err(CommError::Timeout { rank: self.rank, from: src, tag });
+            }
+            match self.receiver.recv_timeout(remaining.min(ABORT_POLL)) {
                 Ok(msg) => {
                     if msg.src == src && msg.tag == tag {
                         return Ok(self.account_recv(msg));
                     }
                     self.mailbox.borrow_mut().push(msg);
                 }
-                Err(RecvTimeoutError::Timeout) => {
-                    return Err(CommError::Timeout { rank: self.rank, from: src, tag });
-                }
+                // Poll slice elapsed: loop to re-check abort and deadline.
+                Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(CommError::Disconnected { rank: self.rank, from: src, tag });
                 }

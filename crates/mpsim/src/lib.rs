@@ -117,6 +117,12 @@ impl Universe {
         }
         let counters = cost::SharedCounters::new(p);
         let barrier = Arc::new(Barrier::new(p));
+        // Shared panic flag: a rank that panics raises it so that peers
+        // blocked in `recv` fail fast with `CommError::Disconnected` instead
+        // of waiting out the full receive timeout (the surviving sender
+        // clones keep every channel alive, so the mpsc disconnect state
+        // alone never fires).
+        let abort = Arc::new(std::sync::atomic::AtomicBool::new(false));
         // One epoch shared by all ranks so per-rank timestamps are mutually
         // comparable in the merged trace.
         let epoch = Instant::now();
@@ -128,13 +134,30 @@ impl Universe {
                 let senders = senders.clone();
                 let counters = counters.clone();
                 let barrier = barrier.clone();
+                let abort = abort.clone();
                 let timeout = self.recv_timeout;
                 handles.push(scope.spawn(move || {
-                    let comm =
-                        Comm::new(rank, senders, rx, counters, barrier, timeout, epoch, tracing);
-                    let result = f(&comm);
-                    let trace = comm.take_trace();
-                    (result, trace)
+                    let comm = Comm::new(
+                        rank,
+                        senders,
+                        rx,
+                        counters,
+                        barrier,
+                        timeout,
+                        abort.clone(),
+                        epoch,
+                        tracing,
+                    );
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm))) {
+                        Ok(result) => {
+                            let trace = comm.take_trace();
+                            (result, trace)
+                        }
+                        Err(payload) => {
+                            abort.store(true, std::sync::atomic::Ordering::Release);
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
                 }));
             }
             handles
@@ -208,6 +231,42 @@ mod tests {
         let (results, _) =
             universe.run(|comm| if comm.rank() == 1 { comm.recv(0, 99).is_err() } else { true });
         assert!(results[1], "recv with no matching send must time out");
+    }
+
+    #[test]
+    fn panicking_rank_fails_peers_fast() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Rank 1 panics immediately; ranks 0 and 2 block in `recv` on it.
+        // Without the abort flag the peers would sit out the full 60 s
+        // default timeout (their sender clones keep the channels alive);
+        // with it they observe `Disconnected` within the poll granularity.
+        let start = Instant::now();
+        let disconnected = Arc::new(AtomicUsize::new(0));
+        let disconnected_in = disconnected.clone();
+        let universe = Universe::new(3); // default 60 s timeout on purpose
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            universe.run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("deliberate rank failure");
+                }
+                match comm.recv(1, 7) {
+                    Err(CommError::Disconnected { rank, from, tag }) => {
+                        assert_eq!(rank, comm.rank());
+                        assert_eq!(from, 1);
+                        assert_eq!(tag, 7);
+                        disconnected_in.fetch_add(1, Ordering::SeqCst);
+                    }
+                    other => panic!("expected Disconnected, got {other:?}"),
+                }
+            })
+        }));
+        assert!(outcome.is_err(), "the rank panic must still propagate");
+        assert_eq!(disconnected.load(Ordering::SeqCst), 2, "both peers must fail fast");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "peers must not wait out the 60 s receive timeout (took {:?})",
+            start.elapsed()
+        );
     }
 
     #[test]

@@ -121,6 +121,35 @@ pub fn phase_stats(spans: &[PhaseSpan]) -> BTreeMap<&'static str, PhaseStats> {
     map
 }
 
+/// Per-phase aggregate over **all** spans with a given label, at any
+/// nesting depth.
+///
+/// Complement to [`phase_stats`]: use this to pull out *nested*
+/// instrumentation such as the `compute:kernel` span that Algorithm 5 opens
+/// inside its `local-compute` phase — e.g. to compare pure kernel time
+/// against the enclosing phase, or to sum kernel time across a batched
+/// run's repeated invocations. Because nested spans overlap their parents,
+/// the returned totals do **not** partition the run; they answer "how much
+/// time/traffic happened under this label", not "what share of the run was
+/// this".
+pub fn phase_stats_by_name(spans: &[PhaseSpan], name: &str) -> PhaseStats {
+    let mut stats = PhaseStats::default();
+    for span in spans.iter().filter(|s| s.name == name) {
+        stats.count += 1;
+        stats.total_ns += span.duration_ns();
+        stats.max_ns = stats.max_ns.max(span.duration_ns());
+        stats.total_cost = RankCost {
+            words_sent: stats.total_cost.words_sent + span.cost.words_sent,
+            words_recv: stats.total_cost.words_recv + span.cost.words_recv,
+            msgs_sent: stats.total_cost.msgs_sent + span.cost.msgs_sent,
+            msgs_recv: stats.total_cost.msgs_recv + span.cost.msgs_recv,
+            rounds: stats.total_cost.rounds + span.cost.rounds,
+        };
+        stats.max_bandwidth = stats.max_bandwidth.max(span.cost.bandwidth());
+    }
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +206,59 @@ mod tests {
         // whole run's totals.
         let sum: u64 = stats.values().map(|s| s.total_cost.words_sent).sum();
         assert_eq!(sum, report.total_words_sent());
+    }
+
+    #[test]
+    fn by_name_stats_see_nested_spans() {
+        let (_, _, traces) = Universe::new(2).run_traced(|comm| {
+            comm.with_phase("a", || {
+                comm.with_phase("kernel", || {});
+            });
+            comm.with_phase("b", || {
+                comm.with_phase("kernel", || {});
+                comm.with_phase("kernel", || {});
+            });
+        });
+        let all = spans(&traces);
+        // Top-level aggregation hides the nested label entirely...
+        assert!(!phase_stats(&all).contains_key("kernel"));
+        // ...but the by-name view counts every occurrence: 3 per rank.
+        let kernel = phase_stats_by_name(&all, "kernel");
+        assert_eq!(kernel.count, 6);
+        assert_eq!(phase_stats_by_name(&all, "a").count, 2);
+        assert_eq!(phase_stats_by_name(&all, "nope").count, 0);
+    }
+
+    #[test]
+    fn algorithm5_traces_expose_the_nested_kernel_span() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use symtensor_core::generate::random_symmetric;
+        use symtensor_parallel::{parallel_sttsv_traced, Mode, TetraPartition};
+        use symtensor_steiner::spherical;
+
+        let n = 30;
+        let part = TetraPartition::new(spherical(2), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let tensor = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let (_, traces) = parallel_sttsv_traced(&tensor, &part, &x, Mode::Scheduled);
+
+        let all = spans(&traces);
+        // Every rank opens exactly one compute:kernel span, nested at depth
+        // 1 inside local-compute — so the top-level partition is untouched.
+        let kernels: Vec<_> = all.iter().filter(|s| s.name == "compute:kernel").collect();
+        assert_eq!(kernels.len(), part.num_procs());
+        assert!(kernels.iter().all(|s| s.depth == 1));
+        assert!(kernels.iter().all(|s| s.cost.words_sent == 0), "kernels must not communicate");
+        let stats = phase_stats(&all);
+        assert!(!stats.contains_key("compute:kernel"));
+        assert!(stats.contains_key("local-compute"));
+        // The kernel time is contained in the local-compute phase time.
+        let kernel = phase_stats_by_name(&all, "compute:kernel");
+        let local = phase_stats_by_name(&all, "local-compute");
+        assert_eq!(kernel.count, local.count);
+        assert!(kernel.total_ns <= local.total_ns);
     }
 
     #[test]

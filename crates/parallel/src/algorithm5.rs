@@ -28,6 +28,7 @@ use crate::partition::TetraPartition;
 use crate::schedule::{shared_row_blocks, CommSchedule};
 use symtensor_core::SymTensor3;
 use symtensor_mpsim::{Comm, CommEvent, CostReport, Universe};
+use symtensor_pool::Pool;
 
 /// Communication strategy for the two vector phases.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,6 +55,10 @@ pub struct RankContext<'a> {
     pub mode: Mode,
     /// The point-to-point schedule (required for [`Mode::Scheduled`]).
     pub schedule: Option<&'a CommSchedule>,
+    /// Optional shared-memory worker pool for the local-compute phase
+    /// (see [`RankContext::with_pool`]); `None` runs the sequential
+    /// kernels.
+    pub pool: Option<&'a Pool>,
 }
 
 impl<'a> RankContext<'a> {
@@ -69,7 +74,38 @@ impl<'a> RankContext<'a> {
             mode != Mode::Scheduled || schedule.is_some(),
             "scheduled mode needs a CommSchedule"
         );
-        RankContext { part, owned: OwnedBlocks::extract(tensor, part, rank), mode, schedule }
+        RankContext {
+            part,
+            owned: OwnedBlocks::extract(tensor, part, rank),
+            mode,
+            schedule,
+            pool: None,
+        }
+    }
+
+    /// Attaches a shared-memory worker pool: the local-compute phase then
+    /// runs [`OwnedBlocks::compute_par`] across the pool's threads (results
+    /// bit-identical across thread counts) instead of the sequential
+    /// kernels. This is the node-level `threads` knob below the simulated
+    /// distributed machine.
+    pub fn with_pool(mut self, pool: &'a Pool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Runs the local ternary-multiplication kernels, on the attached pool
+    /// if any, inside a nested `compute:kernel` phase span (so traces show
+    /// the pure kernel time within the enclosing `local-compute` phase).
+    fn local_kernels(&self, comm: &Comm, x_full: &[Vec<f64>], y_acc: &mut [Vec<f64>]) -> u64 {
+        let part = self.part;
+        let p = comm.rank();
+        let rp = part.r_set(p);
+        comm.with_phase("compute:kernel", || match self.pool {
+            Some(pool) => {
+                self.owned.compute_par(x_full, y_acc, |i| rp.binary_search(&i).unwrap(), pool)
+            }
+            None => self.owned.compute(x_full, y_acc, |i| rp.binary_search(&i).unwrap()),
+        })
     }
 
     /// One distributed STTSV: `my_shards[t]` is this rank's shard of row
@@ -112,9 +148,8 @@ impl<'a> RankContext<'a> {
 
         // --- Phase 2: local ternary multiplications (lines 24-36).
         let mut y_acc: Vec<Vec<f64>> = vec![vec![0.0; b]; rp.len()];
-        let ternary = comm.with_phase("local-compute", || {
-            self.owned.compute(&x_full, &mut y_acc, |i| rp.binary_search(&i).unwrap())
-        });
+        let ternary =
+            comm.with_phase("local-compute", || self.local_kernels(comm, &x_full, &mut y_acc));
 
         // --- Phase 3: distribute and reduce partial y (lines 38-50).
         let mut y_out: Vec<Vec<f64>> = rp
@@ -146,6 +181,132 @@ impl<'a> RankContext<'a> {
         });
 
         (y_out, ternary)
+    }
+
+    /// Batched distributed STTSV: runs `B = my_shards.len()` contractions
+    /// through **one** pair of exchange phases — the serving/throughput
+    /// path. `my_shards[v][t]` is this rank's shard of row block `R_p[t]`
+    /// of input vector `v`; returns `ys[v][t]` keyed the same way, plus the
+    /// total ternary-multiplication count (`B ×` the single-vector count).
+    ///
+    /// Each peer message carries the `B` vectors' pieces back-to-back
+    /// (`width = B` in [`RankContext::exchange_phase`]), so the per-rank
+    /// **message count and round count are those of a single STTSV** while
+    /// words scale linearly with `B` — the α (latency) term of the α-β-γ
+    /// cost is amortized across the batch, exactly like the multi-vector
+    /// contractions in the Multi-TTM literature. Word counts are `B ×` the
+    /// single-vector counts in every mode (the padded collective pads each
+    /// message to `B ×` the single-vector pad).
+    pub fn sttsv_multi(
+        &self,
+        comm: &Comm,
+        my_shards: &[Vec<Vec<f64>>],
+    ) -> (Vec<Vec<Vec<f64>>>, u64) {
+        let part = self.part;
+        let p = comm.rank();
+        let rp = part.r_set(p);
+        let batch = my_shards.len();
+        if batch == 0 {
+            return (Vec::new(), 0);
+        }
+        let t_count = rp.len();
+        for (v, shards) in my_shards.iter().enumerate() {
+            assert_eq!(shards.len(), t_count, "vector {v}: one shard per owned row block");
+        }
+        let b = part.block_size();
+
+        // Batched rank state, flattened as [v * t_count + t] so it fits the
+        // `exchange_phase` state type.
+        let mut x_full: Vec<Vec<f64>> = vec![vec![0.0; b]; batch * t_count];
+        for (v, shards) in my_shards.iter().enumerate() {
+            for (t, &i) in rp.iter().enumerate() {
+                let range = part.shard_range(i, p);
+                debug_assert_eq!(shards[t].len(), range.len());
+                x_full[v * t_count + t][range].copy_from_slice(&shards[t]);
+            }
+        }
+        comm.with_phase("gather-x", || {
+            self.exchange_phase(
+                comm,
+                TAG_X,
+                batch,
+                // Pack: my shards of row block i, all vectors back-to-back.
+                |_, t, _peer| {
+                    let mut buf = Vec::new();
+                    for shards in my_shards {
+                        buf.extend_from_slice(&shards[t]);
+                    }
+                    buf
+                },
+                // Unpack: the peer's shards of row block i, per vector.
+                |i, t, peer| {
+                    let range = part.shard_range(i, peer);
+                    let len = range.len();
+                    (
+                        len * batch,
+                        Box::new(move |x_dst: &mut [Vec<f64>], piece: &[f64]| {
+                            for v in 0..batch {
+                                x_dst[v * t_count + t][range.clone()]
+                                    .copy_from_slice(&piece[v * len..(v + 1) * len]);
+                            }
+                        }),
+                    )
+                },
+                &mut x_full,
+            )
+        });
+
+        // Local compute: one kernel pass per vector over the same owned
+        // blocks (the blocks stay resident; only the vectors change).
+        let mut y_acc: Vec<Vec<f64>> = vec![vec![0.0; b]; batch * t_count];
+        let ternary = comm.with_phase("local-compute", || {
+            let mut total = 0;
+            for (xs, ys) in x_full.chunks_exact(t_count).zip(y_acc.chunks_exact_mut(t_count)) {
+                total += self.local_kernels(comm, xs, ys);
+            }
+            total
+        });
+
+        // Reduce: every vector's partial shards in one exchange.
+        let mut y_flat: Vec<Vec<f64>> = (0..batch)
+            .flat_map(|v| rp.iter().enumerate().map(move |(t, &i)| (v, t, i)).collect::<Vec<_>>())
+            .map(|(v, t, i)| y_acc[v * t_count + t][part.shard_range(i, p)].to_vec())
+            .collect();
+        comm.with_phase("reduce-y", || {
+            self.exchange_phase(
+                comm,
+                TAG_Y,
+                batch,
+                |i, t, peer| {
+                    let range = part.shard_range(i, peer);
+                    let mut buf = Vec::with_capacity(batch * range.len());
+                    for v in 0..batch {
+                        buf.extend_from_slice(&y_acc[v * t_count + t][range.clone()]);
+                    }
+                    buf
+                },
+                |i, t, _peer| {
+                    let len = part.shard_range(i, p).len();
+                    (
+                        len * batch,
+                        Box::new(move |y_dst: &mut [Vec<f64>], piece: &[f64]| {
+                            for v in 0..batch {
+                                for (acc, &val) in y_dst[v * t_count + t]
+                                    .iter_mut()
+                                    .zip(&piece[v * len..(v + 1) * len])
+                                {
+                                    *acc += val;
+                                }
+                            }
+                        }),
+                    )
+                },
+                &mut y_flat,
+            )
+        });
+
+        let ys = y_flat.chunks_exact(t_count).map(|c| c.to_vec()).collect();
+        (ys, ternary)
     }
 
     /// Shared machinery for both vector phases: for every peer sharing row
@@ -342,6 +503,133 @@ fn run_sttsv(
     (SttsvRun { y, report, ternary_per_rank }, traces)
 }
 
+/// The result of a driver-level **batched** parallel STTSV run.
+#[derive(Clone, Debug)]
+pub struct SttsvMultiRun {
+    /// One assembled output vector per input vector: `ys[v] = 𝓐 ×₂ x_v ×₃ x_v`.
+    pub ys: Vec<Vec<f64>>,
+    /// Exact per-rank communication costs for the whole batch.
+    pub report: CostReport,
+    /// Per-rank ternary-multiplication counts summed over the batch
+    /// (`B ×` the single-vector counts).
+    pub ternary_per_rank: Vec<u64>,
+}
+
+/// Runs [`RankContext::sttsv_multi`] on the simulated machine: all `B`
+/// contractions share one pair of exchange phases, so each rank's message
+/// and round counts equal a **single** STTSV while words scale with `B`.
+///
+/// `threads > 1` additionally attaches a [`Pool`] per rank so the
+/// local-compute phase runs [`OwnedBlocks::compute_par`]
+/// (results bit-identical to the sequential kernels across thread counts).
+///
+/// [`OwnedBlocks::compute_par`]: crate::blocks::OwnedBlocks::compute_par
+pub fn parallel_sttsv_multi(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    xs: &[Vec<f64>],
+    mode: Mode,
+    threads: usize,
+) -> SttsvMultiRun {
+    let n = part.dim();
+    assert_eq!(tensor.dim(), n);
+    for (v, x) in xs.iter().enumerate() {
+        assert_eq!(x.len(), n, "vector {v} has wrong dimension");
+    }
+    let p_count = part.num_procs();
+    let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
+
+    let rank_main = |comm: &Comm| {
+        let p = comm.rank();
+        let pool = (threads > 1).then(|| Pool::new(threads));
+        let mut ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref());
+        if let Some(pool) = pool.as_ref() {
+            ctx = ctx.with_pool(pool);
+        }
+        let my_shards: Vec<Vec<Vec<f64>>> = xs
+            .iter()
+            .map(|x| {
+                part.r_set(p)
+                    .iter()
+                    .map(|&i| {
+                        let block = &x[part.block_range(i)];
+                        block[part.shard_range(i, p)].to_vec()
+                    })
+                    .collect()
+            })
+            .collect();
+        ctx.sttsv_multi(comm, &my_shards)
+    };
+    let universe = Universe::new(p_count);
+    let (rank_results, report) = universe.run(rank_main);
+
+    let mut ys = vec![vec![0.0; n]; xs.len()];
+    let mut ternary_per_rank = Vec::with_capacity(p_count);
+    for (p, (shard_sets, ternary)) in rank_results.into_iter().enumerate() {
+        ternary_per_rank.push(ternary);
+        for (v, shards) in shard_sets.into_iter().enumerate() {
+            for (t, &i) in part.r_set(p).iter().enumerate() {
+                let global = part.block_range(i);
+                let local = part.shard_range(i, p);
+                ys[v][global.start + local.start..global.start + local.end]
+                    .copy_from_slice(&shards[t]);
+            }
+        }
+    }
+    SttsvMultiRun { ys, report, ternary_per_rank }
+}
+
+/// Like [`parallel_sttsv`] but with a node-level worker pool of `threads`
+/// threads attached to every rank: the distributed algorithm (and its
+/// communication costs) are unchanged, while each rank's local-compute
+/// phase runs the work-stealing block kernels. Results are bit-identical
+/// to [`parallel_sttsv`] for every thread count.
+pub fn parallel_sttsv_mt(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x: &[f64],
+    mode: Mode,
+    threads: usize,
+) -> SttsvRun {
+    if threads <= 1 {
+        return parallel_sttsv(tensor, part, x, mode);
+    }
+    let n = part.dim();
+    assert_eq!(tensor.dim(), n);
+    assert_eq!(x.len(), n);
+    let p_count = part.num_procs();
+    let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
+
+    let rank_main = |comm: &Comm| {
+        let p = comm.rank();
+        let pool = Pool::new(threads);
+        let ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref()).with_pool(&pool);
+        let my_shards: Vec<Vec<f64>> = part
+            .r_set(p)
+            .iter()
+            .map(|&i| {
+                let block = &x[part.block_range(i)];
+                block[part.shard_range(i, p)].to_vec()
+            })
+            .collect();
+        ctx.sttsv(comm, &my_shards)
+    };
+    let universe = Universe::new(p_count);
+    let (rank_results, report) = universe.run(rank_main);
+
+    let mut y = vec![0.0; n];
+    let mut ternary_per_rank = Vec::with_capacity(p_count);
+    for (p, (shards, ternary)) in rank_results.into_iter().enumerate() {
+        ternary_per_rank.push(ternary);
+        for (t, &i) in part.r_set(p).iter().enumerate() {
+            let global = part.block_range(i);
+            let local = part.shard_range(i, p);
+            y[global.start + local.start..global.start + local.end].copy_from_slice(&shards[t]);
+        }
+    }
+    SttsvRun { y, report, ternary_per_rank }
+}
+
 /// Runs Algorithm 5 for an arbitrary dimension by zero-padding the tensor
 /// and vector to [`TetraPartition::padded_dim`] (the paper's padding rule),
 /// then truncating `y`.
@@ -488,6 +776,131 @@ mod tests {
         for (p, &t) in run.ternary_per_rank.iter().enumerate() {
             assert_eq!(t, part.ternary_mults(p), "rank {p}");
         }
+    }
+
+    #[test]
+    fn multi_matches_per_vector_sequential_in_all_modes() {
+        let n = 60;
+        let part = TetraPartition::new(spherical(3), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let tensor = random_symmetric(n, &mut rng);
+        let xs: Vec<Vec<f64>> = (0..4)
+            .map(|v| (0..n).map(|i| ((i * 3 + v * 11 + 1) as f64 * 0.013).sin()).collect())
+            .collect();
+        for mode in [Mode::Scheduled, Mode::AllToAllPadded, Mode::AllToAllSparse] {
+            let run = parallel_sttsv_multi(&tensor, &part, &xs, mode, 1);
+            assert_eq!(run.ys.len(), xs.len());
+            for (v, x) in xs.iter().enumerate() {
+                let (y_seq, _) = sttsv_sym(&tensor, x);
+                for i in 0..n {
+                    assert!(
+                        (run.ys[v][i] - y_seq[i]).abs() < 1e-9 * (1.0 + y_seq[i].abs()),
+                        "{mode:?} vector {v} y[{i}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_words_scale_with_batch_but_rounds_do_not() {
+        // The batched exchange must amortize latency: per-rank words are
+        // B × the single-vector closed forms while message/round counts
+        // stay those of a single STTSV.
+        let n = 120;
+        let batch = 3usize;
+        let part = TetraPartition::new(spherical(3), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let tensor = random_symmetric(n, &mut rng);
+        let xs: Vec<Vec<f64>> =
+            (0..batch).map(|v| (0..n).map(|i| ((i + v) as f64 * 0.01).cos()).collect()).collect();
+
+        let single = parallel_sttsv(&tensor, &part, &xs[0], Mode::Scheduled);
+        let multi = parallel_sttsv_multi(&tensor, &part, &xs, Mode::Scheduled, 1);
+        for (p, (one, many)) in
+            single.report.per_rank.iter().zip(&multi.report.per_rank).enumerate()
+        {
+            assert_eq!(many.words_sent, batch as u64 * one.words_sent, "rank {p} words");
+            assert_eq!(many.msgs_sent, one.msgs_sent, "rank {p} messages");
+            assert_eq!(many.rounds, one.rounds, "rank {p} rounds");
+        }
+        // Ternary work also scales with the batch, matching the partition.
+        for (p, &t) in multi.ternary_per_rank.iter().enumerate() {
+            assert_eq!(t, batch as u64 * part.ternary_mults(p), "rank {p}");
+        }
+
+        let single_pad = parallel_sttsv(&tensor, &part, &xs[0], Mode::AllToAllPadded);
+        let multi_pad = parallel_sttsv_multi(&tensor, &part, &xs, Mode::AllToAllPadded, 1);
+        for (one, many) in single_pad.report.per_rank.iter().zip(&multi_pad.report.per_rank) {
+            assert_eq!(many.words_sent, batch as u64 * one.words_sent);
+            assert_eq!(many.msgs_sent, one.msgs_sent);
+        }
+    }
+
+    #[test]
+    fn mt_driver_matches_sequential_and_is_thread_count_invariant() {
+        // The pooled local-compute phase uses a fixed chunk decomposition
+        // and tree reduction, so it's bit-identical across *thread counts*
+        // (and run-to-run); versus the sequential accumulation order it
+        // agrees to rounding.
+        let n = 60;
+        let part = TetraPartition::new(spherical(3), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let tensor = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 5 + 2) as f64 * 0.017).sin()).collect();
+        let base = parallel_sttsv(&tensor, &part, &x, Mode::Scheduled);
+        let pooled = parallel_sttsv_mt(&tensor, &part, &x, Mode::Scheduled, 2);
+        for threads in [2usize, 4, 8] {
+            let run = parallel_sttsv_mt(&tensor, &part, &x, Mode::Scheduled, threads);
+            assert_eq!(run.ternary_per_rank, base.ternary_per_rank);
+            for i in 0..n {
+                assert!(
+                    (run.y[i] - base.y[i]).abs() < 1e-12 * (1.0 + base.y[i].abs()),
+                    "threads={threads} y[{i}]"
+                );
+                assert_eq!(run.y[i].to_bits(), pooled.y[i].to_bits(), "threads={threads} y[{i}]");
+            }
+            // Communication is untouched by the node-level pool.
+            for (one, other) in base.report.per_rank.iter().zip(&run.report.per_rank) {
+                assert_eq!(one.words_sent, other.words_sent);
+                assert_eq!(one.rounds, other.rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_with_pool_matches_multi_without() {
+        let n = 40;
+        let part = TetraPartition::new(spherical(2), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(24);
+        let tensor = random_symmetric(n, &mut rng);
+        let xs: Vec<Vec<f64>> =
+            (0..2).map(|v| (0..n).map(|i| ((i * 2 + v) as f64 * 0.03).cos()).collect()).collect();
+        let seq = parallel_sttsv_multi(&tensor, &part, &xs, Mode::AllToAllSparse, 1);
+        let par4 = parallel_sttsv_multi(&tensor, &part, &xs, Mode::AllToAllSparse, 4);
+        let par8 = parallel_sttsv_multi(&tensor, &part, &xs, Mode::AllToAllSparse, 8);
+        assert_eq!(seq.ternary_per_rank, par4.ternary_per_rank);
+        for (a, b) in seq.ys.iter().zip(&par4.ys) {
+            for (va, vb) in a.iter().zip(b) {
+                assert!((va - vb).abs() < 1e-12 * (1.0 + va.abs()));
+            }
+        }
+        // Thread-count invariance of the pooled path is exact.
+        for (a, b) in par4.ys.iter().zip(&par8.ys) {
+            for (va, vb) in a.iter().zip(b) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_empty_batch_is_ok() {
+        let n = 30;
+        let part = TetraPartition::new(spherical(2), n).unwrap();
+        let tensor = SymTensor3::zeros(n);
+        let run = parallel_sttsv_multi(&tensor, &part, &[], Mode::AllToAllSparse, 1);
+        assert!(run.ys.is_empty());
+        assert!(run.ternary_per_rank.iter().all(|&t| t == 0));
     }
 
     #[test]

@@ -145,36 +145,106 @@ impl OwnedBlocks {
         let b = self.b;
         let mut ternary: u64 = 0;
         for blk in &self.blocks {
-            match blk.kind {
-                BlockKind::OffDiagonal => {
-                    let (pi, pj, pk) = (row_pos(blk.idx.i), row_pos(blk.idx.j), row_pos(blk.idx.k));
-                    ternary += off_diagonal_kernel(
-                        &blk.data,
-                        b,
-                        &x_full[pi],
-                        &x_full[pj],
-                        &x_full[pk],
-                        pi,
-                        pj,
-                        pk,
-                        y_acc,
-                    );
-                }
-                BlockKind::NonCentralIIK => {
-                    let (pi, pk) = (row_pos(blk.idx.i), row_pos(blk.idx.k));
-                    ternary += iik_kernel(&blk.data, b, pi, pk, x_full, y_acc);
-                }
-                BlockKind::NonCentralIKK => {
-                    let (pi, pk) = (row_pos(blk.idx.i), row_pos(blk.idx.k));
-                    ternary += ikk_kernel(&blk.data, b, pi, pk, x_full, y_acc);
-                }
-                BlockKind::CentralDiagonal => {
-                    let pi = row_pos(blk.idx.i);
-                    ternary += central_kernel(&blk.data, b, pi, x_full, y_acc);
-                }
-            }
+            ternary += compute_block(blk, b, x_full, y_acc, &row_pos);
         }
         ternary
+    }
+
+    /// Shared-memory parallel [`OwnedBlocks::compute`]: the rank's blocks
+    /// are split into contiguous chunks executed across `pool`'s workers,
+    /// each chunk accumulating into its own zeroed copy of `y_acc`; the
+    /// partials are combined with the fixed pairwise
+    /// [`symtensor_pool::tree_reduce`] and added into `y_acc`.
+    ///
+    /// The chunk decomposition and reduction tree depend only on the block
+    /// list (never on the pool's thread count), so the result is
+    /// **bit-identical across runs and thread counts**; it can differ from
+    /// the sequential [`OwnedBlocks::compute`] only in floating-point
+    /// summation order. The returned ternary count is exactly the
+    /// sequential one.
+    pub fn compute_par<F>(
+        &self,
+        x_full: &[Vec<f64>],
+        y_acc: &mut [Vec<f64>],
+        row_pos: F,
+        pool: &symtensor_pool::Pool,
+    ) -> u64
+    where
+        F: Fn(usize) -> usize + Sync,
+    {
+        /// Chunk-count cap: bounds the `chunks · |R_p| · b` words of
+        /// accumulator allocation while still leaving plenty of stealable
+        /// units for any realistic worker count.
+        const MAX_COMPUTE_CHUNKS: usize = 32;
+        if self.blocks.is_empty() {
+            return 0;
+        }
+        let b = self.b;
+        let chunks = self.blocks.len().min(MAX_COMPUTE_CHUNKS);
+        let shape: Vec<usize> = y_acc.iter().map(|v| v.len()).collect();
+        let partials = pool.run_chunks(chunks, |c| {
+            let lo = c * self.blocks.len() / chunks;
+            let hi = (c + 1) * self.blocks.len() / chunks;
+            let mut local: Vec<Vec<f64>> = shape.iter().map(|&len| vec![0.0; len]).collect();
+            let mut ternary = 0u64;
+            for blk in &self.blocks[lo..hi] {
+                ternary += compute_block(blk, b, x_full, &mut local, &row_pos);
+            }
+            (local, ternary)
+        });
+        let (partial_y, ternary) =
+            symtensor_pool::tree_reduce(partials, |(mut ya, ta), (yb, tb)| {
+                for (va, vb) in ya.iter_mut().zip(&yb) {
+                    add_into(va, vb);
+                }
+                (ya, ta + tb)
+            })
+            .expect("at least one chunk");
+        for (dst, src) in y_acc.iter_mut().zip(&partial_y) {
+            add_into(dst, src);
+        }
+        ternary
+    }
+}
+
+/// Dispatches one owned block to its kind-specific kernel.
+fn compute_block<F>(
+    blk: &OwnedBlock,
+    b: usize,
+    x_full: &[Vec<f64>],
+    y_acc: &mut [Vec<f64>],
+    row_pos: &F,
+) -> u64
+where
+    F: Fn(usize) -> usize,
+{
+    match blk.kind {
+        BlockKind::OffDiagonal => {
+            let (pi, pj, pk) = (row_pos(blk.idx.i), row_pos(blk.idx.j), row_pos(blk.idx.k));
+            off_diagonal_kernel(
+                &blk.data,
+                b,
+                &x_full[pi],
+                &x_full[pj],
+                &x_full[pk],
+                pi,
+                pj,
+                pk,
+                y_acc,
+            )
+        }
+        BlockKind::NonCentralIIK => {
+            let (pi, pk) = (row_pos(blk.idx.i), row_pos(blk.idx.k));
+            iik_kernel(&blk.data, b, pi, pk, x_full, y_acc)
+        }
+        BlockKind::NonCentralIKK => {
+            let (pi, pk) = (row_pos(blk.idx.i), row_pos(blk.idx.k));
+            ikk_kernel(&blk.data, b, pi, pk, x_full, y_acc)
+        }
+        BlockKind::CentralDiagonal => {
+            let pi = row_pos(blk.idx.i);
+            central_kernel(&blk.data, b, pi, x_full, y_acc)
+        }
     }
 }
 
@@ -451,6 +521,50 @@ mod tests {
                 part.owned_blocks(p).iter().map(|blk| ternary_mults_in_block(blk.kind(), b)).sum();
             assert_eq!(measured, formula, "processor {p}");
             assert_eq!(measured, part.ternary_mults(p));
+        }
+    }
+
+    #[test]
+    fn compute_par_matches_compute_and_is_thread_count_invariant() {
+        use symtensor_pool::Pool;
+        let mut rng = StdRng::seed_from_u64(76);
+        let n = 40; // q = 3, b = 4: every block kind occurs.
+        let part = TetraPartition::new(spherical(3), n).unwrap();
+        let tensor = random_symmetric(n, &mut rng);
+        let b = part.block_size();
+        let x: Vec<f64> = (0..n).map(|i| ((i + 2) as f64 * 0.23).sin()).collect();
+        for p in (0..part.num_procs()).step_by(7) {
+            let owned = OwnedBlocks::extract(&tensor, &part, p);
+            let rp = part.r_set(p);
+            let x_full: Vec<Vec<f64>> =
+                rp.iter().map(|&i| x[part.block_range(i)].to_vec()).collect();
+            let pos = |i: usize| rp.binary_search(&i).unwrap();
+
+            let mut y_seq: Vec<Vec<f64>> = vec![vec![0.0; b]; rp.len()];
+            let t_seq = owned.compute(&x_full, &mut y_seq, pos);
+
+            let mut reference: Option<Vec<Vec<f64>>> = None;
+            for threads in [1usize, 2, 3, 8] {
+                let pool = Pool::new(threads);
+                let mut y_par: Vec<Vec<f64>> = vec![vec![0.0; b]; rp.len()];
+                let t_par = owned.compute_par(&x_full, &mut y_par, pos, &pool);
+                assert_eq!(t_par, t_seq, "rank {p} threads={threads}: ternary count");
+                for (t, (vp, vs)) in y_par.iter().zip(&y_seq).enumerate() {
+                    for (o, (&a, &c)) in vp.iter().zip(vs).enumerate() {
+                        assert!(
+                            (a - c).abs() <= 1e-12 * (1.0 + c.abs()),
+                            "rank {p} threads={threads} y[{t}][{o}]"
+                        );
+                    }
+                }
+                match &reference {
+                    None => reference = Some(y_par),
+                    Some(r) => assert_eq!(
+                        &y_par, r,
+                        "rank {p} threads={threads}: must be bit-identical across thread counts"
+                    ),
+                }
+            }
         }
     }
 

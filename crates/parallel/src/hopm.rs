@@ -38,6 +38,26 @@ pub fn parallel_shifted_hopm(
     opts: HopmOptions,
     mode: Mode,
 ) -> (HopmResult, CostReport) {
+    parallel_shifted_hopm_mt(tensor, part, x0, alpha, opts, mode, 1)
+}
+
+/// [`parallel_shifted_hopm`] with a node-level worker pool of `threads`
+/// threads per rank for the local-compute phase of every STTSV iteration
+/// (see [`RankContext::with_pool`]); `threads ≤ 1` runs the sequential
+/// kernels. The distributed algorithm and its communication costs are
+/// unchanged, and the pooled kernels are bit-identical across thread
+/// counts, so the iteration trajectory does not depend on `threads` beyond
+/// the pooled-vs-sequential reduction order.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_shifted_hopm_mt(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x0: &[f64],
+    alpha: f64,
+    opts: HopmOptions,
+    mode: Mode,
+    threads: usize,
+) -> (HopmResult, CostReport) {
     let n = part.dim();
     assert_eq!(tensor.dim(), n);
     assert_eq!(x0.len(), n);
@@ -46,7 +66,11 @@ pub fn parallel_shifted_hopm(
 
     let (rank_results, report) = Universe::new(p_count).run(|comm| {
         let p = comm.rank();
-        let ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref());
+        let pool = (threads > 1).then(|| symtensor_pool::Pool::new(threads));
+        let mut ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref());
+        if let Some(pool) = pool.as_ref() {
+            ctx = ctx.with_pool(pool);
+        }
         let my_shards: Vec<Vec<f64>> = part
             .r_set(p)
             .iter()
@@ -246,6 +270,29 @@ mod tests {
         let per_call: u64 = (0..part.num_procs()).map(|p| part.ternary_mults(p)).sum();
         assert_eq!(par.ops.ternary_mults, par.iters as u64 * per_call);
         assert_eq!(par.ops.flops(), 3 * par.ops.ternary_mults);
+    }
+
+    #[test]
+    fn mt_hopm_converges_to_the_same_eigenpair() {
+        let n = 30;
+        let part = TetraPartition::new(spherical(2), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(96);
+        let odeco = random_odeco(n, 3, &mut rng);
+        let mut x0 = odeco.vectors[0].clone();
+        x0[2] += 0.05;
+        let opts = HopmOptions { tol: 1e-12, max_iters: 500 };
+        let (base, base_report) =
+            parallel_shifted_hopm(&odeco.tensor, &part, &x0, 0.0, opts, Mode::Scheduled);
+        let (mt, mt_report) =
+            parallel_shifted_hopm_mt(&odeco.tensor, &part, &x0, 0.0, opts, Mode::Scheduled, 4);
+        assert!(mt.converged);
+        assert!((mt.lambda - base.lambda).abs() < 1e-10);
+        assert_eq!(mt.iters, base.iters);
+        // Communication is a function of the partition only, not the pool.
+        for (a, b) in base_report.per_rank.iter().zip(&mt_report.per_rank) {
+            assert_eq!(a.words_sent, b.words_sent);
+            assert_eq!(a.rounds, b.rounds);
+        }
     }
 
     #[test]

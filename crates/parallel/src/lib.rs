@@ -43,7 +43,8 @@ pub mod tetra;
 pub mod triangle;
 
 pub use algorithm5::{
-    parallel_sttsv, parallel_sttsv_padded, parallel_sttsv_traced, Mode, SttsvRun,
+    parallel_sttsv, parallel_sttsv_mt, parallel_sttsv_multi, parallel_sttsv_padded,
+    parallel_sttsv_traced, Mode, RankContext, SttsvMultiRun, SttsvRun,
 };
 pub use partition::TetraPartition;
 pub use schedule::CommSchedule;

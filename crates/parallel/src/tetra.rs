@@ -190,6 +190,62 @@ mod tests {
         }
     }
 
+    /// Brute force: enumerate the lower-tetrahedron points of one block of
+    /// each kind (with representative global row-block indices) and count
+    /// the Algorithm 4 case analysis — 3 multiplications for strictly
+    /// distinct global indices, 2 for exactly two equal, 1 for all equal.
+    fn brute_force_ternary(kind: BlockKind, b: usize) -> u64 {
+        // Representative sorted row-block triples per kind.
+        let (bi, bj, bk) = match kind {
+            BlockKind::OffDiagonal => (2, 1, 0),
+            BlockKind::NonCentralIIK => (1, 1, 0),
+            BlockKind::NonCentralIKK => (1, 0, 0),
+            BlockKind::CentralDiagonal => (0, 0, 0),
+        };
+        let (range_i, range_j, range_k) =
+            (bi * b..(bi + 1) * b, bj * b..(bj + 1) * b, bk * b..(bk + 1) * b);
+        let mut count = 0u64;
+        for gi in range_i {
+            for gj in range_j.clone() {
+                for gk in range_k.clone() {
+                    if !(gi >= gj && gj >= gk) {
+                        continue; // outside the block's lower-tetra portion
+                    }
+                    count += if gi > gj && gj > gk {
+                        3
+                    } else if gi == gj && gj == gk {
+                        1
+                    } else {
+                        2
+                    };
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn ternary_formulas_match_brute_force_enumeration() {
+        // Pins the closed forms of `ternary_mults_in_block` — in particular
+        // the non-central `3b²(b−1)/2 + 2b²` term that the
+        // `bounds::comp_cost_upper` doc-comment quotes — against a direct
+        // enumeration of every point in a block.
+        for kind in [
+            BlockKind::OffDiagonal,
+            BlockKind::NonCentralIIK,
+            BlockKind::NonCentralIKK,
+            BlockKind::CentralDiagonal,
+        ] {
+            for b in 1usize..=7 {
+                assert_eq!(
+                    ternary_mults_in_block(kind, b),
+                    brute_force_ternary(kind, b),
+                    "{kind:?} b={b}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn ternary_counts_sum_to_paper_total() {
         // Summing kernel work over all blocks must give n²(n+1)/2.

@@ -87,6 +87,16 @@ fn report(group: &str, label: &str, samples: &[Duration]) {
     println!("{line}");
 }
 
+/// Declared per-iteration workload size, used to print throughput
+/// alongside raw timings (mirrors `criterion::Throughput`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many abstract elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
 /// A named group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
     name: String,
@@ -98,6 +108,12 @@ impl BenchmarkGroup<'_> {
     /// Sets the number of timed samples per benchmark (min 2).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the per-iteration workload — accepted for API
+    /// compatibility (the shim reports raw times only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
         self
     }
 
