@@ -1,18 +1,32 @@
 //! E10 — local kernel throughput: the flat-slab cursor kernel vs the seed
 //! per-point kernel, the blocked variant, the work-stealing parallel panel
-//! kernel, and the batched multi-vector path.
+//! kernel, the batched multi-vector path, and the compiled-plan packed
+//! arena vs the per-block legacy walk.
 //!
 //! Claims under test: the flat-slab walk beats the per-point
 //! `tet(i)+tri(j)+k` addressing (≥2× at n = 512); `sttsv_sym_multi`
 //! amortizes the slab traversal across a batch (one pass over the tensor
 //! instead of `B`); `sttsv_sym_par` scales with threads on multi-core
-//! hosts while staying bit-identical across thread counts.
+//! hosts while staying bit-identical across thread counts; the compiled
+//! `RankPlan` arena kernel is no slower than `OwnedBlocks::compute` while
+//! running allocation-free.
+//!
+//! Besides the Criterion report, this bench self-times a representative
+//! subset and writes `BENCH_kernels.json` at the repository root
+//! (`{kernel, n, q, ns_per_iter, flops_per_sec}` per case; `q = 0` marks
+//! sequential kernels with no partition) so CI can archive kernel
+//! throughput as an artifact. The offline Criterion shim has no JSON
+//! machinery, so the rows come from a best-of-three wall-clock loop here.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use symtensor_bench::{bench_tensor, bench_vector};
+use std::time::Instant;
+use symtensor_bench::{bench_partition, bench_tensor, bench_vector};
 use symtensor_core::seq::{sttsv_sym, sttsv_sym_blocked, sttsv_sym_multi, sttsv_sym_ref};
 use symtensor_core::{sttsv_sym_par, sttsv_sym_par_multi, Pool};
+use symtensor_obs::json::Value;
+use symtensor_parallel::blocks::OwnedBlocks;
+use symtensor_parallel::{PlanWorkspace, RankPlan};
 
 /// Ternary-multiplication count of one STTSV — the paper's work measure,
 /// used as Criterion throughput so reports read in elements/sec.
@@ -21,7 +35,89 @@ fn ternary(n: usize) -> u64 {
     n * n * (n + 1) / 2
 }
 
+/// Best-of-three self-timed measurement: one warm-up call, then three
+/// batches of five invocations; returns `(ns_per_iter, last_return)`.
+fn measure<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
+    let mut work = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        const ITERS: u32 = 5;
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            work = f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / f64::from(ITERS));
+    }
+    (best, work)
+}
+
+/// Appends one `BENCH_kernels.json` row. Effective flops treat each
+/// ternary multiplication as 2 multiplies + 1 fused accumulate.
+fn record(rows: &mut Vec<Value>, kernel: &str, n: usize, q: u64, ns: f64, ternary_mults: u64) {
+    let flops_per_sec = 3.0 * ternary_mults as f64 / (ns * 1e-9);
+    rows.push(
+        Value::object()
+            .with("kernel", kernel)
+            .with("n", n)
+            .with("q", q)
+            .with("ns_per_iter", ns)
+            .with("flops_per_sec", flops_per_sec),
+    );
+}
+
+/// Compiled-plan packed arena vs the legacy per-block walk on rank 0's
+/// owned blocks, post-gather (both paths see the same dense row blocks).
+fn bench_plan(c: &mut Criterion, rows: &mut Vec<Value>) {
+    let mut group = c.benchmark_group("kernel_plan");
+    group.sample_size(10);
+    for q in [2u64, 3] {
+        let qq = q as usize;
+        let n = (qq * qq + 1) * qq * (qq + 1);
+        let part = bench_partition(q, 1);
+        let tensor = bench_tensor(n, 13);
+        let rank = 0;
+        let rp = part.r_set(rank);
+        let b = part.block_size();
+        let owned = OwnedBlocks::extract(&tensor, &part, rank);
+        let plan = RankPlan::build(&part, &owned, rank);
+        let x_full: Vec<Vec<f64>> = (0..rp.len())
+            .map(|t| (0..b).map(|i| (((i + t * 7) as f64) * 0.019).cos()).collect())
+            .collect();
+        let mut y = vec![vec![0.0; b]; rp.len()];
+        let mut ws = PlanWorkspace::new();
+        plan.ensure_capacity(&mut ws, 1);
+
+        let mut legacy = || {
+            for row in y.iter_mut() {
+                row.fill(0.0);
+            }
+            owned.compute(black_box(&x_full), &mut y, |i| rp.binary_search(&i).unwrap())
+        };
+        let arena = |ws: &mut PlanWorkspace| {
+            plan.load_full(ws, 0, black_box(&x_full));
+            plan.compute(ws, 1, None)
+        };
+
+        let ternary = legacy();
+        group.throughput(Throughput::Elements(ternary));
+        group.bench_with_input(BenchmarkId::new("owned_blocks", n), &n, |bench, _| {
+            bench.iter(&mut legacy)
+        });
+        group.bench_with_input(BenchmarkId::new("plan_arena", n), &n, |bench, _| {
+            bench.iter(|| arena(&mut ws))
+        });
+
+        let (ns_legacy, t_legacy) = measure(&mut legacy);
+        record(rows, "owned_blocks", n, q, ns_legacy, t_legacy);
+        let (ns_plan, t_plan) = measure(|| arena(&mut ws));
+        assert_eq!(t_plan, t_legacy, "q={q}: plan and legacy ternary counts must agree");
+        record(rows, "plan_arena", n, q, ns_plan, t_plan);
+    }
+    group.finish();
+}
+
 fn bench_kernels(c: &mut Criterion) {
+    let mut rows: Vec<Value> = Vec::new();
     let mut group = c.benchmark_group("kernel_throughput");
     group.sample_size(10);
     for n in [128usize, 256, 512] {
@@ -37,6 +133,19 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("blocked_b64", n), &n, |bench, _| {
             bench.iter(|| sttsv_sym_blocked(black_box(&tensor), black_box(&x), 64))
         });
+        // Self-timed rows for BENCH_kernels.json (smaller sizes only, to
+        // keep the CI bench smoke fast; q = 0 marks "no partition").
+        if n <= 256 {
+            let (ns, t) =
+                measure(|| sttsv_sym_ref(black_box(&tensor), black_box(&x)).1.ternary_mults);
+            record(&mut rows, "ref_per_point", n, 0, ns, t);
+            let (ns, t) = measure(|| sttsv_sym(black_box(&tensor), black_box(&x)).1.ternary_mults);
+            record(&mut rows, "flat_slab", n, 0, ns, t);
+            let (ns, t) = measure(|| {
+                sttsv_sym_blocked(black_box(&tensor), black_box(&x), 64).1.ternary_mults
+            });
+            record(&mut rows, "blocked_b64", n, 0, ns, t);
+        }
     }
     group.finish();
 
@@ -78,8 +187,23 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("par_multi_x8_t4", n), &n, |bench, _| {
             bench.iter(|| sttsv_sym_par_multi(black_box(&tensor), black_box(&xs), &pool))
         });
+        if n <= 256 {
+            let (ns, t) =
+                measure(|| sttsv_sym_multi(black_box(&tensor), black_box(&xs)).1.ternary_mults);
+            record(&mut rows, "multi_x8", n, 0, ns, t);
+        }
     }
     group.finish();
+
+    bench_plan(c, &mut rows);
+
+    let json = Value::object()
+        .with("benchmark", "kernels")
+        .with("flops_model", "3 flops per ternary multiplication (2 mul + 1 accumulate)")
+        .with("results", Value::Array(rows));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, json.to_string_pretty() + "\n").expect("write BENCH_kernels.json");
+    println!("wrote {path}");
 }
 
 criterion_group!(benches, bench_kernels);

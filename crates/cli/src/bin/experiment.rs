@@ -29,12 +29,46 @@ use symtensor_parallel::{
 };
 use symtensor_steiner::spherical;
 
+/// Counting global allocator: E12 reports measured heap allocations per
+/// STTSV iteration for the legacy vs compiled-plan paths. Counting is a
+/// single relaxed atomic increment; every other experiment is unaffected.
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub struct Counting;
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static ALLOCATOR: Counting = Counting;
+
+    /// Total heap allocations (allocs + reallocs) so far, process-wide.
+    pub fn count() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
 fn main() {
     let (sink, rest) = ObsSink::from_args(std::env::args().skip(1));
     // Node-level knobs for the local kernels (`kernels` subcommand and the
     // distributed batched run): worker threads per rank and batch size.
     let mut threads = 1usize;
     let mut batch = 4usize;
+    let mut plan = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = rest.into_iter();
     while let Some(a) = it.next() {
@@ -47,6 +81,7 @@ fn main() {
                 let v = it.next().expect("--batch needs a value");
                 batch = v.parse().expect("--batch expects a positive integer");
             }
+            "--plan" => plan = true,
             _ => positional.push(a),
         }
     }
@@ -61,7 +96,7 @@ fn main() {
         "seqio" => seqio(),
         "ablation" => ablation(),
         "triangle" => triangle(),
-        "kernels" => kernels(threads, batch),
+        "kernels" => kernels(threads, batch, plan),
         "all" => {
             comm(&sink);
             baselines();
@@ -72,12 +107,12 @@ fn main() {
             seqio();
             ablation();
             triangle();
-            kernels(threads, batch);
+            kernels(threads, batch, plan);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: experiment [comm|baselines|balance|memory|schedule|hopm|seqio|ablation|kernels|all] [--threads N] [--batch B] [--trace out.json] [--metrics out.json]"
+                "usage: experiment [comm|baselines|balance|memory|schedule|hopm|seqio|ablation|kernels|all] [--threads N] [--batch B] [--plan] [--trace out.json] [--metrics out.json]"
             );
             std::process::exit(2);
         }
@@ -375,7 +410,7 @@ fn seqio() {
 /// per-point kernel, the work-stealing parallel panels and the batched
 /// multi-vector path, plus the distributed batched STTSV whose exchange
 /// phases amortize latency across the batch.
-fn kernels(threads: usize, batch: usize) {
+fn kernels(threads: usize, batch: usize, plan: bool) {
     use std::time::Instant;
     use symtensor_core::seq::{sttsv_sym, sttsv_sym_multi, sttsv_sym_ref};
     use symtensor_core::{sttsv_sym_par, sttsv_sym_par_multi, Pool};
@@ -463,6 +498,114 @@ fn kernels(threads: usize, batch: usize) {
     );
     assert_eq!(mw, xs.len() as u64 * sw, "words scale with the batch");
     assert_eq!(mr, sr, "rounds must not scale with the batch");
+    println!();
+
+    if plan {
+        plan_ab(threads);
+    }
+}
+
+/// E12 (`kernels --plan`): compiled rank plans vs the legacy per-call hot
+/// path — steady-state time and heap allocations per iterated distributed
+/// STTSV. Setup (universe spawn, block extraction, plan compilation) is
+/// subtracted by differencing a short and a long run of the same
+/// configuration, so the numbers are the per-iteration steady state.
+fn plan_ab(threads: usize) {
+    use std::time::Instant;
+    use symtensor_mpsim::Universe;
+    use symtensor_parallel::RankContext;
+
+    println!("== E12: compiled rank plans vs legacy hot path (Mode::Scheduled) ==");
+    println!(
+        "{:>3} {:>4} {:>5} {:>6} | {:>12} {:>12} {:>8} | {:>11} {:>11}",
+        "q", "P", "n", "batch", "legacy/iter", "plan/iter", "speedup", "allocs/it", "plan a/it"
+    );
+
+    let mut rng = StdRng::seed_from_u64(1012);
+    for q in [2u64, 3, 4] {
+        let qq = q as usize;
+        let n = (qq * qq + 1) * qq * (qq + 1);
+        let part = TetraPartition::new(spherical(q), n).unwrap();
+        let tensor = random_symmetric(n, &mut rng);
+        let schedule = CommSchedule::build(&part);
+        for batch in [1usize, 8] {
+            let xs: Vec<Vec<f64>> = (0..batch)
+                .map(|v| (0..n).map(|i| ((i * 7 + v + 1) as f64 * 0.011).sin()).collect())
+                .collect();
+
+            // One measured universe run: `iters` batched STTSV iterations
+            // feeding y back in as the next x. Returns (secs, heap allocs).
+            let run_once = |use_plan: bool, iters: usize| -> (f64, u64) {
+                let a0 = alloc_counter::count();
+                let t0 = Instant::now();
+                let (_, report) = Universe::new(part.num_procs()).run(|comm| {
+                    let p = comm.rank();
+                    let pool = (threads > 1).then(|| symtensor_core::Pool::new(threads));
+                    let mut ctx =
+                        RankContext::new(&tensor, &part, p, Mode::Scheduled, Some(&schedule));
+                    if use_plan {
+                        ctx = ctx.with_plan();
+                    }
+                    if let Some(pool) = pool.as_ref() {
+                        ctx = ctx.with_pool(pool);
+                    }
+                    let mut shard_sets: Vec<Vec<Vec<f64>>> = xs
+                        .iter()
+                        .map(|x| {
+                            part.r_set(p)
+                                .iter()
+                                .map(|&i| {
+                                    let block = &x[part.block_range(i)];
+                                    block[part.shard_range(i, p)].to_vec()
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    for _ in 0..iters {
+                        let (ys, _) = ctx.sttsv_multi(comm, &shard_sets);
+                        shard_sets = ys;
+                    }
+                });
+                let secs = t0.elapsed().as_secs_f64();
+                assert!(report.bandwidth_cost() > 0);
+                (secs, alloc_counter::count() - a0)
+            };
+
+            // Difference a short and a long run to cancel setup cost,
+            // taking the best of two runs at each length to damp
+            // scheduling noise (68 simulated ranks share this machine's
+            // cores).
+            let (lo, hi) = (2usize, 12);
+            let span = (hi - lo) as f64;
+            let measure = |use_plan: bool| -> (f64, f64) {
+                let best = |iters: usize| -> (f64, u64) {
+                    let (t1, a1) = run_once(use_plan, iters);
+                    let (t2, a2) = run_once(use_plan, iters);
+                    (t1.min(t2), a1.min(a2))
+                };
+                let (t_lo, a_lo) = best(lo);
+                let (t_hi, a_hi) = best(hi);
+                (((t_hi - t_lo).max(0.0) / span) * 1e9, (a_hi - a_lo) as f64 / span)
+            };
+            let (legacy_ns, legacy_allocs) = measure(false);
+            let (plan_ns, plan_allocs) = measure(true);
+            println!(
+                "{q:>3} {:>4} {n:>5} {batch:>6} | {:>10.0}ns {:>10.0}ns {:>8.2} | {legacy_allocs:>11.0} {plan_allocs:>11.0}",
+                part.num_procs(),
+                legacy_ns,
+                plan_ns,
+                legacy_ns / plan_ns.max(1.0),
+            );
+            assert!(
+                plan_allocs < legacy_allocs,
+                "the plan must allocate strictly less per iteration"
+            );
+        }
+    }
+    println!(
+        "(per-iteration steady state, setup differenced out; allocs include the simulated \
+         transport's channel nodes, which both paths pay)"
+    );
     println!();
 }
 

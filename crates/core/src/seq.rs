@@ -104,14 +104,7 @@ pub fn sttsv_naive(tensor: &SymTensor3, x: &[f64]) -> (Vec<f64>, OpCount) {
 /// Returns the exact ternary-multiplication count (3/2/1 per point as
 /// above), identical to what the per-point reference kernel counts.
 #[inline(always)]
-pub(crate) fn row_segment(
-    slab: &[f64],
-    i: usize,
-    j: usize,
-    k0: usize,
-    x: &[f64],
-    y: &mut [f64],
-) -> u64 {
+pub fn row_segment(slab: &[f64], i: usize, j: usize, k0: usize, x: &[f64], y: &mut [f64]) -> u64 {
     debug_assert!(j <= i && k0 + slab.len() <= j + 1);
     let xi = x[i];
     let xj = x[j];

@@ -210,6 +210,17 @@ impl Comm {
         self.round.set(None);
     }
 
+    /// Records a named numeric sample ([`CommEventKind::Counter`]) in the
+    /// event trace, attributed to the innermost active phase — e.g. the
+    /// compiled-plan kernel's `plan:arena_bytes` / `plan:fresh_allocs`
+    /// gauges. Free when tracing is disabled (one branch, no clock read,
+    /// no allocation) — the zero-cost-tracing guarantee extends to
+    /// counters.
+    #[inline]
+    pub fn annotate_counter(&self, key: &'static str, value: u64) {
+        self.record(CommEventKind::Counter { key, value });
+    }
+
     /// This rank's id in `0..size`.
     #[inline]
     pub fn rank(&self) -> usize {
@@ -419,6 +430,7 @@ mod tests {
                     CommEventKind::PhaseExit { name, .. } => format!("-{name}"),
                     CommEventKind::Send { .. } => "send".to_string(),
                     CommEventKind::Recv { .. } => "recv".to_string(),
+                    CommEventKind::Counter { key, .. } => format!("#{key}"),
                 })
                 .collect();
             assert_eq!(labels[..3], ["+outer", "+inner", "-inner"]);
@@ -442,6 +454,38 @@ mod tests {
         for trace in &traces {
             assert_eq!(trace.len(), 1);
             assert_eq!(trace[0].round, Some(4));
+        }
+    }
+
+    #[test]
+    fn counters_attach_to_the_active_phase() {
+        use crate::cost::CommEventKind;
+        let (_, _, traces) = Universe::new(2).run_traced(|comm| {
+            comm.with_phase("compute:kernel", || {
+                comm.annotate_counter("plan:arena_bytes", 4096);
+            });
+            comm.annotate_counter("loose", 1);
+        });
+        for trace in &traces {
+            let samples: Vec<_> = trace
+                .iter()
+                .filter_map(|e| match e.kind {
+                    CommEventKind::Counter { key, value } => Some((key, value, e.phase)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                samples,
+                vec![("plan:arena_bytes", 4096, Some("compute:kernel")), ("loose", 1, None)]
+            );
+        }
+        // Untraced, counters leave no trace and no cost.
+        let (_, report) = Universe::new(2).run(|comm| {
+            comm.annotate_counter("plan:fresh_allocs", 7);
+        });
+        for cost in &report.per_rank {
+            assert_eq!(cost.words_sent, 0);
+            assert_eq!(cost.msgs_sent, 0);
         }
     }
 

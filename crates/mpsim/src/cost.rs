@@ -54,6 +54,16 @@ pub enum CommEventKind {
         /// This rank's counters at exit.
         snapshot: RankCost,
     },
+    /// A named numeric sample annotated by the algorithm (see
+    /// [`crate::Comm::annotate_counter`]) — e.g. a kernel's arena bytes or
+    /// steady-state allocation count. Attributed to the innermost active
+    /// phase via [`CommEvent::phase`].
+    Counter {
+        /// Counter name (a static key, like phase names).
+        key: &'static str,
+        /// The sampled value.
+        value: u64,
+    },
 }
 
 /// One timestamped, phase-annotated event recorded when tracing is enabled.

@@ -101,11 +101,26 @@ fn chrome_trace_events(
                     ),
             );
         }
-        // Sends/recvs as instants.
+        // Sends/recvs as instants, annotated counters as counter tracks.
         for event in rank_events {
             let (name, cat, peer_key, peer, tag, words) = match event.kind {
                 CommEventKind::Send { dst, tag, words } => ("send", "comm", "dst", dst, tag, words),
                 CommEventKind::Recv { src, tag, words } => ("recv", "comm", "src", src, tag, words),
+                CommEventKind::Counter { key, value } => {
+                    // `C` events render as a per-rank counter track in
+                    // Perfetto; the args key names the series.
+                    events.push(
+                        Value::object()
+                            .with("name", key)
+                            .with("cat", "counter")
+                            .with("ph", "C")
+                            .with("pid", pid)
+                            .with("tid", rank)
+                            .with("ts", us(event.t_ns))
+                            .with("args", Value::object().with(key, value)),
+                    );
+                    continue;
+                }
                 _ => continue,
             };
             let mut args =
@@ -192,6 +207,30 @@ mod tests {
             assert_eq!(args.get("round").unwrap().as_u64(), Some(3));
             assert_eq!(args.get("phase").unwrap().as_str(), Some("exchange"));
             assert_eq!(args.get("words").unwrap().as_u64(), Some(4));
+        }
+    }
+
+    #[test]
+    fn annotated_counters_become_counter_track_events() {
+        let (_, _, traces) = Universe::new(2).run_traced(|comm| {
+            comm.with_phase("compute", || {
+                comm.annotate_counter("arena_bytes", 1024 + comm.rank() as u64);
+            });
+        });
+        let text = chrome_trace_string(&traces);
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let counters: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(Value::as_str) == Some("C")).collect();
+        assert_eq!(counters.len(), 2);
+        for counter in &counters {
+            assert_eq!(counter.get("name").unwrap().as_str(), Some("arena_bytes"));
+            assert_eq!(counter.get("cat").unwrap().as_str(), Some("counter"));
+            let rank = counter.get("tid").unwrap().as_u64().unwrap();
+            assert_eq!(
+                counter.get("args").unwrap().get("arena_bytes").unwrap().as_u64(),
+                Some(1024 + rank)
+            );
         }
     }
 

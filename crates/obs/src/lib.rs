@@ -46,7 +46,9 @@ pub use chrome::{chrome_trace, chrome_trace_multi, chrome_trace_string};
 pub use matrix::CommMatrix;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use occupancy::{spherical_step_bound, OccupancyReport};
-pub use span::{phase_stats, phase_stats_by_name, spans, PhaseSpan, PhaseStats};
+pub use span::{
+    counter_stats, phase_stats, phase_stats_by_name, spans, CounterStats, PhaseSpan, PhaseStats,
+};
 
 use symtensor_mpsim::{CommEvent, CostReport};
 

@@ -150,6 +150,65 @@ pub fn phase_stats_by_name(spans: &[PhaseSpan], name: &str) -> PhaseStats {
     stats
 }
 
+/// Aggregate of one annotated counter key (see
+/// [`symtensor_mpsim::Comm::annotate_counter`]) across event logs.
+///
+/// Counters are point samples, not deltas: `last` is the most recent value
+/// observed (useful for gauges such as arena bytes), `max`/`min` bound the
+/// series, and `total` sums every sample (useful for per-call counts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterStats {
+    /// Number of samples recorded under this key.
+    pub count: u64,
+    /// The most recently sampled value.
+    pub last: u64,
+    /// Maximum sample.
+    pub max: u64,
+    /// Minimum sample.
+    pub min: u64,
+    /// Sum of all samples.
+    pub total: u64,
+}
+
+impl Default for CounterStats {
+    fn default() -> Self {
+        CounterStats { count: 0, last: 0, max: 0, min: u64::MAX, total: 0 }
+    }
+}
+
+impl CounterStats {
+    fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.last = value;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+        self.total += value;
+    }
+}
+
+/// Per-key aggregates of every [`CommEventKind::Counter`] sample across all
+/// ranks' event logs. Pass `phase: Some(name)` to restrict to samples taken
+/// while `name` was the *innermost* active phase (the attribution recorded
+/// on the event itself) — e.g. `Some("compute:kernel")` pulls out the
+/// arena-bytes and steady-state-allocation gauges the compiled-plan kernel
+/// annotates.
+pub fn counter_stats(
+    traces: &[Vec<CommEvent>],
+    phase: Option<&str>,
+) -> BTreeMap<&'static str, CounterStats> {
+    let mut map: BTreeMap<&'static str, CounterStats> = BTreeMap::new();
+    for events in traces {
+        for event in events {
+            if let CommEventKind::Counter { key, value } = event.kind {
+                if phase.is_none_or(|p| event.phase == Some(p)) {
+                    map.entry(key).or_default().record(value);
+                }
+            }
+        }
+    }
+    map
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +318,82 @@ mod tests {
         let local = phase_stats_by_name(&all, "local-compute");
         assert_eq!(kernel.count, local.count);
         assert!(kernel.total_ns <= local.total_ns);
+    }
+
+    #[test]
+    fn counter_stats_aggregate_and_filter_by_phase() {
+        let (_, _, traces) = Universe::new(2).run_traced(|comm| {
+            comm.with_phase("compute", || {
+                comm.annotate_counter("arena_bytes", 4096);
+                comm.annotate_counter("fresh_allocs", 2);
+                comm.annotate_counter("fresh_allocs", 2);
+            });
+            comm.annotate_counter("fresh_allocs", 7); // outside any phase
+        });
+        let all = counter_stats(&traces, None);
+        assert_eq!(all["arena_bytes"].count, 2); // one per rank
+        assert_eq!(all["arena_bytes"].last, 4096);
+        assert_eq!(all["arena_bytes"].max, 4096);
+        assert_eq!(all["arena_bytes"].min, 4096);
+        assert_eq!(all["fresh_allocs"].count, 6);
+        assert_eq!(all["fresh_allocs"].total, 2 * (2 + 2 + 7));
+        assert_eq!(all["fresh_allocs"].max, 7);
+        assert_eq!(all["fresh_allocs"].min, 2);
+        // Phase filter keeps only samples attributed to that innermost phase.
+        let inside = counter_stats(&traces, Some("compute"));
+        assert_eq!(inside["fresh_allocs"].count, 4);
+        assert_eq!(inside["fresh_allocs"].total, 8);
+        assert!(counter_stats(&traces, Some("nope")).is_empty());
+    }
+
+    #[test]
+    fn planned_sttsv_annotates_kernel_counters() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use symtensor_core::generate::random_symmetric;
+        use symtensor_mpsim::Universe;
+        use symtensor_parallel::{Mode, RankContext, TetraPartition};
+        use symtensor_steiner::spherical;
+
+        let n = 30;
+        let part = TetraPartition::new(spherical(2), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let tensor = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos()).collect();
+        let iterations = 3;
+
+        let (_, _, traces) = Universe::new(part.num_procs()).run_traced(|comm| {
+            let p = comm.rank();
+            let ctx = RankContext::new(&tensor, &part, p, Mode::AllToAllSparse, None).with_plan();
+            let mut shards: Vec<Vec<f64>> = part
+                .r_set(p)
+                .iter()
+                .map(|&i| x[part.block_range(i)][part.shard_range(i, p)].to_vec())
+                .collect();
+            for _ in 0..iterations {
+                let (y, _) = ctx.sttsv(comm, &shards);
+                shards = y;
+            }
+        });
+        // The kernel gauges live inside the nested compute:kernel span.
+        let kernel = counter_stats(&traces, Some("compute:kernel"));
+        let arena = kernel["plan:arena_bytes"];
+        assert_eq!(arena.count as usize, iterations * part.num_procs());
+        assert!(arena.last > 0);
+        assert_eq!(kernel["plan:fresh_allocs"].count, arena.count);
+        // Per rank: the arena gauge never moves (it is sized once at
+        // compile time) and the cumulative fresh-allocation gauge is *flat*
+        // across iterations — all buffer growth happens during the first
+        // iteration's warm-up, before the first kernel sample.
+        for events in &traces {
+            let per = counter_stats(std::slice::from_ref(events), Some("compute:kernel"));
+            let rank_arena = per["plan:arena_bytes"];
+            assert_eq!(rank_arena.count as usize, iterations);
+            assert_eq!(rank_arena.min, rank_arena.max, "the arena never reallocates");
+            let fresh = per["plan:fresh_allocs"];
+            assert_eq!(fresh.count as usize, iterations);
+            assert_eq!(fresh.min, fresh.max, "fresh allocs must not grow after warm-up");
+        }
     }
 
     #[test]

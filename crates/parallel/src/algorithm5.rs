@@ -25,7 +25,9 @@
 
 use crate::blocks::OwnedBlocks;
 use crate::partition::TetraPartition;
+use crate::plan::{ExchangeKind, PlanWorkspace, RankPlan};
 use crate::schedule::{shared_row_blocks, CommSchedule};
+use std::cell::{OnceCell, RefCell};
 use symtensor_core::SymTensor3;
 use symtensor_mpsim::{Comm, CommEvent, CostReport, Universe};
 use symtensor_pool::Pool;
@@ -59,6 +61,13 @@ pub struct RankContext<'a> {
     /// (see [`RankContext::with_pool`]); `None` runs the sequential
     /// kernels.
     pub pool: Option<&'a Pool>,
+    /// Whether `sttsv`/`sttsv_multi` route through the compiled rank plan
+    /// (see [`RankContext::with_plan`]).
+    use_plan: bool,
+    /// The lazily compiled plan (see [`RankContext::compile`]).
+    plan: OnceCell<RankPlan>,
+    /// The plan's reusable flat slabs and recycled message buffers.
+    plan_ws: RefCell<PlanWorkspace>,
 }
 
 impl<'a> RankContext<'a> {
@@ -70,16 +79,31 @@ impl<'a> RankContext<'a> {
         mode: Mode,
         schedule: Option<&'a CommSchedule>,
     ) -> Self {
+        Self::from_parts(part, OwnedBlocks::extract(tensor, part, rank), mode, schedule)
+    }
+
+    /// Assembles a context from already-extracted blocks — the receiving
+    /// end of a tensor scatter, or any caller that obtained
+    /// [`OwnedBlocks`] without the global tensor.
+    pub fn from_parts(
+        part: &'a TetraPartition,
+        owned: OwnedBlocks,
+        mode: Mode,
+        schedule: Option<&'a CommSchedule>,
+    ) -> Self {
         assert!(
             mode != Mode::Scheduled || schedule.is_some(),
             "scheduled mode needs a CommSchedule"
         );
         RankContext {
             part,
-            owned: OwnedBlocks::extract(tensor, part, rank),
+            owned,
             mode,
             schedule,
             pool: None,
+            use_plan: false,
+            plan: OnceCell::new(),
+            plan_ws: RefCell::new(PlanWorkspace::new()),
         }
     }
 
@@ -91,6 +115,38 @@ impl<'a> RankContext<'a> {
     pub fn with_pool(mut self, pool: &'a Pool) -> Self {
         self.pool = Some(pool);
         self
+    }
+
+    /// Routes every subsequent [`RankContext::sttsv`] /
+    /// [`RankContext::sttsv_multi`] call through the compiled rank plan:
+    /// the first call invokes [`RankContext::compile`] lazily (packing the
+    /// owned blocks into one contiguous arena and precomputing every
+    /// message layout), and the steady state thereafter performs zero heap
+    /// allocations. Results are **bit-identical** to the legacy path, and
+    /// word/message/round counts are unchanged.
+    pub fn with_plan(mut self) -> Self {
+        self.use_plan = true;
+        self
+    }
+
+    /// Compiles (on first call) and returns this rank's [`RankPlan`]; all
+    /// later calls — and every plan-routed `sttsv`/`sttsv_multi`/HOPM
+    /// iteration — reuse it.
+    pub fn compile(&self, rank: usize) -> &RankPlan {
+        let plan = self.plan.get_or_init(|| RankPlan::build(self.part, &self.owned, rank));
+        assert_eq!(plan.rank(), rank, "one RankContext serves one rank");
+        plan
+    }
+
+    /// The compiled plan, if [`RankContext::compile`] has run.
+    pub fn plan(&self) -> Option<&RankPlan> {
+        self.plan.get()
+    }
+
+    /// Steady-state heap events of the plan workspace (slab growth +
+    /// message-buffer promotions); flat across iterations once warm.
+    pub fn plan_fresh_allocs(&self) -> u64 {
+        self.plan_ws.borrow().fresh_allocs()
     }
 
     /// Runs the local ternary-multiplication kernels, on the attached pool
@@ -112,6 +168,9 @@ impl<'a> RankContext<'a> {
     /// block `R_p[t]` of `x`; returns this rank's shards of `y` (same
     /// keying) and the ternary-multiplication count.
     pub fn sttsv(&self, comm: &Comm, my_shards: &[Vec<f64>]) -> (Vec<Vec<f64>>, u64) {
+        if self.use_plan {
+            return self.sttsv_plan(comm, my_shards);
+        }
         let part = self.part;
         let p = comm.rank();
         let rp = part.r_set(p);
@@ -202,13 +261,16 @@ impl<'a> RankContext<'a> {
         comm: &Comm,
         my_shards: &[Vec<Vec<f64>>],
     ) -> (Vec<Vec<Vec<f64>>>, u64) {
+        if my_shards.is_empty() {
+            return (Vec::new(), 0);
+        }
+        if self.use_plan {
+            return self.sttsv_multi_plan(comm, my_shards);
+        }
         let part = self.part;
         let p = comm.rank();
         let rp = part.r_set(p);
         let batch = my_shards.len();
-        if batch == 0 {
-            return (Vec::new(), 0);
-        }
         let t_count = rp.len();
         for (v, shards) in my_shards.iter().enumerate() {
             assert_eq!(shards.len(), t_count, "vector {v}: one shard per owned row block");
@@ -307,6 +369,158 @@ impl<'a> RankContext<'a> {
 
         let ys = y_flat.chunks_exact(t_count).map(|c| c.to_vec()).collect();
         (ys, ternary)
+    }
+
+    /// [`RankContext::sttsv`] through the compiled plan: identical phases,
+    /// wire format, arithmetic and counts, but all state lives in the
+    /// plan's flat slabs and recycled buffers — zero heap allocations in
+    /// steady state (only the returned shard vectors are fresh; use
+    /// [`RankContext::sttsv_into`] to avoid even those).
+    fn sttsv_plan(&self, comm: &Comm, my_shards: &[Vec<f64>]) -> (Vec<Vec<f64>>, u64) {
+        let plan = self.compile(comm.rank());
+        let mut ws = self.plan_ws.borrow_mut();
+        let ternary = self.run_plan_single(comm, plan, &mut ws, my_shards);
+        (plan.extract(&ws, 0), ternary)
+    }
+
+    /// Fully allocation-free steady-state STTSV: like
+    /// [`RankContext::sttsv`] on the plan path, but the output shards are
+    /// written into caller-provided vectors (reused capacity). Returns the
+    /// ternary count. Requires [`RankContext::with_plan`].
+    pub fn sttsv_into(&self, comm: &Comm, my_shards: &[Vec<f64>], out: &mut [Vec<f64>]) -> u64 {
+        assert!(self.use_plan, "sttsv_into requires the plan path (with_plan)");
+        let plan = self.compile(comm.rank());
+        let mut ws = self.plan_ws.borrow_mut();
+        let ternary = self.run_plan_single(comm, plan, &mut ws, my_shards);
+        plan.extract_into(&ws, 0, out);
+        ternary
+    }
+
+    /// The three plan phases for one vector (shared by `sttsv_plan` and
+    /// `sttsv_into`).
+    fn run_plan_single(
+        &self,
+        comm: &Comm,
+        plan: &RankPlan,
+        ws: &mut PlanWorkspace,
+        my_shards: &[Vec<f64>],
+    ) -> u64 {
+        plan.ensure_capacity(ws, 1);
+        plan.load_shards(ws, 0, my_shards);
+        comm.with_phase("gather-x", || {
+            self.plan_exchange(comm, plan, ws, TAG_X, ExchangeKind::Gather, 1)
+        });
+        let ternary = comm.with_phase("local-compute", || {
+            comm.with_phase("compute:kernel", || {
+                let t = plan.compute(ws, 1, self.pool);
+                comm.annotate_counter("plan:arena_bytes", plan.arena_bytes() as u64);
+                comm.annotate_counter("plan:fresh_allocs", ws.fresh_allocs());
+                t
+            })
+        });
+        comm.with_phase("reduce-y", || {
+            self.plan_exchange(comm, plan, ws, TAG_Y, ExchangeKind::Reduce, 1)
+        });
+        ternary
+    }
+
+    /// [`RankContext::sttsv_multi`] through the compiled plan: the batch
+    /// moves through one exchange-phase pair exactly like the legacy
+    /// batched path (messages carry the `B` vectors' pieces back-to-back),
+    /// with all batch state in the flat slabs.
+    fn sttsv_multi_plan(
+        &self,
+        comm: &Comm,
+        my_shards: &[Vec<Vec<f64>>],
+    ) -> (Vec<Vec<Vec<f64>>>, u64) {
+        let batch = my_shards.len();
+        let plan = self.compile(comm.rank());
+        let mut ws = self.plan_ws.borrow_mut();
+        plan.ensure_capacity(&mut ws, batch);
+        for (v, shards) in my_shards.iter().enumerate() {
+            plan.load_shards(&mut ws, v, shards);
+        }
+        comm.with_phase("gather-x", || {
+            self.plan_exchange(comm, plan, &mut ws, TAG_X, ExchangeKind::Gather, batch)
+        });
+        let ternary = comm.with_phase("local-compute", || {
+            comm.with_phase("compute:kernel", || {
+                let t = plan.compute(&mut ws, batch, self.pool);
+                comm.annotate_counter("plan:arena_bytes", plan.arena_bytes() as u64);
+                comm.annotate_counter("plan:fresh_allocs", ws.fresh_allocs());
+                t
+            })
+        });
+        comm.with_phase("reduce-y", || {
+            self.plan_exchange(comm, plan, &mut ws, TAG_Y, ExchangeKind::Reduce, batch)
+        });
+        let ys = (0..batch).map(|v| plan.extract(&ws, v)).collect();
+        (ys, ternary)
+    }
+
+    /// The plan path's exchange: mirrors [`RankContext::exchange_phase`]
+    /// round for round and byte for byte, but packs from / unpacks into
+    /// the flat slabs using the precompiled piece layouts, with message
+    /// buffers drawn from (and recycled into) the workspace free list.
+    fn plan_exchange(
+        &self,
+        comm: &Comm,
+        plan: &RankPlan,
+        ws: &mut PlanWorkspace,
+        tag_base: u64,
+        kind: ExchangeKind,
+        batch: usize,
+    ) {
+        let p = comm.rank();
+        match self.mode {
+            Mode::Scheduled => {
+                let schedule = self.schedule.expect("scheduled mode requires a schedule");
+                for (round, act) in schedule.actions(p).iter().enumerate() {
+                    comm.annotate_round(round as u64);
+                    if let Some(dst) = act.send_to {
+                        let pidx = plan.peer_slot(dst).expect("scheduled peer is in the plan");
+                        comm.send(dst, tag_base + round as u64, plan.pack(ws, kind, pidx, batch));
+                    }
+                    if let Some(src) = act.recv_from {
+                        let buf = comm
+                            .recv(src, tag_base + round as u64)
+                            .expect("scheduled exchange failed");
+                        let pidx = plan.peer_slot(src).expect("scheduled peer is in the plan");
+                        plan.unpack(ws, kind, pidx, batch, buf);
+                    }
+                    if act.send_to.is_some() || act.recv_from.is_some() {
+                        comm.count_round();
+                    }
+                }
+                comm.clear_round();
+            }
+            Mode::AllToAllPadded | Mode::AllToAllSparse => {
+                let p_count = self.part.num_procs();
+                let pad_len = batch * plan.pad_unit();
+                // Recycle the outer collective vector across calls.
+                let mut sendbufs = std::mem::take(&mut ws.a2a_send);
+                sendbufs.resize_with(p_count, Vec::new);
+                for pidx in 0..plan.peers().len() {
+                    let peer = plan.peers()[pidx].peer;
+                    let mut buf = plan.pack(ws, kind, pidx, batch);
+                    if self.mode == Mode::AllToAllPadded {
+                        debug_assert!(buf.len() <= pad_len);
+                        buf.resize(pad_len, 0.0);
+                    }
+                    sendbufs[peer] = buf;
+                }
+                let mut recvd = comm.all_to_all_v(sendbufs).expect("all-to-all failed");
+                for (peer, slot) in recvd.iter_mut().enumerate() {
+                    if peer == p {
+                        continue;
+                    }
+                    let buf = std::mem::take(slot);
+                    let pidx = plan.peer_slot(peer).expect("every non-self rank is a peer");
+                    plan.unpack(ws, kind, pidx, batch, buf);
+                }
+                ws.a2a_send = recvd;
+            }
+        }
     }
 
     /// Shared machinery for both vector phases: for every peer sharing row
@@ -628,6 +842,116 @@ pub fn parallel_sttsv_mt(
         }
     }
     SttsvRun { y, report, ternary_per_rank }
+}
+
+/// Like [`parallel_sttsv_mt`] but routed through the **compiled rank
+/// plan** ([`RankContext::with_plan`]): each rank compiles its plan on the
+/// first call and the steady state is allocation-free. Results (values,
+/// ternary counts, and the full [`CostReport`]) are bit-identical to the
+/// legacy drivers for every mode and thread count.
+pub fn parallel_sttsv_planned(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x: &[f64],
+    mode: Mode,
+    threads: usize,
+) -> SttsvRun {
+    let n = part.dim();
+    assert_eq!(tensor.dim(), n);
+    assert_eq!(x.len(), n);
+    let p_count = part.num_procs();
+    let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
+
+    let rank_main = |comm: &Comm| {
+        let p = comm.rank();
+        let pool = (threads > 1).then(|| Pool::new(threads));
+        let mut ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref()).with_plan();
+        if let Some(pool) = pool.as_ref() {
+            ctx = ctx.with_pool(pool);
+        }
+        let my_shards: Vec<Vec<f64>> = part
+            .r_set(p)
+            .iter()
+            .map(|&i| {
+                let block = &x[part.block_range(i)];
+                block[part.shard_range(i, p)].to_vec()
+            })
+            .collect();
+        ctx.sttsv(comm, &my_shards)
+    };
+    let universe = Universe::new(p_count);
+    let (rank_results, report) = universe.run(rank_main);
+
+    let mut y = vec![0.0; n];
+    let mut ternary_per_rank = Vec::with_capacity(p_count);
+    for (p, (shards, ternary)) in rank_results.into_iter().enumerate() {
+        ternary_per_rank.push(ternary);
+        for (t, &i) in part.r_set(p).iter().enumerate() {
+            let global = part.block_range(i);
+            let local = part.shard_range(i, p);
+            y[global.start + local.start..global.start + local.end].copy_from_slice(&shards[t]);
+        }
+    }
+    SttsvRun { y, report, ternary_per_rank }
+}
+
+/// [`parallel_sttsv_multi`] routed through the compiled rank plan — the
+/// high-throughput serving configuration: blocks packed once into the
+/// arena, the whole batch moving through one allocation-free exchange-
+/// phase pair. Bit-identical to [`parallel_sttsv_multi`].
+pub fn parallel_sttsv_multi_planned(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    xs: &[Vec<f64>],
+    mode: Mode,
+    threads: usize,
+) -> SttsvMultiRun {
+    let n = part.dim();
+    assert_eq!(tensor.dim(), n);
+    for (v, x) in xs.iter().enumerate() {
+        assert_eq!(x.len(), n, "vector {v} has wrong dimension");
+    }
+    let p_count = part.num_procs();
+    let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
+
+    let rank_main = |comm: &Comm| {
+        let p = comm.rank();
+        let pool = (threads > 1).then(|| Pool::new(threads));
+        let mut ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref()).with_plan();
+        if let Some(pool) = pool.as_ref() {
+            ctx = ctx.with_pool(pool);
+        }
+        let my_shards: Vec<Vec<Vec<f64>>> = xs
+            .iter()
+            .map(|x| {
+                part.r_set(p)
+                    .iter()
+                    .map(|&i| {
+                        let block = &x[part.block_range(i)];
+                        block[part.shard_range(i, p)].to_vec()
+                    })
+                    .collect()
+            })
+            .collect();
+        ctx.sttsv_multi(comm, &my_shards)
+    };
+    let universe = Universe::new(p_count);
+    let (rank_results, report) = universe.run(rank_main);
+
+    let mut ys = vec![vec![0.0; n]; xs.len()];
+    let mut ternary_per_rank = Vec::with_capacity(p_count);
+    for (p, (shard_sets, ternary)) in rank_results.into_iter().enumerate() {
+        ternary_per_rank.push(ternary);
+        for (v, shards) in shard_sets.into_iter().enumerate() {
+            for (t, &i) in part.r_set(p).iter().enumerate() {
+                let global = part.block_range(i);
+                let local = part.shard_range(i, p);
+                ys[v][global.start + local.start..global.start + local.end]
+                    .copy_from_slice(&shards[t]);
+            }
+        }
+    }
+    SttsvMultiRun { ys, report, ternary_per_rank }
 }
 
 /// Runs Algorithm 5 for an arbitrary dimension by zero-padding the tensor

@@ -18,6 +18,7 @@
 
 use crate::partition::TetraPartition;
 use crate::tetra::{BlockIdx, BlockKind};
+use symtensor_core::seq::row_segment;
 use symtensor_core::SymTensor3;
 
 #[inline]
@@ -25,6 +26,14 @@ fn tet_idx(a: usize, b: usize, c: usize) -> usize {
     debug_assert!(a >= b && b >= c);
     a * (a + 1) * (a + 2) / 6 + b * (b + 1) / 2 + c
 }
+
+/// Chunk-count cap for the parallel compute paths: bounds the
+/// `chunks · |R_p| · b` words of partial-accumulator workspace while still
+/// leaving plenty of stealable units for any realistic worker count. The
+/// chunk decomposition is a function of the block count alone — never of
+/// the thread count — which is what makes the parallel paths bit-identical
+/// across thread counts.
+pub(crate) const MAX_COMPUTE_CHUNKS: usize = 32;
 
 /// One extracted tensor block with its data in the kind-specific layout.
 #[derive(Clone, Debug)]
@@ -131,29 +140,64 @@ impl OwnedBlocks {
         self.blocks.iter().map(|blk| blk.data.len()).sum()
     }
 
+    /// The block edge length `b` these blocks were extracted with.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.b
+    }
+
+    /// Resolves every block's `(i, j, k)` row-block triple into row *slots*
+    /// (positions within `R_p`) **once**, so the kernels index flat `x`/`y`
+    /// slabs directly instead of dispatching a lookup closure per block.
+    pub(crate) fn slot_table<F>(&self, row_pos: &F) -> Vec<[usize; 3]>
+    where
+        F: Fn(usize) -> usize,
+    {
+        self.blocks
+            .iter()
+            .map(|blk| [row_pos(blk.idx.i), row_pos(blk.idx.j), row_pos(blk.idx.k)])
+            .collect()
+    }
+
     /// Runs the local STTSV kernels: `x_full` maps row-block index → the
     /// gathered full row block (length `b`); contributions accumulate into
     /// `y_acc` (same keying). Returns the ternary-multiplication count in
     /// the paper's model.
     ///
-    /// `x_full`/`y_acc` are indexed by *position within `R_p`* via the
-    /// `row_pos` lookup closure supplied by the caller.
+    /// `x_full`/`y_acc` are indexed by *position within `R_p`*; the
+    /// `row_pos` lookup supplied by the caller is resolved **once** into a
+    /// slot table up front (not dispatched per block), and the kernels run
+    /// over flat `t_count·b` slabs.
     pub fn compute<F>(&self, x_full: &[Vec<f64>], y_acc: &mut [Vec<f64>], row_pos: F) -> u64
     where
         F: Fn(usize) -> usize,
     {
         let b = self.b;
+        let slots = self.slot_table(&row_pos);
+        let t_count = x_full.len();
+        let mut x_flat = vec![0.0; t_count * b];
+        for (t, row) in x_full.iter().enumerate() {
+            debug_assert_eq!(row.len(), b);
+            x_flat[t * b..t * b + b].copy_from_slice(row);
+        }
+        let mut y_flat = vec![0.0; t_count * b];
+        let mut scratch = vec![0.0; 3 * b];
         let mut ternary: u64 = 0;
-        for blk in &self.blocks {
-            ternary += compute_block(blk, b, x_full, y_acc, &row_pos);
+        for (blk, &s) in self.blocks.iter().zip(&slots) {
+            ternary +=
+                block_kernel_flat(blk.kind, &blk.data, b, s, &x_flat, &mut y_flat, &mut scratch);
+        }
+        for (t, row) in y_acc.iter_mut().enumerate() {
+            add_into(row, &y_flat[t * b..t * b + b]);
         }
         ternary
     }
 
     /// Shared-memory parallel [`OwnedBlocks::compute`]: the rank's blocks
     /// are split into contiguous chunks executed across `pool`'s workers,
-    /// each chunk accumulating into its own zeroed copy of `y_acc`; the
-    /// partials are combined with the fixed pairwise
+    /// each chunk accumulating into a zeroed partial leased from the pool's
+    /// [`symtensor_pool::WorkspacePool`] (no per-call allocation in steady
+    /// state); the partials are combined with the fixed pairwise
     /// [`symtensor_pool::tree_reduce`] and added into `y_acc`.
     ///
     /// The chunk decomposition and reduction tree depend only on the block
@@ -172,134 +216,166 @@ impl OwnedBlocks {
     where
         F: Fn(usize) -> usize + Sync,
     {
-        /// Chunk-count cap: bounds the `chunks · |R_p| · b` words of
-        /// accumulator allocation while still leaving plenty of stealable
-        /// units for any realistic worker count.
-        const MAX_COMPUTE_CHUNKS: usize = 32;
         if self.blocks.is_empty() {
             return 0;
         }
         let b = self.b;
-        let chunks = self.blocks.len().min(MAX_COMPUTE_CHUNKS);
-        let shape: Vec<usize> = y_acc.iter().map(|v| v.len()).collect();
-        let partials = pool.run_chunks(chunks, |c| {
-            let lo = c * self.blocks.len() / chunks;
-            let hi = (c + 1) * self.blocks.len() / chunks;
-            let mut local: Vec<Vec<f64>> = shape.iter().map(|&len| vec![0.0; len]).collect();
-            let mut ternary = 0u64;
-            for blk in &self.blocks[lo..hi] {
-                ternary += compute_block(blk, b, x_full, &mut local, &row_pos);
-            }
-            (local, ternary)
-        });
-        let (partial_y, ternary) =
-            symtensor_pool::tree_reduce(partials, |(mut ya, ta), (yb, tb)| {
-                for (va, vb) in ya.iter_mut().zip(&yb) {
-                    add_into(va, vb);
-                }
-                (ya, ta + tb)
-            })
-            .expect("at least one chunk");
-        for (dst, src) in y_acc.iter_mut().zip(&partial_y) {
-            add_into(dst, src);
+        let slots = self.slot_table(&row_pos);
+        let t_count = x_full.len();
+        let ws = pool.workspaces();
+        let mut xy = ws.lease_zeroed(2 * t_count * b);
+        let (x_flat, y_flat) = xy.split_at_mut(t_count * b);
+        for (t, row) in x_full.iter().enumerate() {
+            debug_assert_eq!(row.len(), b);
+            x_flat[t * b..t * b + b].copy_from_slice(row);
         }
+        let blocks = &self.blocks;
+        let x_flat = &*x_flat;
+        let ternary =
+            chunked_compute_flat(blocks.len(), b, y_flat, pool, |range, partial, scratch| {
+                let mut t = 0u64;
+                for (blk, &s) in blocks[range.clone()].iter().zip(&slots[range]) {
+                    t += block_kernel_flat(blk.kind, &blk.data, b, s, x_flat, partial, scratch);
+                }
+                t
+            });
+        for (t, row) in y_acc.iter_mut().enumerate() {
+            add_into(row, &y_flat[t * b..t * b + b]);
+        }
+        ws.give_back(xy);
         ternary
     }
 }
 
-/// Dispatches one owned block to its kind-specific kernel.
-fn compute_block<F>(
-    blk: &OwnedBlock,
+/// The shared chunked-parallel driver behind [`OwnedBlocks::compute_par`]
+/// and the compiled-plan pooled compute: splits `n_blocks` into
+/// `min(n_blocks, MAX_COMPUTE_CHUNKS)` contiguous ranges, runs
+/// `run_range(range, partial, scratch)` per chunk into a zeroed
+/// `y.len() + 3b`-word workspace leased from the pool, tree-reduces the
+/// partials pairwise in fixed chunk order and adds the result into `y`.
+///
+/// Because legacy and plan paths funnel through the *same* decomposition,
+/// lease discipline and reduction tree, their pooled results are bitwise
+/// equal whenever their per-block kernels are.
+pub(crate) fn chunked_compute_flat<F>(
+    n_blocks: usize,
     b: usize,
-    x_full: &[Vec<f64>],
-    y_acc: &mut [Vec<f64>],
-    row_pos: &F,
+    y: &mut [f64],
+    pool: &symtensor_pool::Pool,
+    run_range: F,
 ) -> u64
 where
-    F: Fn(usize) -> usize,
+    F: Fn(std::ops::Range<usize>, &mut [f64], &mut [f64]) -> u64 + Sync,
 {
-    match blk.kind {
-        BlockKind::OffDiagonal => {
-            let (pi, pj, pk) = (row_pos(blk.idx.i), row_pos(blk.idx.j), row_pos(blk.idx.k));
-            off_diagonal_kernel(
-                &blk.data,
-                b,
-                &x_full[pi],
-                &x_full[pj],
-                &x_full[pk],
-                pi,
-                pj,
-                pk,
-                y_acc,
-            )
-        }
-        BlockKind::NonCentralIIK => {
-            let (pi, pk) = (row_pos(blk.idx.i), row_pos(blk.idx.k));
-            iik_kernel(&blk.data, b, pi, pk, x_full, y_acc)
-        }
-        BlockKind::NonCentralIKK => {
-            let (pi, pk) = (row_pos(blk.idx.i), row_pos(blk.idx.k));
-            ikk_kernel(&blk.data, b, pi, pk, x_full, y_acc)
-        }
-        BlockKind::CentralDiagonal => {
-            let pi = row_pos(blk.idx.i);
-            central_kernel(&blk.data, b, pi, x_full, y_acc)
-        }
+    if n_blocks == 0 {
+        return 0;
+    }
+    let chunks = n_blocks.min(MAX_COMPUTE_CHUNKS);
+    let y_len = y.len();
+    let ws = pool.workspaces();
+    let partials = pool.run_chunks(chunks, |c| {
+        let lo = c * n_blocks / chunks;
+        let hi = (c + 1) * n_blocks / chunks;
+        let mut buf = ws.lease_zeroed(y_len + 3 * b);
+        let (partial, scratch) = buf.split_at_mut(y_len);
+        let ternary = run_range(lo..hi, partial, scratch);
+        (buf, ternary)
+    });
+    let (buf, ternary) = symtensor_pool::tree_reduce(partials, |(mut a, ta), (bb, tb)| {
+        add_into(&mut a[..y_len], &bb[..y_len]);
+        ws.give_back(bb);
+        (a, ta + tb)
+    })
+    .expect("at least one chunk");
+    add_into(y, &buf[..y_len]);
+    ws.give_back(buf);
+    ternary
+}
+
+/// Dispatches one block's data to its kind-specific flat kernel.
+///
+/// `x`/`y` are flat `t_count·b` slabs keyed by row slot (`slots` holds the
+/// precomputed slots of the block's `(i, j, k)` rows); `scratch` is a
+/// caller-provided `3b`-word buffer, re-zeroed here so it can be reused
+/// across blocks without reallocation. Returns the block's exact ternary
+/// count.
+#[inline]
+pub(crate) fn block_kernel_flat(
+    kind: BlockKind,
+    data: &[f64],
+    b: usize,
+    slots: [usize; 3],
+    x: &[f64],
+    y: &mut [f64],
+    scratch: &mut [f64],
+) -> u64 {
+    match kind {
+        BlockKind::OffDiagonal => off_diagonal_flat(data, b, slots, x, y, scratch),
+        BlockKind::NonCentralIIK => iik_flat(data, b, slots, x, y, scratch),
+        BlockKind::NonCentralIKK => ikk_flat(data, b, slots, x, y, scratch),
+        BlockKind::CentralDiagonal => central_flat(data, b, slots, x, y, scratch),
     }
 }
 
 /// Off-diagonal block: all global indices strictly ordered, so every element
 /// performs the full 3-update with symmetry factor 2 (3 ternary mults in the
-/// model). Restructured so the inner loop is contiguous over `lk`.
-#[allow(clippy::too_many_arguments)]
-fn off_diagonal_kernel(
+/// model). The inner loop is one fused contiguous pass over `lk`: the
+/// `y_K` update and the `Σ_k a·x_k` dot product share a single load of the
+/// tensor element.
+#[inline]
+fn off_diagonal_flat(
     data: &[f64],
     b: usize,
-    xi: &[f64],
-    xj: &[f64],
-    xk: &[f64],
-    pi: usize,
-    pj: usize,
-    pk: usize,
-    y_acc: &mut [Vec<f64>],
+    slots: [usize; 3],
+    x: &[f64],
+    y: &mut [f64],
+    scratch: &mut [f64],
 ) -> u64 {
-    // Accumulate yK into a local buffer to avoid re-borrowing y_acc per
-    // element; yI/yJ row sums are accumulated scalar-wise.
-    let mut yk_local = vec![0.0; b];
-    let mut yi_local = vec![0.0; b];
-    let mut yj_local = vec![0.0; b];
-    for (li, &xia) in xi.iter().enumerate().take(b) {
-        for (lj, &xjb) in xj.iter().enumerate().take(b) {
+    let [pi, pj, pk] = slots;
+    let (yi_local, rest) = scratch.split_at_mut(b);
+    let (yj_local, yk_local) = rest.split_at_mut(b);
+    yi_local.fill(0.0);
+    yj_local.fill(0.0);
+    yk_local.fill(0.0);
+    let xi = &x[pi * b..pi * b + b];
+    let xj = &x[pj * b..pj * b + b];
+    let xk = &x[pk * b..pk * b + b];
+    for (li, &xia) in xi.iter().enumerate() {
+        for (lj, &xjb) in xj.iter().enumerate() {
             let row = &data[(li * b + lj) * b..(li * b + lj) * b + b];
             let pref = 2.0 * xia * xjb;
             let mut dot_k = 0.0;
-            for (lk, &v) in row.iter().enumerate() {
-                yk_local[lk] += pref * v;
-                dot_k += v * xk[lk];
+            for ((&v, &xkv), ykv) in row.iter().zip(xk).zip(yk_local.iter_mut()) {
+                *ykv += pref * v;
+                dot_k += v * xkv;
             }
             yi_local[li] += 2.0 * dot_k * xjb;
             yj_local[lj] += 2.0 * dot_k * xia;
         }
     }
-    add_into(&mut y_acc[pi], &yi_local);
-    add_into(&mut y_acc[pj], &yj_local);
-    add_into(&mut y_acc[pk], &yk_local);
+    add_into(&mut y[pi * b..pi * b + b], yi_local);
+    add_into(&mut y[pj * b..pj * b + b], yj_local);
+    add_into(&mut y[pk * b..pk * b + b], yk_local);
     3 * (b as u64).pow(3)
 }
 
 /// Non-central (I, I, K): elements `(gi+li, gi+lj, gk+lk)` with `li ≥ lj`.
-fn iik_kernel(
+#[inline]
+fn iik_flat(
     data: &[f64],
     b: usize,
-    pi: usize,
-    pk: usize,
-    x_full: &[Vec<f64>],
-    y_acc: &mut [Vec<f64>],
+    slots: [usize; 3],
+    x: &[f64],
+    y: &mut [f64],
+    scratch: &mut [f64],
 ) -> u64 {
-    let mut yi_local = vec![0.0; b];
-    let mut yk_local = vec![0.0; b];
-    let xi = &x_full[pi];
-    let xk = &x_full[pk];
+    let (pi, pk) = (slots[0], slots[2]);
+    let (yi_local, rest) = scratch.split_at_mut(b);
+    let (yk_local, _) = rest.split_at_mut(b);
+    yi_local.fill(0.0);
+    yk_local.fill(0.0);
+    let xi = &x[pi * b..pi * b + b];
+    let xk = &x[pk * b..pk * b + b];
     let mut ternary = 0u64;
     let mut pos = 0;
     for li in 0..b {
@@ -310,9 +386,9 @@ fn iik_kernel(
                 // Global i > j > k: full 3-update.
                 let pref = 2.0 * xi[li] * xi[lj];
                 let mut dot_k = 0.0;
-                for (lk, &v) in row.iter().enumerate() {
-                    yk_local[lk] += pref * v;
-                    dot_k += v * xk[lk];
+                for ((&v, &xkv), ykv) in row.iter().zip(xk).zip(yk_local.iter_mut()) {
+                    *ykv += pref * v;
+                    dot_k += v * xkv;
                 }
                 yi_local[li] += 2.0 * dot_k * xi[lj];
                 yi_local[lj] += 2.0 * dot_k * xi[li];
@@ -321,104 +397,106 @@ fn iik_kernel(
                 // Global i == j > k: y_i += 2·a·x_i·x_k ; y_k += a·x_i².
                 let sq = xi[li] * xi[li];
                 let mut dot_k = 0.0;
-                for (lk, &v) in row.iter().enumerate() {
-                    yk_local[lk] += sq * v;
-                    dot_k += v * xk[lk];
+                for ((&v, &xkv), ykv) in row.iter().zip(xk).zip(yk_local.iter_mut()) {
+                    *ykv += sq * v;
+                    dot_k += v * xkv;
                 }
                 yi_local[li] += 2.0 * dot_k * xi[li];
                 ternary += 2 * b as u64;
             }
         }
     }
-    add_into(&mut y_acc[pi], &yi_local);
-    add_into(&mut y_acc[pk], &yk_local);
+    add_into(&mut y[pi * b..pi * b + b], yi_local);
+    add_into(&mut y[pk * b..pk * b + b], yk_local);
     ternary
 }
 
 /// Non-central (I, K, K): elements `(gi+li, gk+lj, gk+lk)` with `lj ≥ lk`.
-fn ikk_kernel(
+///
+/// Fused like [`row_segment`]: per packed row `(li, lj)` the strict
+/// `lk < lj` run shares one pass between the `y_K` update and the dot
+/// product, with the `lj == lk` diagonal element peeled as an epilogue.
+#[inline]
+fn ikk_flat(
     data: &[f64],
     b: usize,
-    pi: usize,
-    pk: usize,
-    x_full: &[Vec<f64>],
-    y_acc: &mut [Vec<f64>],
+    slots: [usize; 3],
+    x: &[f64],
+    y: &mut [f64],
+    scratch: &mut [f64],
 ) -> u64 {
+    let (pi, pk) = (slots[0], slots[2]);
+    let (yi_local, rest) = scratch.split_at_mut(b);
+    let (yk_local, _) = rest.split_at_mut(b);
+    yi_local.fill(0.0);
+    yk_local.fill(0.0);
+    let xi = &x[pi * b..pi * b + b];
+    let xk = &x[pk * b..pk * b + b];
     let tri_len = b * (b + 1) / 2;
-    let mut yi_local = vec![0.0; b];
-    let mut yk_local = vec![0.0; b];
-    let xi = &x_full[pi];
-    let xk = &x_full[pk];
     let mut ternary = 0u64;
-    for li in 0..b {
+    for (li, &xia) in xi.iter().enumerate() {
         let slab = &data[li * tri_len..(li + 1) * tri_len];
-        let xia = xi[li];
         let mut pos = 0;
-        for lj in 0..b {
-            for lk in 0..=lj {
-                let v = slab[pos];
-                pos += 1;
-                if lj != lk {
-                    // Global i > j > k.
-                    yi_local[li] += 2.0 * v * xk[lj] * xk[lk];
-                    yk_local[lj] += 2.0 * v * xia * xk[lk];
-                    yk_local[lk] += 2.0 * v * xia * xk[lj];
-                    ternary += 3;
-                } else {
-                    // Global i > j == k: y_i += a·x_k² ; y_k += 2·a·x_i·x_k.
-                    yi_local[li] += v * xk[lj] * xk[lj];
-                    yk_local[lj] += 2.0 * v * xia * xk[lj];
-                    ternary += 2;
-                }
+        let mut yi_row = 0.0;
+        for (lj, &xjb) in xk.iter().enumerate() {
+            let row = &slab[pos..pos + lj + 1];
+            pos += lj + 1;
+            // Strict lk < lj (global i > j > k): fused 3-update.
+            let pref = 2.0 * xia * xjb;
+            let mut dot = 0.0;
+            for ((&v, &xkv), ykv) in row[..lj].iter().zip(&xk[..lj]).zip(yk_local[..lj].iter_mut())
+            {
+                *ykv += pref * v;
+                dot += v * xkv;
             }
+            yi_row += 2.0 * xjb * dot;
+            yk_local[lj] += 2.0 * xia * dot;
+            // lj == lk epilogue (global i > j == k):
+            // y_i += a·x_k² ; y_k += 2·a·x_i·x_k.
+            let v = row[lj];
+            yi_row += v * xjb * xjb;
+            yk_local[lj] += 2.0 * v * xia * xjb;
+            ternary += 3 * lj as u64 + 2;
         }
+        yi_local[li] += yi_row;
     }
-    add_into(&mut y_acc[pi], &yi_local);
-    add_into(&mut y_acc[pk], &yk_local);
+    add_into(&mut y[pi * b..pi * b + b], yi_local);
+    add_into(&mut y[pk * b..pk * b + b], yk_local);
     ternary
 }
 
-/// Central (I, I, I): the full Algorithm 4 case analysis inside one block.
-fn central_kernel(
+/// Central (I, I, I): the packed `li ≥ lj ≥ lk` tetrahedron **is** a packed
+/// symmetric `b`-tensor, so the kernel is a cursor walk delegating each
+/// packed row to [`row_segment`] — literally the same inner loop as the
+/// flat-slab sequential kernel in `core::seq`.
+#[inline]
+fn central_flat(
     data: &[f64],
     b: usize,
-    pi: usize,
-    x_full: &[Vec<f64>],
-    y_acc: &mut [Vec<f64>],
+    slots: [usize; 3],
+    x: &[f64],
+    y: &mut [f64],
+    scratch: &mut [f64],
 ) -> u64 {
-    let mut yi_local = vec![0.0; b];
-    let xi = &x_full[pi];
+    let pi = slots[0];
+    let (yi_local, _) = scratch.split_at_mut(b);
+    yi_local.fill(0.0);
+    let xi = &x[pi * b..pi * b + b];
     let mut ternary = 0u64;
+    let mut pos = 0;
     for li in 0..b {
         for lj in 0..=li {
-            for lk in 0..=lj {
-                let v = data[tet_idx(li, lj, lk)];
-                if li != lj && lj != lk {
-                    yi_local[li] += 2.0 * v * xi[lj] * xi[lk];
-                    yi_local[lj] += 2.0 * v * xi[li] * xi[lk];
-                    yi_local[lk] += 2.0 * v * xi[li] * xi[lj];
-                    ternary += 3;
-                } else if li == lj && lj != lk {
-                    yi_local[li] += 2.0 * v * xi[lj] * xi[lk];
-                    yi_local[lk] += v * xi[li] * xi[lj];
-                    ternary += 2;
-                } else if li != lj && lj == lk {
-                    yi_local[li] += v * xi[lj] * xi[lk];
-                    yi_local[lj] += 2.0 * v * xi[li] * xi[lk];
-                    ternary += 2;
-                } else {
-                    yi_local[li] += v * xi[lj] * xi[lk];
-                    ternary += 1;
-                }
-            }
+            debug_assert_eq!(pos, tet_idx(li, lj, 0));
+            ternary += row_segment(&data[pos..pos + lj + 1], li, lj, 0, xi, yi_local);
+            pos += lj + 1;
         }
     }
-    add_into(&mut y_acc[pi], &yi_local);
+    add_into(&mut y[pi * b..pi * b + b], yi_local);
     ternary
 }
 
 #[inline]
-fn add_into(dst: &mut [f64], src: &[f64]) {
+pub(crate) fn add_into(dst: &mut [f64], src: &[f64]) {
     for (d, &s) in dst.iter_mut().zip(src) {
         *d += s;
     }

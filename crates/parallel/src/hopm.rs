@@ -109,6 +109,68 @@ pub fn parallel_shifted_hopm_mt(
     (HopmResult { lambda, x, iters, converged, residual, ops }, report)
 }
 
+/// [`parallel_shifted_hopm_mt`] running on compiled rank plans
+/// ([`RankContext::with_plan`]): each rank compiles its owned blocks into a
+/// contiguous arena once, before the first iteration, and every subsequent
+/// STTSV runs allocation-free over preallocated flat slabs. The iteration
+/// trajectory is bit-identical to the legacy path at every thread count;
+/// only the steady-state memory behaviour changes.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_shifted_hopm_planned(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x0: &[f64],
+    alpha: f64,
+    opts: HopmOptions,
+    mode: Mode,
+    threads: usize,
+) -> (HopmResult, CostReport) {
+    let n = part.dim();
+    assert_eq!(tensor.dim(), n);
+    assert_eq!(x0.len(), n);
+    let p_count = part.num_procs();
+    let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
+
+    let (rank_results, report) = Universe::new(p_count).run(|comm| {
+        let p = comm.rank();
+        let pool = (threads > 1).then(|| symtensor_pool::Pool::new(threads));
+        let mut ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref()).with_plan();
+        if let Some(pool) = pool.as_ref() {
+            ctx = ctx.with_pool(pool);
+        }
+        let my_shards: Vec<Vec<f64>> = part
+            .r_set(p)
+            .iter()
+            .map(|&i| {
+                let block = &x0[part.block_range(i)];
+                block[part.shard_range(i, p)].to_vec()
+            })
+            .collect();
+        rank_hopm(comm, &ctx, my_shards, alpha, opts)
+    });
+
+    let mut x = vec![0.0; n];
+    let mut lambda = 0.0;
+    let mut iters = 0;
+    let mut converged = false;
+    let mut residual = 0.0;
+    let mut ops = OpCount::default();
+    for (p, out) in rank_results.into_iter().enumerate() {
+        lambda = out.lambda;
+        iters = out.iters;
+        converged = out.converged;
+        residual = out.residual;
+        ops.ternary_mults += out.ternary;
+        for (t, &i) in part.r_set(p).iter().enumerate() {
+            let global = part.block_range(i);
+            let local = part.shard_range(i, p);
+            x[global.start + local.start..global.start + local.end]
+                .copy_from_slice(&out.x_shards[t]);
+        }
+    }
+    (HopmResult { lambda, x, iters, converged, residual, ops }, report)
+}
+
 /// Per-rank HOPM state returned to the driver.
 struct RankHopmOut {
     x_shards: Vec<Vec<f64>>,
@@ -292,6 +354,44 @@ mod tests {
         for (a, b) in base_report.per_rank.iter().zip(&mt_report.per_rank) {
             assert_eq!(a.words_sent, b.words_sent);
             assert_eq!(a.rounds, b.rounds);
+        }
+    }
+
+    #[test]
+    fn planned_hopm_is_bit_identical_to_legacy() {
+        let n = 30;
+        let part = TetraPartition::new(spherical(2), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(97);
+        let odeco = random_odeco(n, 3, &mut rng);
+        let mut x0 = odeco.vectors[0].clone();
+        x0[2] += 0.05;
+        let opts = HopmOptions { tol: 1e-12, max_iters: 500 };
+        for mode in [Mode::Scheduled, Mode::AllToAllSparse, Mode::AllToAllPadded] {
+            for threads in [1usize, 3] {
+                let (base, base_report) =
+                    parallel_shifted_hopm_mt(&odeco.tensor, &part, &x0, 0.0, opts, mode, threads);
+                let (plan, plan_report) = parallel_shifted_hopm_planned(
+                    &odeco.tensor,
+                    &part,
+                    &x0,
+                    0.0,
+                    opts,
+                    mode,
+                    threads,
+                );
+                assert_eq!(plan.x, base.x, "{mode:?} t={threads}: trajectory must be bit-equal");
+                assert_eq!(plan.lambda.to_bits(), base.lambda.to_bits());
+                assert_eq!(plan.iters, base.iters);
+                assert_eq!(plan.ops.ternary_mults, base.ops.ternary_mults);
+                assert_eq!(plan_report, base_report, "comm counters must not change");
+            }
+            // The pooled kernels are deterministic in the thread count: any
+            // pool size reproduces the same fixed chunk tree.
+            let (t2, _) =
+                parallel_shifted_hopm_planned(&odeco.tensor, &part, &x0, 0.0, opts, mode, 2);
+            let (t3, _) =
+                parallel_shifted_hopm_planned(&odeco.tensor, &part, &x0, 0.0, opts, mode, 3);
+            assert_eq!(t2.x, t3.x, "{mode:?}: pooled plan runs must not depend on pool size");
         }
     }
 

@@ -1,0 +1,162 @@
+//! Property tests pinning the compiled-plan path to the legacy path.
+//!
+//! The contract of `RankContext::compile` is *bit*-equivalence: for every
+//! `(q, n, threads, batch, mode)` the planned STTSV must reproduce the
+//! legacy result exactly — same floating-point bits, same ternary counts,
+//! same per-rank communication counters — and stay within `1e-12`
+//! (relative) of the sequential `sttsv_sym` reference.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use symtensor_core::generate::random_symmetric;
+use symtensor_core::seq::sttsv_sym;
+use symtensor_parallel::blocks::OwnedBlocks;
+use symtensor_parallel::{
+    parallel_sttsv_mt, parallel_sttsv_multi, parallel_sttsv_multi_planned, parallel_sttsv_planned,
+    Mode, RankPlan, TetraPartition,
+};
+use symtensor_steiner::spherical;
+
+const MODES: [Mode; 3] = [Mode::Scheduled, Mode::AllToAllPadded, Mode::AllToAllSparse];
+
+/// `(q, n)` pairs satisfying the partition's divisibility requirements —
+/// the adversarial axis is the seed/threads/batch/mode space around them.
+fn geometry(idx: usize) -> (u64, usize) {
+    [(2u64, 30usize), (2, 60), (3, 60)][idx % 3]
+}
+
+fn random_vectors(n: usize, batch: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    (0..batch).map(|_| (0..n).map(|_| rng.gen::<f64>() - 0.5).collect()).collect()
+}
+
+proptest! {
+    // Full-universe runs spawn P threads per case; keep the case count low.
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Planned single-vector STTSV is bit-identical to the legacy driver
+    /// (same values, ternary counts and communication report) and within
+    /// 1e-12 of the sequential kernel.
+    #[test]
+    fn planned_sttsv_is_bit_identical_to_legacy(
+        geom in 0usize..3,
+        seed in 0u64..10_000,
+        mode_idx in 0usize..3,
+        threads in 1usize..4,
+    ) {
+        let (q, n) = geometry(geom);
+        let part = TetraPartition::new(spherical(q), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tensor = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let mode = MODES[mode_idx];
+
+        let legacy = parallel_sttsv_mt(&tensor, &part, &x, mode, threads);
+        let planned = parallel_sttsv_planned(&tensor, &part, &x, mode, threads);
+        prop_assert_eq!(&planned.y, &legacy.y, "plan must be bit-identical to legacy");
+        prop_assert_eq!(&planned.ternary_per_rank, &legacy.ternary_per_rank);
+        prop_assert_eq!(&planned.report, &legacy.report);
+
+        let (y_ref, ops) = sttsv_sym(&tensor, &x);
+        prop_assert_eq!(
+            planned.ternary_per_rank.iter().sum::<u64>(),
+            ops.ternary_mults,
+            "exact machine-wide ternary count"
+        );
+        for (i, (yp, yr)) in planned.y.iter().zip(&y_ref).enumerate() {
+            prop_assert!(
+                (yp - yr).abs() < 1e-12 * (1.0 + yr.abs()),
+                "y[{}]: {} vs {}", i, yp, yr
+            );
+        }
+    }
+
+    /// Planned batched STTSV is bit-identical to the legacy batched driver
+    /// for every batch size, and deterministic in the thread count.
+    #[test]
+    fn planned_multi_is_bit_identical_and_thread_deterministic(
+        geom in 0usize..3,
+        seed in 0u64..10_000,
+        mode_idx in 0usize..3,
+        threads in 1usize..4,
+        batch in 1usize..5,
+    ) {
+        let (q, n) = geometry(geom);
+        let part = TetraPartition::new(spherical(q), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tensor = random_symmetric(n, &mut rng);
+        let xs = random_vectors(n, batch, &mut rng);
+        let mode = MODES[mode_idx];
+
+        let legacy = parallel_sttsv_multi(&tensor, &part, &xs, mode, threads);
+        let planned = parallel_sttsv_multi_planned(&tensor, &part, &xs, mode, threads);
+        prop_assert_eq!(&planned.ys, &legacy.ys, "batched plan must be bit-identical");
+        prop_assert_eq!(&planned.ternary_per_rank, &legacy.ternary_per_rank);
+        prop_assert_eq!(&planned.report, &legacy.report);
+
+        // Pooled plans are deterministic in the pool size: the chunk tree
+        // is fixed by the block count, not the worker count.
+        if threads > 1 {
+            let other = parallel_sttsv_multi_planned(&tensor, &part, &xs, mode, threads + 1);
+            prop_assert_eq!(&other.ys, &planned.ys, "thread count must not change bits");
+        }
+
+        for (x, y) in xs.iter().zip(&planned.ys) {
+            let (y_ref, _) = sttsv_sym(&tensor, x);
+            for (i, (yp, yr)) in y.iter().zip(&y_ref).enumerate() {
+                prop_assert!(
+                    (yp - yr).abs() < 1e-12 * (1.0 + yr.abs()),
+                    "y[{}]: {} vs {}", i, yp, yr
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// The plan's packed-arena compute is bit-identical to
+    /// `OwnedBlocks::compute` on every rank, for arbitrary tensors and
+    /// gathered inputs — the per-rank pin that makes the full-run
+    /// equivalence above hold mode-by-mode.
+    #[test]
+    fn plan_compute_matches_owned_blocks_bitwise(
+        geom in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let (q, n) = geometry(geom);
+        let part = TetraPartition::new(spherical(q), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tensor = random_symmetric(n, &mut rng);
+        let b = part.block_size();
+        for rank in 0..part.num_procs() {
+            let rp = part.r_set(rank);
+            let owned = OwnedBlocks::extract(&tensor, &part, rank);
+            let plan = RankPlan::build(&part, &owned, rank);
+
+            // A full gathered input: one dense row block per owned slot.
+            let x_full: Vec<Vec<f64>> =
+                (0..rp.len()).map(|_| (0..b).map(|_| rng.gen::<f64>() - 0.5).collect()).collect();
+
+            let mut y_legacy = vec![vec![0.0; b]; rp.len()];
+            let row_pos = |i: usize| rp.binary_search(&i).unwrap();
+            let t_legacy = owned.compute(&x_full, &mut y_legacy, row_pos);
+
+            // Feed the same gathered state through the flat slabs (the
+            // post-gather picture, bypassing the exchange).
+            let mut ws = symtensor_parallel::PlanWorkspace::new();
+            plan.ensure_capacity(&mut ws, 1);
+            plan.load_full(&mut ws, 0, &x_full);
+            let t_plan = plan.compute(&mut ws, 1, None);
+            prop_assert_eq!(t_plan, t_legacy, "rank {}: ternary counts", rank);
+            let y_plan = plan.output_slab(&ws, 0);
+            for (t, row) in y_legacy.iter().enumerate() {
+                prop_assert_eq!(
+                    &y_plan[t * b..(t + 1) * b], row.as_slice(),
+                    "rank {} row slot {}: bitwise equal", rank, t
+                );
+            }
+        }
+    }
+}

@@ -50,16 +50,84 @@ use std::sync::Mutex;
 /// worth the imbalance it can cause.
 const OWN_POP: usize = 1;
 
+/// A free-list of reusable `Vec<f64>` scratch buffers.
+///
+/// The compute hot paths need per-worker partial accumulators every call;
+/// allocating (and zero-filling freshly allocated pages of) those each
+/// invocation is pure steady-state overhead. A `WorkspacePool` amortizes
+/// it: [`WorkspacePool::lease_zeroed`] hands out a zeroed buffer, reusing
+/// a previously returned one when its capacity suffices, and
+/// [`WorkspacePool::give_back`] returns it for the next lease.
+///
+/// Two counters make the steady state observable (and testable):
+/// * `lease_count` — total leases served;
+/// * `fresh_count` — leases that had to **grow** a buffer (i.e. touched
+///   the heap). In steady state this stays flat: after warm-up every
+///   lease is served from the free list with sufficient capacity.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    free: Mutex<Vec<Vec<f64>>>,
+    leases: AtomicU64,
+    fresh: AtomicU64,
+}
+
+impl WorkspacePool {
+    /// An empty workspace pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Leases a buffer of exactly `len` zeroed elements.
+    ///
+    /// Reuses a returned buffer when one is available (largest-capacity
+    /// first would need a heap; plain LIFO is enough because the hot paths
+    /// lease uniform sizes). Counts a *fresh* allocation whenever the
+    /// served buffer's capacity had to grow.
+    pub fn lease_zeroed(&self, len: usize) -> Vec<f64> {
+        self.leases.fetch_add(1, Ordering::Relaxed);
+        let mut buf = self.free.lock().expect("workspace pool poisoned").pop().unwrap_or_default();
+        if buf.capacity() < len {
+            self.fresh.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a leased buffer to the free list for reuse.
+    pub fn give_back(&self, buf: Vec<f64>) {
+        self.free.lock().expect("workspace pool poisoned").push(buf);
+    }
+
+    /// Total leases served since construction.
+    pub fn lease_count(&self) -> u64 {
+        self.leases.load(Ordering::Relaxed)
+    }
+
+    /// Leases that required growing a buffer (touching the heap). Flat
+    /// across iterations ⇔ allocation-free steady state.
+    pub fn fresh_count(&self) -> u64 {
+        self.fresh.load(Ordering::Relaxed)
+    }
+
+    /// Buffers currently sitting in the free list.
+    pub fn pooled(&self) -> usize {
+        self.free.lock().expect("workspace pool poisoned").len()
+    }
+}
+
 /// A work-stealing pool of `threads` workers.
 ///
-/// The pool itself is tiny — it holds the thread count and cumulative
-/// statistics; workers are scoped threads spawned per [`Pool::run_chunks`]
+/// The pool itself is tiny — it holds the thread count, cumulative
+/// statistics and a [`WorkspacePool`] of reusable scratch buffers;
+/// workers are scoped threads spawned per [`Pool::run_chunks`]
 /// call so that work closures can borrow caller state.
 #[derive(Debug)]
 pub struct Pool {
     threads: usize,
     steals: AtomicU64,
     runs: AtomicU64,
+    workspaces: WorkspacePool,
 }
 
 impl Pool {
@@ -67,7 +135,18 @@ impl Pool {
     /// normalized to 1) executes inline on the calling thread with zero
     /// synchronization.
     pub fn new(threads: usize) -> Self {
-        Pool { threads: threads.max(1), steals: AtomicU64::new(0), runs: AtomicU64::new(0) }
+        Pool {
+            threads: threads.max(1),
+            steals: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+            workspaces: WorkspacePool::new(),
+        }
+    }
+
+    /// The pool's shared [`WorkspacePool`] of reusable scratch buffers.
+    #[inline]
+    pub fn workspaces(&self) -> &WorkspacePool {
+        &self.workspaces
     }
 
     /// Worker count this pool was built with.
@@ -340,6 +419,45 @@ mod tests {
             }
             c
         });
+    }
+
+    #[test]
+    fn workspace_pool_reuses_buffers() {
+        let ws = WorkspacePool::new();
+        let a = ws.lease_zeroed(64);
+        assert_eq!(a.len(), 64);
+        assert!(a.iter().all(|&v| v == 0.0));
+        assert_eq!(ws.lease_count(), 1);
+        assert_eq!(ws.fresh_count(), 1);
+        ws.give_back(a);
+        assert_eq!(ws.pooled(), 1);
+        // Same-size lease reuses the buffer: no fresh allocation.
+        let mut b = ws.lease_zeroed(64);
+        assert_eq!(ws.lease_count(), 2);
+        assert_eq!(ws.fresh_count(), 1);
+        b[3] = 7.0;
+        ws.give_back(b);
+        // The returned buffer comes back zeroed on the next lease.
+        let c = ws.lease_zeroed(64);
+        assert!(c.iter().all(|&v| v == 0.0));
+        ws.give_back(c);
+        // Growing past capacity counts as fresh again.
+        let d = ws.lease_zeroed(1 << 16);
+        assert_eq!(ws.fresh_count(), 2);
+        ws.give_back(d);
+        // ... after which the large buffer serves small leases for free.
+        let e = ws.lease_zeroed(64);
+        assert_eq!(ws.fresh_count(), 2);
+        ws.give_back(e);
+    }
+
+    #[test]
+    fn pool_exposes_workspaces() {
+        let pool = Pool::new(2);
+        let w = pool.workspaces().lease_zeroed(8);
+        pool.workspaces().give_back(w);
+        assert_eq!(pool.workspaces().lease_count(), 1);
+        assert_eq!(pool.workspaces().pooled(), 1);
     }
 
     #[test]

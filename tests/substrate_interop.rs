@@ -49,13 +49,7 @@ fn scattered_blocks_drive_repeated_sttsv_without_reextraction() {
     let (rank_results, report) = Universe::new(part.num_procs()).run(|comm| {
         let p = comm.rank();
         let (owned, shards) = scattered[p].clone();
-        let ctx = RankContext {
-            part: &part,
-            owned,
-            mode: Mode::AllToAllSparse,
-            schedule: None,
-            pool: None,
-        };
+        let ctx = RankContext::from_parts(&part, owned, Mode::AllToAllSparse, None);
         // Iterate STTSV on the same context; feed y back in as the next x.
         let mut current = shards;
         for _ in 0..iterations {
