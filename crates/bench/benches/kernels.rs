@@ -13,7 +13,7 @@
 //!
 //! Besides the Criterion report, this bench self-times a representative
 //! subset and writes `BENCH_kernels.json` at the repository root
-//! (`{kernel, n, q, ns_per_iter, flops_per_sec}` per case; `q = 0` marks
+//! (`{kernel, n, q, ns_per_iter, flops_per_sec}` per case; `q = null` marks
 //! sequential kernels with no partition) so CI can archive kernel
 //! throughput as an artifact. The offline Criterion shim has no JSON
 //! machinery, so the rows come from a best-of-three wall-clock loop here.
@@ -53,13 +53,20 @@ fn measure<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
 
 /// Appends one `BENCH_kernels.json` row. Effective flops treat each
 /// ternary multiplication as 2 multiplies + 1 fused accumulate.
-fn record(rows: &mut Vec<Value>, kernel: &str, n: usize, q: u64, ns: f64, ternary_mults: u64) {
+fn record(
+    rows: &mut Vec<Value>,
+    kernel: &str,
+    n: usize,
+    q: Option<u64>,
+    ns: f64,
+    ternary_mults: u64,
+) {
     let flops_per_sec = 3.0 * ternary_mults as f64 / (ns * 1e-9);
     rows.push(
         Value::object()
             .with("kernel", kernel)
             .with("n", n)
-            .with("q", q)
+            .with("q", q.map(Value::from).unwrap_or(Value::Null))
             .with("ns_per_iter", ns)
             .with("flops_per_sec", flops_per_sec),
     );
@@ -108,10 +115,10 @@ fn bench_plan(c: &mut Criterion, rows: &mut Vec<Value>) {
         });
 
         let (ns_legacy, t_legacy) = measure(&mut legacy);
-        record(rows, "owned_blocks", n, q, ns_legacy, t_legacy);
+        record(rows, "owned_blocks", n, Some(q), ns_legacy, t_legacy);
         let (ns_plan, t_plan) = measure(|| arena(&mut ws));
         assert_eq!(t_plan, t_legacy, "q={q}: plan and legacy ternary counts must agree");
-        record(rows, "plan_arena", n, q, ns_plan, t_plan);
+        record(rows, "plan_arena", n, Some(q), ns_plan, t_plan);
     }
     group.finish();
 }
@@ -134,17 +141,17 @@ fn bench_kernels(c: &mut Criterion) {
             bench.iter(|| sttsv_sym_blocked(black_box(&tensor), black_box(&x), 64))
         });
         // Self-timed rows for BENCH_kernels.json (smaller sizes only, to
-        // keep the CI bench smoke fast; q = 0 marks "no partition").
+        // keep the CI bench smoke fast; q = null marks "no partition").
         if n <= 256 {
             let (ns, t) =
                 measure(|| sttsv_sym_ref(black_box(&tensor), black_box(&x)).1.ternary_mults);
-            record(&mut rows, "ref_per_point", n, 0, ns, t);
+            record(&mut rows, "ref_per_point", n, None, ns, t);
             let (ns, t) = measure(|| sttsv_sym(black_box(&tensor), black_box(&x)).1.ternary_mults);
-            record(&mut rows, "flat_slab", n, 0, ns, t);
+            record(&mut rows, "flat_slab", n, None, ns, t);
             let (ns, t) = measure(|| {
                 sttsv_sym_blocked(black_box(&tensor), black_box(&x), 64).1.ternary_mults
             });
-            record(&mut rows, "blocked_b64", n, 0, ns, t);
+            record(&mut rows, "blocked_b64", n, None, ns, t);
         }
     }
     group.finish();
@@ -190,7 +197,7 @@ fn bench_kernels(c: &mut Criterion) {
         if n <= 256 {
             let (ns, t) =
                 measure(|| sttsv_sym_multi(black_box(&tensor), black_box(&xs)).1.ternary_mults);
-            record(&mut rows, "multi_x8", n, 0, ns, t);
+            record(&mut rows, "multi_x8", n, None, ns, t);
         }
     }
     group.finish();

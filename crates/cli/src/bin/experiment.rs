@@ -97,6 +97,7 @@ fn main() {
         "ablation" => ablation(),
         "triangle" => triangle(),
         "kernels" => kernels(threads, batch, plan),
+        "regress" => regress(&positional[1..]),
         "all" => {
             comm(&sink);
             baselines();
@@ -114,10 +115,73 @@ fn main() {
             eprintln!(
                 "usage: experiment [comm|baselines|balance|memory|schedule|hopm|seqio|ablation|kernels|all] [--threads N] [--batch B] [--plan] [--trace out.json] [--metrics out.json]"
             );
+            eprintln!(
+                "       experiment regress --baseline BENCH.json --current NEW.json [--threshold 0.15] [--out diff.json]"
+            );
             std::process::exit(2);
         }
     }
     sink.flush();
+}
+
+/// The perf-regression gate: diffs two `BENCH_*.json` snapshots on
+/// `(kernel, n, q)` / `ns_per_iter` and exits nonzero when any kernel got
+/// slower than the threshold (default +15%) or silently disappeared.
+fn regress(args: &[String]) -> ! {
+    let mut baseline_path: Option<String> = None;
+    let mut current_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut threshold = 0.15f64;
+    let mut it = args.iter();
+    let fail = |msg: &str| -> ! {
+        eprintln!("error: {msg}");
+        eprintln!(
+            "usage: experiment regress --baseline BENCH.json --current NEW.json [--threshold 0.15] [--out diff.json]"
+        );
+        std::process::exit(2);
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline_path = it.next().cloned(),
+            "--current" => current_path = it.next().cloned(),
+            "--out" => out_path = it.next().cloned(),
+            "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => threshold = t,
+                _ => fail("--threshold expects a positive number (e.g. 0.15 for +15%)"),
+            },
+            other => fail(&format!("unknown regress argument '{other}'")),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| fail("--baseline is required"));
+    let current_path = current_path.unwrap_or_else(|| fail("--current is required"));
+    let load = |path: &str| -> Vec<symtensor_obs::BenchRecord> {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        symtensor_obs::parse_snapshot(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = load(&baseline_path);
+    let current = load(&current_path);
+    let report = symtensor_obs::RegressionReport::evaluate(&baseline, &current, threshold);
+    println!("== perf regression gate: {baseline_path} -> {current_path} ==");
+    print!("{}", report.render_table());
+    if let Some(out) = out_path {
+        std::fs::write(&out, report.to_json().to_string_pretty()).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(2);
+        });
+        println!("diff written to {out}");
+    }
+    if report.regressed() {
+        eprintln!("FAIL: performance regression beyond +{:.0}%", threshold * 100.0);
+        std::process::exit(1);
+    }
+    println!("PASS: no regression beyond +{:.0}%", threshold * 100.0);
+    std::process::exit(0);
 }
 
 /// Runs Algorithm 5, additionally recording the traced observation when

@@ -2,13 +2,20 @@
 //! and prints/exports everything `symtensor-obs` can see about it.
 //!
 //! Usage: `trace [--q Q] [--scale S] [--mode scheduled|padded|sparse]
+//!               [--critical-path] [--replay ALPHA,BETA,GAMMA]
 //!               [--trace out.json] [--metrics out.json]`
 //!
 //! Defaults: `--q 3`, `--scale 1`, `--mode scheduled`. The printed report
 //! covers the per-phase cost breakdown (which partitions the run's total
 //! traffic exactly), the P×P communication matrix marginals, and the
 //! round-occupancy check against the paper's `q³/2 + 3q²/2 − 1` step
-//! bound. `--trace` writes a Perfetto-loadable Chrome trace (open at
+//! bound. `--critical-path` replays the trace under the pure-bandwidth
+//! model (α=0, β=1, γ=0), prints the per-rank critical-path attribution
+//! and — in scheduled mode — asserts the modeled makespan reconciles
+//! exactly with `2·W_sched`, the closed-form per-vector word count.
+//! `--replay A,B,G` replays under a custom α-β-γ model and prints the
+//! modeled-vs-measured drift table plus latency-histogram quantiles.
+//! `--trace` writes a Perfetto-loadable Chrome trace (open at
 //! `ui.perfetto.dev`), `--metrics` the flat metrics JSON.
 
 use rand::rngs::StdRng;
@@ -16,7 +23,8 @@ use rand::SeedableRng;
 use symtensor_cli::obsout::ObsSink;
 use symtensor_core::generate::random_symmetric;
 use symtensor_obs::occupancy::spherical_step_bound;
-use symtensor_obs::{phase_stats, RunObservation};
+use symtensor_obs::replay::replay_with_drift;
+use symtensor_obs::{phase_stats, AlphaBetaModel, CriticalPath, RunObservation, StragglerReport};
 use symtensor_parallel::schedule::spherical_round_count;
 use symtensor_parallel::{bounds, parallel_sttsv_traced, CommSchedule, Mode, TetraPartition};
 use symtensor_steiner::spherical;
@@ -26,6 +34,8 @@ fn main() {
     let mut q = 3usize;
     let mut scale = 1usize;
     let mut mode = Mode::Scheduled;
+    let mut critical_path = false;
+    let mut replay_model: Option<AlphaBetaModel> = None;
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -39,6 +49,8 @@ fn main() {
                     other => usage(&format!("unknown --mode {other:?}")),
                 }
             }
+            "--critical-path" => critical_path = true,
+            "--replay" => replay_model = Some(parse_model(iter.next())),
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
@@ -126,10 +138,15 @@ fn main() {
         assert_eq!(occ.num_rounds() as u64, spherical_step_bound(q));
         assert!(occ.within_step_bound(q));
     } else {
+        // All-to-All runs annotate each of their P−1 pairwise steps.
         println!(
-            "mode '{mode_label}' is not round-annotated ({} unannotated words)",
+            "rounds observed = {} | all-to-all steps P−1 = {} | {} unannotated words",
+            occ.num_rounds(),
+            p - 1,
             occ.unannotated_words
         );
+        assert_eq!(occ.num_rounds(), p - 1, "all-to-all must annotate exactly P−1 steps");
+        assert_eq!(occ.unannotated_words, 0, "every word must carry a round annotation");
     }
 
     println!(
@@ -137,6 +154,80 @@ fn main() {
         obs.report.bandwidth_cost(),
         bounds::lower_bound_words(n, p)
     );
+
+    if critical_path {
+        // Replay under the pure-bandwidth model: 1 ns per word, free
+        // latency and compute — virtual time *is* the word count.
+        let rep = obs.replay(AlphaBetaModel::bandwidth_only());
+        let cp = CriticalPath::extract(&rep);
+        println!("\n-- critical path (α=0, β=1, γ=0: virtual time = words) --");
+        print!("{}", cp.render_attribution());
+        let w = bounds::scheduled_words_per_vector(n, q);
+        if mode == Mode::Scheduled {
+            println!(
+                "modeled makespan = {} words | closed-form 2·W_sched = {} ({} per phase)",
+                rep.makespan_ns,
+                2 * w,
+                w
+            );
+            assert_eq!(
+                rep.makespan_ns,
+                (2 * w) as f64,
+                "scheduled makespan must reconcile (±0 words) with 2·scheduled_words_per_vector"
+            );
+            println!("makespan reconciles with the closed-form schedule cost ✓");
+        } else {
+            println!(
+                "modeled makespan = {} words | scheduled closed form would be {} (2·W_sched)",
+                rep.makespan_ns,
+                2 * w
+            );
+        }
+    }
+
+    if let Some(model) = replay_model {
+        let (rep, drift) = match replay_with_drift(&obs.traces, model) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: replay failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("\n-- α-β-γ replay (α={}, β={}, γ={}) --", model.alpha, model.beta, model.gamma);
+        println!(
+            "modeled makespan = {:.1} ns | max send-busy = {:.1} | max compute = {:.1}",
+            rep.makespan_ns,
+            rep.max_send_busy_ns(),
+            rep.max_compute_ns()
+        );
+        println!("{:<16} {:>14} {:>14} {:>8}", "phase", "modeled ns", "measured ns", "ratio");
+        for d in &drift {
+            println!(
+                "{:<16} {:>14.1} {:>14.1} {:>8.3}",
+                d.phase,
+                d.modeled_ns,
+                d.measured_ns,
+                d.ratio()
+            );
+        }
+        let hists = obs.histograms();
+        println!(
+            "round-step latency ns: p50={} p90={} p99={} max={}",
+            hists.round_step_ns.p50(),
+            hists.round_step_ns.p90(),
+            hists.round_step_ns.p99(),
+            hists.round_step_ns.max
+        );
+        println!(
+            "recv transit ns:       p50={} p90={} p99={} max={}",
+            hists.recv_wait_ns.p50(),
+            hists.recv_wait_ns.p90(),
+            hists.recv_wait_ns.p99(),
+            hists.recv_wait_ns.max
+        );
+        let stragglers = StragglerReport::from_spans(&obs.spans(), obs.traces.len(), 5);
+        print!("{}", stragglers.render());
+    }
 
     sink.record(format!("trace q={q} n={n} {mode_label}"), obs);
     if sink.enabled() {
@@ -156,10 +247,20 @@ fn parse_num(arg: Option<&String>, flag: &str) -> usize {
     }
 }
 
+fn parse_model(arg: Option<&String>) -> AlphaBetaModel {
+    let parts: Vec<f64> = arg
+        .map(|s| s.split(',').filter_map(|p| p.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    match parts.as_slice() {
+        [alpha, beta, gamma] => AlphaBetaModel { alpha: *alpha, beta: *beta, gamma: *gamma },
+        _ => usage("--replay requires ALPHA,BETA,GAMMA (e.g. --replay 1000,0.5,1)"),
+    }
+}
+
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: trace [--q Q] [--scale S] [--mode scheduled|padded|sparse] [--trace out.json] [--metrics out.json]"
+        "usage: trace [--q Q] [--scale S] [--mode scheduled|padded|sparse] [--critical-path] [--replay A,B,G] [--trace out.json] [--metrics out.json]"
     );
     std::process::exit(2);
 }

@@ -32,20 +32,42 @@ impl Comm {
     ///
     /// Pairwise-exchange algorithm: `P − 1` steps; at step `s`, rank `r`
     /// sends to `(r + s) mod P` and receives from `(r − s) mod P`.
+    ///
+    /// Each step is round-annotated (`round = s − 1`, i.e. `0..P−1`) so
+    /// traced collective traffic participates in round-occupancy reports
+    /// and the happens-before DAG built by [`crate::matching`] — the
+    /// All-to-All modes of Algorithm 5 are thereby as analyzable as the
+    /// edge-colored schedule. Any enclosing round annotation is saved and
+    /// restored.
     pub fn all_to_all_v(&self, mut sendbufs: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, CommError> {
         self.with_fallback_phase("coll:all-to-all", || {
             let p = self.size();
             assert_eq!(sendbufs.len(), p, "all_to_all_v needs one buffer per rank");
             let rank = self.rank();
+            let saved = self.current_round();
             let mut recv: Vec<Vec<f64>> = vec![Vec::new(); p];
             recv[rank] = std::mem::take(&mut sendbufs[rank]);
-            for step in 1..p {
-                let dst = (rank + step) % p;
-                let src = (rank + p - step) % p;
-                self.send(dst, TAG_ALL_TO_ALL + step as u64, std::mem::take(&mut sendbufs[dst]));
-                recv[src] = self.recv(src, TAG_ALL_TO_ALL + step as u64)?;
-                self.count_round();
+            let mut run_steps = || -> Result<(), CommError> {
+                for step in 1..p {
+                    self.annotate_round(step as u64 - 1);
+                    let dst = (rank + step) % p;
+                    let src = (rank + p - step) % p;
+                    self.send(
+                        dst,
+                        TAG_ALL_TO_ALL + step as u64,
+                        std::mem::take(&mut sendbufs[dst]),
+                    );
+                    recv[src] = self.recv(src, TAG_ALL_TO_ALL + step as u64)?;
+                    self.count_round();
+                }
+                Ok(())
+            };
+            let outcome = run_steps();
+            match saved {
+                Some(r) => self.annotate_round(r),
+                None => self.clear_round(),
             }
+            outcome?;
             Ok(recv)
         })
     }

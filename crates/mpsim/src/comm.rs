@@ -210,6 +210,14 @@ impl Comm {
         self.round.set(None);
     }
 
+    /// The schedule-round annotation currently in effect, if any.
+    /// Collectives that step-annotate their internal rounds use this to
+    /// save and restore an enclosing algorithm's annotation.
+    #[inline]
+    pub fn current_round(&self) -> Option<u64> {
+        self.round.get()
+    }
+
     /// Records a named numeric sample ([`CommEventKind::Counter`]) in the
     /// event trace, attributed to the innermost active phase — e.g. the
     /// compiled-plan kernel's `plan:arena_bytes` / `plan:fresh_allocs`

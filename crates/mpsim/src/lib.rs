@@ -26,9 +26,11 @@ pub mod collectives;
 pub mod collectives_tree;
 pub mod comm;
 pub mod cost;
+pub mod matching;
 
 pub use comm::{Comm, CommError, Msg};
 pub use cost::{CommEvent, CommEventKind, CostReport, RankCost};
+pub use matching::{match_messages, MatchReport, MessageMatch};
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};

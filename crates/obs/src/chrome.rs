@@ -166,6 +166,63 @@ pub fn chrome_trace_string(traces: &[Vec<CommEvent>]) -> String {
     chrome_trace(traces).to_string_pretty()
 }
 
+/// Like [`chrome_trace`], but with two additional *profile* counter tracks
+/// derived from send/recv matching:
+///
+/// * `recv_wait_ns` — one `C` sample per matched message at its receive
+///   time, valued at the message's measured transit (recv − send) time, on
+///   the receiving rank's track;
+/// * `round_step_ns` — one `C` sample per `(phase, round)` schedule step at
+///   the step's last receive time, valued at the step's span (last receive
+///   − first send), on `tid` 0.
+///
+/// These are the same quantities [`crate::ProfileHistograms`] aggregates;
+/// the counter tracks let Perfetto plot them over virtual time.
+pub fn chrome_trace_with_profile(traces: &[Vec<CommEvent>]) -> Value {
+    let mut events = chrome_trace_events(PID, None, traces);
+    events.extend(profile_counter_events(traces));
+    Value::object().with("traceEvents", Value::Array(events)).with("displayTimeUnit", "ns")
+}
+
+/// The `C` (counter) events backing [`chrome_trace_with_profile`].
+fn profile_counter_events(traces: &[Vec<CommEvent>]) -> Vec<Value> {
+    use std::collections::BTreeMap;
+    let report = symtensor_mpsim::match_messages(traces);
+    let mut events = Vec::new();
+    // (phase, round) → (first send ns, last recv ns).
+    let mut steps: BTreeMap<(Option<&'static str>, u64), (u64, u64)> = BTreeMap::new();
+    for m in &report.matches {
+        events.push(
+            Value::object()
+                .with("name", "recv_wait_ns")
+                .with("ph", "C")
+                .with("cat", "profile")
+                .with("ts", us(m.recv_t_ns))
+                .with("pid", PID)
+                .with("tid", m.dst)
+                .with("args", Value::object().with("value", m.transit_ns())),
+        );
+        if let Some(round) = m.round {
+            let entry = steps.entry((m.send_phase, round)).or_insert((m.send_t_ns, m.recv_t_ns));
+            entry.0 = entry.0.min(m.send_t_ns);
+            entry.1 = entry.1.max(m.recv_t_ns);
+        }
+    }
+    for ((_, _), (first_send, last_recv)) in steps {
+        events.push(
+            Value::object()
+                .with("name", "round_step_ns")
+                .with("ph", "C")
+                .with("cat", "profile")
+                .with("ts", us(last_recv))
+                .with("pid", PID)
+                .with("tid", 0u64)
+                .with("args", Value::object().with("value", last_recv - first_send)),
+        );
+    }
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +328,31 @@ mod tests {
             let pid = e.get("pid").unwrap().as_u64().unwrap();
             assert!(pid == 1 || pid == 2);
         }
+    }
+
+    #[test]
+    fn profile_counters_add_wait_and_step_tracks() {
+        let traces = sample_traces();
+        let doc = chrome_trace_with_profile(&traces);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let base = chrome_trace(&traces);
+        let base_len = base.get("traceEvents").unwrap().as_array().unwrap().len();
+        // 2 matched messages → 2 recv_wait samples + 1 (phase, round) step.
+        assert_eq!(events.len(), base_len + 3);
+        let waits: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("recv_wait_ns"))
+            .collect();
+        assert_eq!(waits.len(), 2);
+        for w in &waits {
+            assert_eq!(w.get("ph").unwrap().as_str(), Some("C"));
+            assert!(w.get("args").unwrap().get("value").unwrap().as_u64().is_some());
+        }
+        let steps: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("round_step_ns"))
+            .collect();
+        assert_eq!(steps.len(), 1);
     }
 
     #[test]

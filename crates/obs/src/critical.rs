@@ -1,0 +1,451 @@
+//! Critical-path extraction and straggler analysis over a replayed run.
+//!
+//! After [`crate::replay`] assigns every op a modeled `start`/`end` and a
+//! *binding predecessor* (the dependency that actually determined its
+//! start), the critical path is recovered by walking binding predecessors
+//! back from the op with the global maximum end time. Each step's
+//! contribution `end − pred.end` telescopes, so the contributions sum to
+//! the makespan exactly — the path *is* the makespan's explanation.
+//!
+//! Straggler analysis is orthogonal and uses **measured** span durations:
+//! per phase, the load-imbalance factor `λ = max / mean` over ranks and
+//! the top-k ranks by excess time over the mean.
+
+use crate::json::Value;
+use crate::replay::{OpId, OpKind, ReplayReport};
+use crate::span::PhaseSpan;
+use std::collections::BTreeMap;
+
+/// One hop of the critical path (stored source-to-sink).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CriticalStep {
+    /// The op this step refers to.
+    pub op: OpId,
+    /// What the op was.
+    pub kind: OpKind,
+    /// Phase annotation.
+    pub phase: Option<&'static str>,
+    /// Round annotation.
+    pub round: Option<u64>,
+    /// Modeled start/end of the op.
+    pub start: f64,
+    /// Modeled end of the op.
+    pub end: f64,
+    /// This step's contribution to the makespan: `end − pred.end`
+    /// (or `end` for the path's first op). Contributions telescope to the
+    /// makespan.
+    pub contribution: f64,
+}
+
+/// The critical path of a replayed run plus per-rank attribution.
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    /// Path ops from the run's start to the makespan-defining op.
+    pub steps: Vec<CriticalStep>,
+    /// The modeled makespan the path explains.
+    pub makespan_ns: f64,
+    /// Per-rank share of the path: `attribution[rank] = (compute, send,
+    /// recv_wait)` contributions in virtual ns.
+    pub attribution: Vec<RankAttribution>,
+}
+
+/// One rank's share of the critical path, by op category.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankAttribution {
+    /// Critical-path time spent in this rank's compute ops.
+    pub compute_ns: f64,
+    /// Critical-path time spent in this rank's sends.
+    pub send_ns: f64,
+    /// Critical-path time this rank spent blocked on a receive whose
+    /// sender was *itself* on the path (rare under the postal model: a
+    /// waiting receive binds to the send, so the wait shows up as the
+    /// sender's send time; this bucket only catches zero-weight binding
+    /// edges).
+    pub recv_wait_ns: f64,
+    /// Number of path ops on this rank.
+    pub ops: usize,
+}
+
+impl RankAttribution {
+    /// Total critical-path time attributed to this rank.
+    pub fn total_ns(&self) -> f64 {
+        self.compute_ns + self.send_ns + self.recv_wait_ns
+    }
+}
+
+impl CriticalPath {
+    /// Extracts the critical path from a replayed run. Returns an empty
+    /// path for an empty replay.
+    pub fn extract(replay: &ReplayReport) -> CriticalPath {
+        let p = replay.ranks.len();
+        let mut attribution = vec![RankAttribution::default(); p];
+        // Sink: the op with the global max end (ties: the last such op in
+        // (rank, index) order, so a zero-weight finishing recv is chosen
+        // over the send it binds to and the full chain is reported).
+        let mut sink: Option<(OpId, f64)> = None;
+        for (rank, r) in replay.ranks.iter().enumerate() {
+            for (index, op) in r.ops.iter().enumerate() {
+                let better = match sink {
+                    None => true,
+                    Some((_, best)) => op.end >= best,
+                };
+                if better {
+                    sink = Some((OpId { rank, index }, op.end));
+                }
+            }
+        }
+        let Some((sink_id, makespan)) = sink else {
+            return CriticalPath { steps: Vec::new(), makespan_ns: 0.0, attribution };
+        };
+
+        let mut steps = Vec::new();
+        let mut cur = Some(sink_id);
+        while let Some(id) = cur {
+            let op = replay.ranks[id.rank].ops[id.index];
+            let pred_end = op.pred.map(|p| replay.ranks[p.rank].ops[p.index].end).unwrap_or(0.0);
+            steps.push(CriticalStep {
+                op: id,
+                kind: op.kind,
+                phase: op.phase,
+                round: op.round,
+                start: op.start,
+                end: op.end,
+                contribution: op.end - pred_end,
+            });
+            cur = op.pred;
+        }
+        steps.reverse();
+
+        for step in &steps {
+            let a = &mut attribution[step.op.rank];
+            a.ops += 1;
+            match step.kind {
+                OpKind::Compute { .. } => a.compute_ns += step.contribution,
+                OpKind::Send { .. } => a.send_ns += step.contribution,
+                OpKind::Recv { .. } => a.recv_wait_ns += step.contribution,
+            }
+        }
+        CriticalPath { steps, makespan_ns: makespan, attribution }
+    }
+
+    /// Total path length = Σ contributions (equals the makespan).
+    pub fn length_ns(&self) -> f64 {
+        self.steps.iter().map(|s| s.contribution).sum()
+    }
+
+    /// Ranks that appear on the path, in order of first appearance.
+    pub fn ranks_on_path(&self) -> Vec<usize> {
+        let mut seen = Vec::new();
+        for step in &self.steps {
+            if !seen.contains(&step.op.rank) {
+                seen.push(step.op.rank);
+            }
+        }
+        seen
+    }
+
+    /// Plain-text per-rank attribution table (ranks with nonzero share).
+    pub fn render_attribution(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>5} {:>12} {:>12} {:>12} {:>12} {:>6}\n",
+            "rank", "compute", "send", "recv-wait", "total", "ops"
+        ));
+        for (rank, a) in self.attribution.iter().enumerate() {
+            if a.ops == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:>5} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>6}\n",
+                rank,
+                a.compute_ns,
+                a.send_ns,
+                a.recv_wait_ns,
+                a.total_ns(),
+                a.ops
+            ));
+        }
+        out.push_str(&format!(
+            "path: {} ops across {} ranks, length {:.1} = makespan {:.1}\n",
+            self.steps.len(),
+            self.ranks_on_path().len(),
+            self.length_ns(),
+            self.makespan_ns
+        ));
+        out
+    }
+
+    /// JSON form: the path's per-rank attribution and the step list.
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("makespan_ns", self.makespan_ns)
+            .with("length_ns", self.length_ns())
+            .with(
+                "attribution",
+                Value::Array(
+                    self.attribution
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| a.ops > 0)
+                        .map(|(rank, a)| {
+                            Value::object()
+                                .with("rank", rank)
+                                .with("compute_ns", a.compute_ns)
+                                .with("send_ns", a.send_ns)
+                                .with("recv_wait_ns", a.recv_wait_ns)
+                                .with("ops", a.ops)
+                        })
+                        .collect(),
+                ),
+            )
+            .with(
+                "steps",
+                Value::Array(
+                    self.steps
+                        .iter()
+                        .map(|s| {
+                            let kind = match s.kind {
+                                OpKind::Compute { .. } => "compute",
+                                OpKind::Send { .. } => "send",
+                                OpKind::Recv { .. } => "recv",
+                            };
+                            let mut v = Value::object()
+                                .with("rank", s.op.rank)
+                                .with("kind", kind)
+                                .with("end_ns", s.end)
+                                .with("contribution_ns", s.contribution);
+                            if let Some(phase) = s.phase {
+                                v = v.with("phase", phase);
+                            }
+                            if let Some(round) = s.round {
+                                v = v.with("round", round);
+                            }
+                            v
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// Per-phase load imbalance over **measured** span durations.
+#[derive(Clone, Debug)]
+pub struct PhaseImbalance {
+    /// Phase name.
+    pub phase: String,
+    /// Per-rank total measured ns in this phase (indexed by rank).
+    pub per_rank_ns: Vec<u64>,
+    /// `max / mean` over ranks with the phase (1.0 = perfectly balanced).
+    pub lambda: f64,
+    /// The slowest rank.
+    pub max_rank: usize,
+}
+
+/// One straggler-table row: a rank whose measured phase time exceeds the
+/// phase mean.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Straggler {
+    /// Phase name.
+    pub phase: String,
+    /// The straggling rank.
+    pub rank: usize,
+    /// Its measured time in the phase.
+    pub rank_ns: u64,
+    /// The phase mean across ranks.
+    pub mean_ns: f64,
+    /// `rank_ns − mean_ns` (> 0 by construction).
+    pub excess_ns: f64,
+}
+
+/// The straggler report for one run: measured per-phase imbalance plus the
+/// top-k excess table.
+#[derive(Clone, Debug)]
+pub struct StragglerReport {
+    /// Per-phase imbalance, phase-name order (top-level spans only).
+    pub phases: Vec<PhaseImbalance>,
+    /// Top-k `(rank, phase)` cells by excess over the phase mean.
+    pub top: Vec<Straggler>,
+}
+
+impl StragglerReport {
+    /// Builds the report from measured spans (top-level only, which
+    /// partition each rank's run), keeping the `k` worst stragglers.
+    pub fn from_spans(spans: &[PhaseSpan], num_ranks: usize, k: usize) -> StragglerReport {
+        let mut per_phase: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+        for span in spans.iter().filter(|s| s.depth == 0) {
+            let slot = per_phase.entry(span.name).or_insert_with(|| vec![0; num_ranks]);
+            if span.rank < num_ranks {
+                slot[span.rank] += span.duration_ns();
+            }
+        }
+        let mut phases = Vec::new();
+        let mut all: Vec<Straggler> = Vec::new();
+        for (name, per_rank_ns) in per_phase {
+            let max = per_rank_ns.iter().copied().max().unwrap_or(0);
+            let mean = if per_rank_ns.is_empty() {
+                0.0
+            } else {
+                per_rank_ns.iter().sum::<u64>() as f64 / per_rank_ns.len() as f64
+            };
+            let max_rank =
+                per_rank_ns.iter().enumerate().max_by_key(|(_, &v)| v).map(|(r, _)| r).unwrap_or(0);
+            let lambda = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+            for (rank, &ns) in per_rank_ns.iter().enumerate() {
+                if ns as f64 > mean {
+                    all.push(Straggler {
+                        phase: name.to_string(),
+                        rank,
+                        rank_ns: ns,
+                        mean_ns: mean,
+                        excess_ns: ns as f64 - mean,
+                    });
+                }
+            }
+            phases.push(PhaseImbalance { phase: name.to_string(), per_rank_ns, lambda, max_rank });
+        }
+        all.sort_by(|a, b| b.excess_ns.partial_cmp(&a.excess_ns).unwrap());
+        all.truncate(k);
+        StragglerReport { phases, top: all }
+    }
+
+    /// Plain-text λ table plus the top-k straggler rows.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>8} {:>12}\n",
+            "phase", "λ=max/mean", "slowest", "max (µs)"
+        ));
+        for ph in &self.phases {
+            let max = ph.per_rank_ns.iter().copied().max().unwrap_or(0);
+            out.push_str(&format!(
+                "{:<16} {:>10.3} {:>8} {:>12.1}\n",
+                ph.phase,
+                ph.lambda,
+                ph.max_rank,
+                max as f64 / 1_000.0
+            ));
+        }
+        if !self.top.is_empty() {
+            out.push_str("top stragglers (excess over phase mean):\n");
+            for s in &self.top {
+                out.push_str(&format!(
+                    "  rank {:>3} in {:<16} {:>10.1} µs (mean {:>10.1} µs, +{:.0}%)\n",
+                    s.rank,
+                    s.phase,
+                    s.rank_ns as f64 / 1_000.0,
+                    s.mean_ns / 1_000.0,
+                    if s.mean_ns > 0.0 { 100.0 * s.excess_ns / s.mean_ns } else { 0.0 }
+                ));
+            }
+        }
+        out
+    }
+
+    /// JSON form.
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with(
+                "phases",
+                Value::Array(
+                    self.phases
+                        .iter()
+                        .map(|ph| {
+                            Value::object()
+                                .with("phase", ph.phase.as_str())
+                                .with("lambda", ph.lambda)
+                                .with("max_rank", ph.max_rank)
+                                .with(
+                                    "per_rank_ns",
+                                    Value::Array(
+                                        ph.per_rank_ns.iter().map(|&v| Value::from(v)).collect(),
+                                    ),
+                                )
+                        })
+                        .collect(),
+                ),
+            )
+            .with(
+                "top_stragglers",
+                Value::Array(
+                    self.top
+                        .iter()
+                        .map(|s| {
+                            Value::object()
+                                .with("phase", s.phase.as_str())
+                                .with("rank", s.rank)
+                                .with("rank_ns", s.rank_ns)
+                                .with("mean_ns", s.mean_ns)
+                                .with("excess_ns", s.excess_ns)
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{replay, AlphaBetaModel};
+    use crate::span::spans;
+    use symtensor_mpsim::Universe;
+
+    #[test]
+    fn path_telescopes_to_makespan_on_a_chain() {
+        // 0 → 1 → 2 forwarding chain with growing payloads.
+        let (_, _, traces) = Universe::new(3).run_traced(|comm| match comm.rank() {
+            0 => comm.send(1, 0, vec![0.0; 4]),
+            1 => {
+                let mut got = comm.recv(0, 0).unwrap();
+                got.extend_from_slice(&[0.0; 6]);
+                comm.send(2, 1, got);
+            }
+            _ => {
+                comm.recv(1, 1).unwrap();
+            }
+        });
+        let rep = replay(&traces, AlphaBetaModel::bandwidth_only()).unwrap();
+        let cp = CriticalPath::extract(&rep);
+        assert_eq!(rep.makespan_ns, 14.0); // 4 + 10
+        assert!((cp.length_ns() - cp.makespan_ns).abs() < 1e-9);
+        assert_eq!(cp.ranks_on_path(), vec![0, 1, 2]);
+        // Attribution: rank 0 sends 4, rank 1 sends 10; rank 2's final
+        // recv contributes 0 (it binds to rank 1's send end).
+        assert_eq!(cp.attribution[0].send_ns, 4.0);
+        assert_eq!(cp.attribution[1].send_ns, 10.0);
+        assert_eq!(cp.attribution[2].total_ns(), 0.0);
+        let text = cp.render_attribution();
+        assert!(text.contains("makespan"));
+    }
+
+    #[test]
+    fn empty_replay_yields_empty_path() {
+        let rep = replay(&[Vec::new(), Vec::new()], AlphaBetaModel::bandwidth_only()).unwrap();
+        let cp = CriticalPath::extract(&rep);
+        assert!(cp.steps.is_empty());
+        assert_eq!(cp.makespan_ns, 0.0);
+    }
+
+    #[test]
+    fn straggler_report_finds_the_slow_rank() {
+        let (_, _, traces) = Universe::new(4).run_traced(|comm| {
+            comm.with_phase("work", || {
+                let spins = if comm.rank() == 2 { 400_000 } else { 10_000 };
+                let mut acc = 0.0f64;
+                for i in 0..spins {
+                    acc += (i as f64).sqrt();
+                }
+                std::hint::black_box(acc);
+            });
+        });
+        let all = spans(&traces);
+        let report = StragglerReport::from_spans(&all, 4, 3);
+        assert_eq!(report.phases.len(), 1);
+        let ph = &report.phases[0];
+        assert_eq!(ph.phase, "work");
+        assert_eq!(ph.max_rank, 2, "rank 2 spins 40× longer");
+        assert!(ph.lambda > 1.5, "λ = {}", ph.lambda);
+        assert_eq!(report.top[0].rank, 2);
+        assert!(report.render().contains("rank   2"));
+    }
+}

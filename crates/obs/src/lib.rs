@@ -36,16 +36,26 @@
 //! [`Universe::run_traced`]: symtensor_mpsim::Universe::run_traced
 
 pub mod chrome;
+pub mod critical;
+pub mod histogram;
 pub mod json;
 pub mod matrix;
 pub mod metrics;
 pub mod occupancy;
+pub mod regress;
+pub mod replay;
 pub mod span;
 
-pub use chrome::{chrome_trace, chrome_trace_multi, chrome_trace_string};
+pub use chrome::{
+    chrome_trace, chrome_trace_multi, chrome_trace_string, chrome_trace_with_profile,
+};
+pub use critical::{CriticalPath, StragglerReport};
+pub use histogram::{Histogram, ProfileHistograms};
 pub use matrix::CommMatrix;
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::MetricsRegistry;
 pub use occupancy::{spherical_step_bound, OccupancyReport};
+pub use regress::{parse_snapshot, BenchKey, BenchRecord, RegressionReport};
+pub use replay::{AlphaBetaModel, ReplayReport};
 pub use span::{
     counter_stats, phase_stats, phase_stats_by_name, spans, CounterStats, PhaseSpan, PhaseStats,
 };
@@ -92,6 +102,35 @@ impl RunObservation {
     /// Chrome trace-event JSON document.
     pub fn chrome_trace(&self) -> json::Value {
         chrome_trace(&self.traces)
+    }
+
+    /// Virtual-clock replay of the traced run under `model`.
+    ///
+    /// # Panics
+    /// Panics if the trace is not replayable (a receive with no matching
+    /// send) — a run that completed on the simulator cannot produce such a
+    /// trace unless events were dropped.
+    pub fn replay(&self, model: AlphaBetaModel) -> ReplayReport {
+        match replay::replay(&self.traces, model) {
+            Ok(rep) => rep,
+            Err(e) => panic!("trace is not replayable: {e}"),
+        }
+    }
+
+    /// Critical path of the replayed run under `model`.
+    pub fn critical_path(&self, model: AlphaBetaModel) -> CriticalPath {
+        CriticalPath::extract(&self.replay(model))
+    }
+
+    /// Latency/profile histograms (round-step span, per-message transit,
+    /// message sizes) from send/recv matching.
+    pub fn histograms(&self) -> ProfileHistograms {
+        ProfileHistograms::from_traces(&self.traces)
+    }
+
+    /// Chrome trace with the profile counter tracks included.
+    pub fn chrome_trace_with_profile(&self) -> json::Value {
+        chrome_trace_with_profile(&self.traces)
     }
 
     /// A metrics registry pre-populated from this run (cost counters,

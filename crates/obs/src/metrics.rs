@@ -11,73 +11,10 @@ use std::sync::Mutex;
 use symtensor_mpsim::cost::CommEventKind;
 use symtensor_mpsim::{CommEvent, CostReport};
 
-/// A fixed-bucket histogram over `u64` observations.
-///
-/// Bucket `i` counts observations `v` with `2^(i-1) < v ≤ 2^i` (bucket 0
-/// counts `v ≤ 1`), i.e. upper bounds 1, 2, 4, 8, … Sum/min/max/count are
-/// tracked exactly.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct Histogram {
-    /// Number of observations.
-    pub count: u64,
-    /// Exact sum of observations.
-    pub sum: u64,
-    /// Smallest observation (0 when empty).
-    pub min: u64,
-    /// Largest observation.
-    pub max: u64,
-    /// Power-of-two bucket counts; `buckets[i]` has upper bound `2^i`.
-    pub buckets: Vec<u64>,
-}
-
-impl Histogram {
-    /// Records one observation.
-    pub fn observe(&mut self, v: u64) {
-        if self.count == 0 {
-            self.min = v;
-            self.max = v;
-        } else {
-            self.min = self.min.min(v);
-            self.max = self.max.max(v);
-        }
-        self.count += 1;
-        self.sum += v;
-        let bucket = if v <= 1 { 0 } else { 64 - ((v - 1).leading_zeros() as usize) };
-        if self.buckets.len() <= bucket {
-            self.buckets.resize(bucket + 1, 0);
-        }
-        self.buckets[bucket] += 1;
-    }
-
-    /// Arithmetic mean (0.0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    fn to_json(&self) -> Value {
-        Value::object()
-            .with("count", self.count)
-            .with("sum", self.sum)
-            .with("min", self.min)
-            .with("max", self.max)
-            .with("mean", self.mean())
-            .with(
-                "buckets",
-                Value::Array(
-                    self.buckets
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, &c)| c > 0)
-                        .map(|(i, &c)| Value::object().with("le", 1u64 << i).with("count", c))
-                        .collect(),
-                ),
-            )
-    }
-}
+// The histogram implementation moved to `crate::histogram` (where the
+// profiling layer extends it with merge + percentile readouts); re-exported
+// here so existing `metrics::Histogram` users keep working.
+pub use crate::histogram::Histogram;
 
 #[derive(Default)]
 struct Inner {

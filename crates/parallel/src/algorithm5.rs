@@ -856,6 +856,32 @@ pub fn parallel_sttsv_planned(
     mode: Mode,
     threads: usize,
 ) -> SttsvRun {
+    let (run, _traces) = run_sttsv_planned(tensor, part, x, mode, threads, false);
+    run
+}
+
+/// Like [`parallel_sttsv_planned`] but with per-rank event tracing enabled,
+/// so compiled-plan runs feed the same `symtensor-obs` profiling pipeline
+/// (replay, critical path, comm matrix) as the legacy drivers. The
+/// [`CostReport`] and results are identical to the untraced planned run.
+pub fn parallel_sttsv_planned_traced(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x: &[f64],
+    mode: Mode,
+    threads: usize,
+) -> (SttsvRun, Vec<Vec<CommEvent>>) {
+    run_sttsv_planned(tensor, part, x, mode, threads, true)
+}
+
+fn run_sttsv_planned(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x: &[f64],
+    mode: Mode,
+    threads: usize,
+    traced: bool,
+) -> (SttsvRun, Vec<Vec<CommEvent>>) {
     let n = part.dim();
     assert_eq!(tensor.dim(), n);
     assert_eq!(x.len(), n);
@@ -880,7 +906,12 @@ pub fn parallel_sttsv_planned(
         ctx.sttsv(comm, &my_shards)
     };
     let universe = Universe::new(p_count);
-    let (rank_results, report) = universe.run(rank_main);
+    let (rank_results, report, traces) = if traced {
+        universe.run_traced(rank_main)
+    } else {
+        let (results, report) = universe.run(rank_main);
+        (results, report, Vec::new())
+    };
 
     let mut y = vec![0.0; n];
     let mut ternary_per_rank = Vec::with_capacity(p_count);
@@ -892,7 +923,7 @@ pub fn parallel_sttsv_planned(
             y[global.start + local.start..global.start + local.end].copy_from_slice(&shards[t]);
         }
     }
-    SttsvRun { y, report, ternary_per_rank }
+    (SttsvRun { y, report, ternary_per_rank }, traces)
 }
 
 /// [`parallel_sttsv_multi`] routed through the compiled rank plan — the

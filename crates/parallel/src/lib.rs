@@ -45,8 +45,8 @@ pub mod triangle;
 
 pub use algorithm5::{
     parallel_sttsv, parallel_sttsv_mt, parallel_sttsv_multi, parallel_sttsv_multi_planned,
-    parallel_sttsv_padded, parallel_sttsv_planned, parallel_sttsv_traced, Mode, RankContext,
-    SttsvMultiRun, SttsvRun,
+    parallel_sttsv_padded, parallel_sttsv_planned, parallel_sttsv_planned_traced,
+    parallel_sttsv_traced, Mode, RankContext, SttsvMultiRun, SttsvRun,
 };
 pub use partition::TetraPartition;
 pub use plan::{PlanWorkspace, RankPlan};

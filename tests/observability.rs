@@ -124,3 +124,32 @@ fn phase_totals_partition_run_and_occupancy_meets_step_bound() {
         assert!((occ.mean_sender_utilization() - 1.0).abs() < 1e-12, "perfect pairing rounds");
     }
 }
+
+/// The compiled-plan traced driver feeds the same observability pipeline:
+/// its comm matrix reconciles with its `CostReport`, which is itself
+/// identical (per rank, not just in aggregate) to the legacy driver's —
+/// the plan changes *when* words move through memory, never how many cross
+/// the network.
+#[test]
+fn planned_traced_run_reconciles_matrix_and_report() {
+    use symtensor_parallel::parallel_sttsv_planned_traced;
+    for q in [2usize, 3] {
+        let n = (q * q + 1) * q * (q + 1);
+        let part = TetraPartition::new(spherical(q as u64), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(77 + q as u64);
+        let tensor = random_symmetric(n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.013).sin()).collect();
+        let (planned, traces) =
+            parallel_sttsv_planned_traced(&tensor, &part, &x, Mode::Scheduled, 1);
+        let legacy = parallel_sttsv(&tensor, &part, &x, Mode::Scheduled);
+        assert_eq!(planned.report, legacy.report, "q = {q}: plan must not change comm costs");
+        assert_eq!(planned.y, legacy.y, "q = {q}: plan must be bit-identical");
+        let obs = RunObservation::new(planned.report.clone(), traces);
+        // comm_matrix() panics if the trace marginals disagree with the
+        // hot-path counters.
+        let m = obs.comm_matrix();
+        assert_eq!(m.total_words(), planned.report.total_words_sent(), "q = {q}");
+        let occ = obs.occupancy();
+        assert_eq!(occ.num_rounds() as u64, spherical_step_bound(q), "q = {q}");
+    }
+}
