@@ -69,6 +69,7 @@ fn main() {
     let mut threads = 1usize;
     let mut batch = 4usize;
     let mut plan = false;
+    let mut flight = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = rest.into_iter();
     while let Some(a) = it.next() {
@@ -82,6 +83,7 @@ fn main() {
                 batch = v.parse().expect("--batch expects a positive integer");
             }
             "--plan" => plan = true,
+            "--flight" => flight = true,
             _ => positional.push(a),
         }
     }
@@ -96,7 +98,7 @@ fn main() {
         "seqio" => seqio(),
         "ablation" => ablation(),
         "triangle" => triangle(),
-        "kernels" => kernels(threads, batch, plan),
+        "kernels" => kernels(threads, batch, plan, flight),
         "regress" => regress(&positional[1..]),
         "all" => {
             comm(&sink);
@@ -108,12 +110,12 @@ fn main() {
             seqio();
             ablation();
             triangle();
-            kernels(threads, batch, plan);
+            kernels(threads, batch, plan, flight);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: experiment [comm|baselines|balance|memory|schedule|hopm|seqio|ablation|kernels|all] [--threads N] [--batch B] [--plan] [--trace out.json] [--metrics out.json]"
+                "usage: experiment [comm|baselines|balance|memory|schedule|hopm|seqio|ablation|kernels|all] [--threads N] [--batch B] [--plan] [--flight] [--trace out.json] [--metrics out.json]"
             );
             eprintln!(
                 "       experiment regress --baseline BENCH.json --current NEW.json [--threshold 0.15] [--out diff.json]"
@@ -474,7 +476,7 @@ fn seqio() {
 /// per-point kernel, the work-stealing parallel panels and the batched
 /// multi-vector path, plus the distributed batched STTSV whose exchange
 /// phases amortize latency across the batch.
-fn kernels(threads: usize, batch: usize, plan: bool) {
+fn kernels(threads: usize, batch: usize, plan: bool, flight: bool) {
     use std::time::Instant;
     use symtensor_core::seq::{sttsv_sym, sttsv_sym_multi, sttsv_sym_ref};
     use symtensor_core::{sttsv_sym_par, sttsv_sym_par_multi, Pool};
@@ -567,6 +569,124 @@ fn kernels(threads: usize, batch: usize, plan: bool) {
     if plan {
         plan_ab(threads);
     }
+    if flight {
+        flight_ab(threads);
+    }
+}
+
+/// E14 (`kernels --flight`): the always-on flight recorder vs recording
+/// disabled — steady-state per-iteration wall time of the compiled-plan
+/// batched STTSV with the default 4096-record ring in every rank vs
+/// `with_flight_capacity(0)`. Outputs and [`CostReport`]s are asserted
+/// bit-identical between the two configurations; the wall-clock delta
+/// (single host, 10–30 oversubscribed simulated ranks, so expect noise)
+/// and the recorder's own self-measured overhead are printed side by side.
+///
+/// [`CostReport`]: symtensor_mpsim::CostReport
+fn flight_ab(threads: usize) {
+    use std::time::Instant;
+    use symtensor_mpsim::Universe;
+    use symtensor_parallel::RankContext;
+
+    println!("== E14: flight recorder on (ring = 4096) vs off (plan path, Mode::Scheduled) ==");
+    println!(
+        "{:>3} {:>4} {:>5} {:>6} | {:>12} {:>12} {:>9} | {:>12} {:>10}",
+        "q", "P", "n", "batch", "on/iter", "off/iter", "delta", "self ns/rank", "records"
+    );
+
+    let mut rng = StdRng::seed_from_u64(1014);
+    for q in [2u64, 3] {
+        let qq = q as usize;
+        let n = (qq * qq + 1) * qq * (qq + 1);
+        let part = TetraPartition::new(spherical(q), n).unwrap();
+        let tensor = random_symmetric(n, &mut rng);
+        let schedule = CommSchedule::build(&part);
+        for batch in [1usize, 8] {
+            let xs: Vec<Vec<f64>> = (0..batch)
+                .map(|v| (0..n).map(|i| ((i * 7 + v + 1) as f64 * 0.011).sin()).collect())
+                .collect();
+
+            // One measured universe run at the given ring capacity;
+            // returns wall seconds plus everything needed for the
+            // identical-results assertions.
+            let run_once = |capacity: usize, iters: usize| {
+                let t0 = Instant::now();
+                let (results, report, flight) = Universe::new(part.num_procs())
+                    .with_flight_capacity(capacity)
+                    .run_flight(|comm| {
+                        let p = comm.rank();
+                        let pool = (threads > 1).then(|| symtensor_core::Pool::new(threads));
+                        let mut ctx =
+                            RankContext::new(&tensor, &part, p, Mode::Scheduled, Some(&schedule))
+                                .with_plan();
+                        if let Some(pool) = pool.as_ref() {
+                            ctx = ctx.with_pool(pool);
+                        }
+                        let shard_sets: Vec<Vec<Vec<f64>>> = xs
+                            .iter()
+                            .map(|x| {
+                                part.r_set(p)
+                                    .iter()
+                                    .map(|&i| {
+                                        let block = &x[part.block_range(i)];
+                                        block[part.shard_range(i, p)].to_vec()
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+                        // Same input every iteration: the measured steady
+                        // state stays numerically fixed (feeding y back in
+                        // would cube the magnitudes into overflow).
+                        let mut last = Vec::new();
+                        for _ in 0..iters {
+                            let (ys, _) = ctx.sttsv_multi(comm, &shard_sets);
+                            last = ys;
+                        }
+                        last
+                    });
+                (t0.elapsed().as_secs_f64(), results, report, flight)
+            };
+
+            // Same short/long differencing as E12 to cancel setup cost.
+            let (lo, hi) = (2usize, 12);
+            let span = (hi - lo) as f64;
+            let measure = |capacity: usize| {
+                let best = |iters: usize| {
+                    let (t1, results, report, flight) = run_once(capacity, iters);
+                    let (t2, _, _, _) = run_once(capacity, iters);
+                    (t1.min(t2), results, report, flight)
+                };
+                let (t_lo, _, _, _) = best(lo);
+                let (t_hi, results, report, flight) = best(hi);
+                (((t_hi - t_lo).max(0.0) / span) * 1e9, results, report, flight)
+            };
+            let (on_ns, on_results, on_report, on_flight) = measure(4096);
+            let (off_ns, off_results, off_report, off_flight) = measure(0);
+
+            // The recorder must be invisible in everything but the window.
+            assert_eq!(on_report, off_report, "recorder must not change the CostReport");
+            for (p, (a, b)) in on_results.iter().zip(&off_results).enumerate() {
+                assert_eq!(a, b, "rank {p}: recorder-on outputs must be bit-identical");
+            }
+            assert!(off_flight.iter().all(|s| s.events.is_empty() && s.overhead.recorded == 0));
+            let self_ns: u64 = on_flight.iter().map(|s| s.overhead.overhead_ns).sum();
+            let recorded: u64 = on_flight.iter().map(|s| s.overhead.recorded).sum();
+            println!(
+                "{q:>3} {:>4} {n:>5} {batch:>6} | {:>10.0}ns {:>10.0}ns {:>8.1}% | {:>12.0} {:>10}",
+                part.num_procs(),
+                on_ns,
+                off_ns,
+                (on_ns - off_ns) / off_ns.max(1.0) * 100.0,
+                self_ns as f64 / part.num_procs() as f64,
+                recorded,
+            );
+        }
+    }
+    println!(
+        "(outputs and CostReports bit-identical on vs off ✓; wall-clock delta is single-host \
+         noise-bound, the recorder's self-measured cost is the `self ns/rank` column)"
+    );
+    println!();
 }
 
 /// E12 (`kernels --plan`): compiled rank plans vs the legacy per-call hot

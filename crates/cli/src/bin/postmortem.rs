@@ -1,0 +1,131 @@
+//! Post-mortem dump inspector.
+//!
+//! Usage: `postmortem <dump.json> [--chrome out.json]`
+//!
+//! Reads a `symtensor-postmortem-v1` crash dump (as written on rank
+//! failure by the test harness or any caller of
+//! `symtensor_obs::postmortem_json`), validates it against the shared
+//! artifact schema, and prints the human summary: which rank died where,
+//! the panic message, per-rank cost tallies up to the abort, and each
+//! surviving rank's flight-recorder window stats. `--chrome` extracts the
+//! embedded Chrome trace (failing rank highlighted, unterminated phases
+//! flagged) for `ui.perfetto.dev`.
+
+use symtensor_obs::json::{self, Value};
+use symtensor_obs::{validate, ArtifactKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dump_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chrome" => match it.next() {
+                Some(path) => chrome_path = Some(path.clone()),
+                None => usage("--chrome requires an output path"),
+            },
+            other if dump_path.is_none() => dump_path = Some(other.to_string()),
+            other => usage(&format!("unexpected argument '{other}'")),
+        }
+    }
+    let dump_path = dump_path.unwrap_or_else(|| usage("a dump path is required"));
+    let text = std::fs::read_to_string(&dump_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {dump_path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {dump_path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    match validate(&doc) {
+        Ok(ArtifactKind::Postmortem) => {}
+        Ok(other) => {
+            eprintln!("error: {dump_path} is a {other} artifact, not a post-mortem dump");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {dump_path} failed schema validation: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let failing = doc.get("failing_rank").and_then(Value::as_u64).unwrap();
+    let phase = doc
+        .get("phase")
+        .and_then(Value::as_str)
+        .map_or_else(|| "<none>".to_string(), str::to_string);
+    let round = doc
+        .get("round")
+        .and_then(Value::as_u64)
+        .map_or_else(|| "<none>".to_string(), |r| r.to_string());
+    let message = doc.get("message").and_then(Value::as_str).unwrap_or("<none>");
+    println!("== post-mortem: {dump_path} ==");
+    println!("failing rank : {failing}");
+    println!("last phase   : {phase}");
+    println!("last round   : {round}");
+    println!("panic        : {message}");
+
+    println!("\n-- per-rank costs up to the abort --");
+    println!(
+        "{:>5} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "rank", "words sent", "words recv", "msgs sent", "msgs recv", "rounds"
+    );
+    if let Some(per_rank) =
+        doc.get("report").and_then(|r| r.get("per_rank")).and_then(Value::as_array)
+    {
+        for r in per_rank {
+            let cell = |key: &str| r.get(key).and_then(Value::as_u64).unwrap_or(0);
+            println!(
+                "{:>5} {:>12} {:>12} {:>10} {:>10} {:>8}",
+                cell("rank"),
+                cell("words_sent"),
+                cell("words_recv"),
+                cell("msgs_sent"),
+                cell("msgs_recv"),
+                cell("rounds"),
+            );
+        }
+    }
+
+    println!("\n-- flight-recorder windows --");
+    println!(
+        "{:>5} {:>8} {:>9} {:>8} {:>12} {:>12} {:>12}",
+        "rank", "records", "recorded", "dropped", "words sent", "words recv", "overhead ns"
+    );
+    if let Some(ranks) = doc.get("ranks").and_then(Value::as_array) {
+        for r in ranks {
+            let rank = r.get("rank").and_then(Value::as_u64).unwrap_or(0);
+            let over = |key: &str| {
+                r.get("overhead").and_then(|o| o.get(key)).and_then(Value::as_u64).unwrap_or(0)
+            };
+            let failed = matches!(r.get("failed"), Some(Value::Bool(true)));
+            println!(
+                "{:>5} {:>8} {:>9} {:>8} {:>12} {:>12} {:>12}{}",
+                rank,
+                r.get("events").and_then(Value::as_array).map_or(0, |e| e.len()),
+                over("recorded"),
+                over("dropped"),
+                r.get("words_sent").and_then(Value::as_u64).unwrap_or(0),
+                r.get("words_recv").and_then(Value::as_u64).unwrap_or(0),
+                over("overhead_ns"),
+                if failed { "  <- FAILED" } else { "" },
+            );
+        }
+    }
+
+    if let Some(out) = chrome_path {
+        let chrome = doc.get("chrome").unwrap();
+        std::fs::write(&out, chrome.to_string_pretty()).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        println!("\nChrome trace written to {out} (open at ui.perfetto.dev)");
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: postmortem <dump.json> [--chrome out.json]");
+    std::process::exit(2);
+}

@@ -16,7 +16,8 @@
 //! `--replay A,B,G` replays under a custom α-β-γ model and prints the
 //! modeled-vs-measured drift table plus latency-histogram quantiles.
 //! `--trace` writes a Perfetto-loadable Chrome trace (open at
-//! `ui.perfetto.dev`), `--metrics` the flat metrics JSON.
+//! `ui.perfetto.dev`), `--metrics` the flat metrics JSON, `--flight` the
+//! per-rank flight-recorder window (`symtensor-flight-v1`).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,9 +25,14 @@ use symtensor_cli::obsout::ObsSink;
 use symtensor_core::generate::random_symmetric;
 use symtensor_obs::occupancy::spherical_step_bound;
 use symtensor_obs::replay::replay_with_drift;
-use symtensor_obs::{phase_stats, AlphaBetaModel, CriticalPath, RunObservation, StragglerReport};
+use symtensor_obs::{
+    flight_json, phase_stats, quantile_cell, AlphaBetaModel, CriticalPath, RunObservation,
+    StragglerReport,
+};
 use symtensor_parallel::schedule::spherical_round_count;
-use symtensor_parallel::{bounds, parallel_sttsv_traced, CommSchedule, Mode, TetraPartition};
+use symtensor_parallel::{
+    bounds, parallel_sttsv_traced_flight, CommSchedule, Mode, TetraPartition,
+};
 use symtensor_steiner::spherical;
 
 fn main() {
@@ -36,6 +42,7 @@ fn main() {
     let mut mode = Mode::Scheduled;
     let mut critical_path = false;
     let mut replay_model: Option<AlphaBetaModel> = None;
+    let mut flight_path: Option<String> = None;
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -51,6 +58,12 @@ fn main() {
             }
             "--critical-path" => critical_path = true,
             "--replay" => replay_model = Some(parse_model(iter.next())),
+            "--flight" => {
+                flight_path = Some(match iter.next() {
+                    Some(path) => path.clone(),
+                    None => usage("--flight requires an output path"),
+                })
+            }
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
@@ -71,7 +84,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(4242);
     let tensor = random_symmetric(n, &mut rng);
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
-    let (run, traces) = parallel_sttsv_traced(&tensor, &part, &x, mode);
+    let (run, traces, flight) = parallel_sttsv_traced_flight(&tensor, &part, &x, mode);
     let obs = RunObservation::new(run.report.clone(), traces);
 
     // Per-phase breakdown (top-level spans partition the totals exactly).
@@ -213,20 +226,39 @@ fn main() {
         let hists = obs.histograms();
         println!(
             "round-step latency ns: p50={} p90={} p99={} max={}",
-            hists.round_step_ns.p50(),
-            hists.round_step_ns.p90(),
-            hists.round_step_ns.p99(),
+            quantile_cell(&hists.round_step_ns, 0.50),
+            quantile_cell(&hists.round_step_ns, 0.90),
+            quantile_cell(&hists.round_step_ns, 0.99),
             hists.round_step_ns.max
         );
         println!(
             "recv transit ns:       p50={} p90={} p99={} max={}",
-            hists.recv_wait_ns.p50(),
-            hists.recv_wait_ns.p90(),
-            hists.recv_wait_ns.p99(),
+            quantile_cell(&hists.recv_wait_ns, 0.50),
+            quantile_cell(&hists.recv_wait_ns, 0.90),
+            quantile_cell(&hists.recv_wait_ns, 0.99),
             hists.recv_wait_ns.max
         );
         let stragglers = StragglerReport::from_spans(&obs.spans(), obs.traces.len(), 5);
         print!("{}", stragglers.render());
+    }
+
+    if let Some(path) = &flight_path {
+        let doc = flight_json(&flight);
+        std::fs::write(path, doc.to_string_pretty()).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        let recorded: u64 = flight.iter().map(|s| s.overhead.recorded).sum();
+        let dropped: u64 = flight.iter().map(|s| s.overhead.dropped).sum();
+        let overhead: u64 = flight.iter().map(|s| s.overhead.overhead_ns).sum();
+        println!(
+            "\n-- flight recorder --\n{} records across {} ranks ({} evicted from the rings), \
+             self-overhead {} ns total\nwindow written to {path}",
+            recorded,
+            flight.len(),
+            dropped,
+            overhead
+        );
     }
 
     sink.record(format!("trace q={q} n={n} {mode_label}"), obs);
@@ -260,7 +292,7 @@ fn parse_model(arg: Option<&String>) -> AlphaBetaModel {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: trace [--q Q] [--scale S] [--mode scheduled|padded|sparse] [--critical-path] [--replay A,B,G] [--trace out.json] [--metrics out.json]"
+        "usage: trace [--q Q] [--scale S] [--mode scheduled|padded|sparse] [--critical-path] [--replay A,B,G] [--trace out.json] [--metrics out.json] [--flight out.json]"
     );
     std::process::exit(2);
 }

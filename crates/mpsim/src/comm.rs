@@ -3,10 +3,11 @@
 //! (when enabled) timestamped event tracing with phase/round annotation.
 
 use crate::cost::{CommEvent, CommEventKind, SharedCounters};
+use crate::flight::{FlightKind, FlightRecorder, FlightSnapshot};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 /// Granularity at which a blocked [`Comm::recv`] re-checks the universe's
@@ -24,6 +25,69 @@ pub struct Msg {
     pub tag: u64,
     /// Payload words.
     pub data: Vec<f64>,
+}
+
+/// Identity and last phase/round annotations of the rank whose panic
+/// tripped the universe's abort flag — attached to the
+/// [`CommError::Disconnected`] errors surviving peers observe, so a
+/// failure is attributable without a debugger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbortInfo {
+    /// The rank that panicked.
+    pub rank: usize,
+    /// The innermost phase it was in when it panicked ([`Comm::with_phase`]
+    /// restores the previous label only on normal return, so the label at
+    /// the panic site survives in the cell).
+    pub phase: Option<&'static str>,
+    /// Its last schedule-round annotation, if any.
+    pub round: Option<u64>,
+}
+
+impl std::fmt::Display for AbortInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} aborted", self.rank)?;
+        if let Some(phase) = self.phase {
+            write!(f, " in phase {phase}")?;
+        }
+        if let Some(round) = self.round {
+            write!(f, ", round {round}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared abort state for one universe run: the fail-fast flag peers poll
+/// from blocked receives, plus first-write-wins attribution of which rank
+/// tripped it and where it was.
+pub(crate) struct AbortState {
+    flag: AtomicBool,
+    info: Mutex<Option<AbortInfo>>,
+}
+
+impl AbortState {
+    pub(crate) fn new() -> Self {
+        AbortState { flag: AtomicBool::new(false), info: Mutex::new(None) }
+    }
+
+    /// Records `info` (first writer wins — concurrent panics keep the
+    /// earliest attribution) and raises the flag.
+    pub(crate) fn trip(&self, info: AbortInfo) {
+        let mut slot = self.info.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(info);
+        }
+        // Release-publish after the info write so a peer that observes the
+        // flag also observes the attribution.
+        self.flag.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn tripped(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn info(&self) -> Option<AbortInfo> {
+        *self.info.lock().unwrap()
+    }
 }
 
 /// Errors surfaced by communication operations.
@@ -47,6 +111,9 @@ pub enum CommError {
         from: usize,
         /// Expected tag.
         tag: u64,
+        /// Who tripped the abort flag and where, when known (the mpsc
+        /// channel-disconnect path has no attribution).
+        abort: Option<AbortInfo>,
     },
 }
 
@@ -57,8 +124,15 @@ impl std::fmt::Display for CommError {
                 f,
                 "rank {rank}: timed out waiting for message from rank {from} with tag {tag}"
             ),
-            CommError::Disconnected { rank, from, tag } => {
-                write!(f, "rank {rank}: peer disconnected while waiting for rank {from} tag {tag}")
+            CommError::Disconnected { rank, from, tag, abort } => {
+                write!(
+                    f,
+                    "rank {rank}: peer disconnected while waiting for rank {from} tag {tag}"
+                )?;
+                if let Some(info) = abort {
+                    write!(f, " ({info})")?;
+                }
+                Ok(())
             }
         }
     }
@@ -77,12 +151,13 @@ pub struct Comm {
     counters: SharedCounters,
     barrier: Arc<Barrier>,
     recv_timeout: Duration,
-    /// Set by the universe when any rank panics; blocked receives poll it
-    /// (at [`ABORT_POLL`] granularity) so surviving ranks fail fast instead
-    /// of waiting out the full timeout — surviving sender clones keep the
-    /// mpsc channels alive, so the `Disconnected` state would otherwise
-    /// never be observed.
-    abort: Arc<AtomicBool>,
+    /// Tripped by the universe when any rank panics; blocked receives poll
+    /// it (at [`ABORT_POLL`] granularity) so surviving ranks fail fast
+    /// instead of waiting out the full timeout — surviving sender clones
+    /// keep the mpsc channels alive, so the `Disconnected` state would
+    /// otherwise never be observed. Carries the aborting rank's identity
+    /// and last phase/round for error attribution.
+    abort: Arc<AbortState>,
     /// Shared start instant of the universe — event timestamps are
     /// nanoseconds since this epoch.
     epoch: Instant,
@@ -90,8 +165,13 @@ pub struct Comm {
     phase: Cell<Option<&'static str>>,
     /// Schedule-round annotation currently active.
     round: Cell<Option<u64>>,
+    /// Request-id annotation currently active (batched serving paths tag
+    /// per-vector work so flight records are attributable to a request).
+    request: Cell<Option<u64>>,
     /// Event log, populated only when the universe enables tracing.
     trace: Option<RefCell<Vec<CommEvent>>>,
+    /// Always-on bounded flight recorder (capacity 0 disables).
+    flight: RefCell<FlightRecorder>,
 }
 
 impl Comm {
@@ -105,9 +185,10 @@ impl Comm {
         counters: SharedCounters,
         barrier: Arc<Barrier>,
         recv_timeout: Duration,
-        abort: Arc<AtomicBool>,
+        abort: Arc<AbortState>,
         epoch: Instant,
         tracing: bool,
+        flight_capacity: usize,
     ) -> Self {
         Comm {
             rank,
@@ -121,7 +202,9 @@ impl Comm {
             epoch,
             phase: Cell::new(None),
             round: Cell::new(None),
+            request: Cell::new(None),
             trace: tracing.then(|| RefCell::new(Vec::new())),
+            flight: RefCell::new(FlightRecorder::new(flight_capacity)),
         }
     }
 
@@ -143,6 +226,42 @@ impl Comm {
     #[inline]
     fn now_ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Nanoseconds since the universe epoch — the same clock every trace
+    /// and flight record uses, exposed so serving layers can timestamp
+    /// request spans on a comparable axis.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.now_ns()
+    }
+
+    /// Appends one record to the always-on flight ring, charging the
+    /// measured recording cost (one extra clock read) to the recorder's
+    /// self-overhead counter. One branch and no clock read when the
+    /// recorder is disabled.
+    #[inline]
+    fn record_flight(&self, kind: FlightKind, peer: Option<usize>, words: u64) {
+        let mut flight = self.flight.borrow_mut();
+        if !flight.enabled() {
+            return;
+        }
+        let t0 = self.now_ns();
+        flight.record(
+            t0,
+            kind,
+            self.phase.get(),
+            self.round.get(),
+            peer,
+            words,
+            self.request.get(),
+        );
+        flight.add_overhead(self.now_ns().saturating_sub(t0));
+    }
+
+    /// Drains (non-destructively decodes) this rank's flight ring.
+    pub fn flight_snapshot(&self) -> FlightSnapshot {
+        self.flight.borrow().snapshot(self.rank)
     }
 
     #[inline]
@@ -169,11 +288,13 @@ impl Comm {
             let snapshot = self.counters.rank(self.rank).snapshot();
             self.record(CommEventKind::PhaseEnter { name, snapshot });
         }
+        self.record_flight(FlightKind::PhaseEnter, None, 0);
         let result = f();
         if self.trace.is_some() {
             let snapshot = self.counters.rank(self.rank).snapshot();
             self.record(CommEventKind::PhaseExit { name, snapshot });
         }
+        self.record_flight(FlightKind::PhaseExit, None, 0);
         self.phase.set(prev);
         result
     }
@@ -218,6 +339,26 @@ impl Comm {
         self.round.get()
     }
 
+    /// Tags subsequently recorded flight events with a request id, so the
+    /// per-vector work of a batched serving run is attributable to the
+    /// concrete request it serves. Clear with [`Comm::clear_request`].
+    #[inline]
+    pub fn annotate_request(&self, id: u64) {
+        self.request.set(Some(id));
+    }
+
+    /// Clears the request-id annotation.
+    #[inline]
+    pub fn clear_request(&self) {
+        self.request.set(None);
+    }
+
+    /// The request-id annotation currently in effect, if any.
+    #[inline]
+    pub fn current_request(&self) -> Option<u64> {
+        self.request.get()
+    }
+
     /// Records a named numeric sample ([`CommEventKind::Counter`]) in the
     /// event trace, attributed to the innermost active phase — e.g. the
     /// compiled-plan kernel's `plan:arena_bytes` / `plan:fresh_allocs`
@@ -257,6 +398,7 @@ impl Comm {
         counters.words_sent.fetch_add(data.len() as u64, Ordering::Relaxed);
         counters.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.record(CommEventKind::Send { dst, tag, words: data.len() as u64 });
+        self.record_flight(FlightKind::Send, Some(dst), data.len() as u64);
         // A send can only fail if the destination already exited; that rank's
         // result does not depend on this message, so drop it silently.
         let _ = self.senders[dst].send(Msg { src: self.rank, tag, data });
@@ -279,8 +421,13 @@ impl Comm {
         }
         let deadline = Instant::now() + self.recv_timeout;
         loop {
-            if self.abort.load(Ordering::Acquire) {
-                return Err(CommError::Disconnected { rank: self.rank, from: src, tag });
+            if self.abort.tripped() {
+                return Err(CommError::Disconnected {
+                    rank: self.rank,
+                    from: src,
+                    tag,
+                    abort: self.abort.info(),
+                });
             }
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
@@ -296,7 +443,12 @@ impl Comm {
                 // Poll slice elapsed: loop to re-check abort and deadline.
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
-                    return Err(CommError::Disconnected { rank: self.rank, from: src, tag });
+                    return Err(CommError::Disconnected {
+                        rank: self.rank,
+                        from: src,
+                        tag,
+                        abort: self.abort.info(),
+                    });
                 }
             }
         }
@@ -311,6 +463,7 @@ impl Comm {
             tag: msg.tag,
             words: msg.data.len() as u64,
         });
+        self.record_flight(FlightKind::Recv, Some(msg.src), msg.data.len() as u64);
         msg.data
     }
 

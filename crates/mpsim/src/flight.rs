@@ -1,0 +1,398 @@
+//! symtensor-flight: a fixed-capacity, bounded-memory ring-buffer flight
+//! recorder embedded in every rank.
+//!
+//! Unlike the opt-in event trace ([`crate::cost::CommEvent`]), the flight
+//! recorder is **always on**: every send, receive and phase transition is
+//! packed into a preallocated ring of compact 20-byte records, so the last
+//! window of activity on every rank survives a crash and can be drained
+//! into a post-mortem dump. The design constraints, in order:
+//!
+//! 1. **never allocate after construction** — recording into a full ring
+//!    overwrites the oldest record (counted in
+//!    [`FlightOverhead::dropped`]), preserving the compiled-plan
+//!    steady-state zero-allocation property witnessed by the counting
+//!    global-allocator test;
+//! 2. **bounded memory** — capacity × 20 bytes per rank, fixed up front;
+//! 3. **measured self-overhead** — every record costs two clock reads; the
+//!    second one charges the recording cost to
+//!    [`FlightOverhead::overhead_ns`] so the recorder reports its own tax.
+//!
+//! Timestamps are delta-encoded as `u32` nanoseconds against the previous
+//! record (deltas beyond ~4.29 s saturate and are counted in
+//! [`FlightOverhead::saturated_deltas`]); phase labels are interned into a
+//! small fixed table; peer / words / request-id are width-reduced with
+//! saturation. Decoding ([`FlightRecorder::snapshot`]) reconstructs
+//! absolute epoch-relative timestamps by walking the deltas backwards from
+//! the last recorded instant.
+
+/// Default ring capacity (records per rank) used by
+/// [`crate::Universe::new`]. At 20 bytes per record this is 80 KiB per
+/// rank — enough to hold the final schedule window of every experiment in
+/// this repository.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+/// Size of the phase-label intern table. The workspace uses about a dozen
+/// distinct phase labels; overflow records carry no phase label (they are
+/// not dropped).
+const MAX_PHASES: usize = 32;
+
+/// What a flight record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A message left this rank.
+    Send,
+    /// A message was claimed by this rank's `recv`.
+    Recv,
+    /// A [`crate::Comm::with_phase`] scope opened.
+    PhaseEnter,
+    /// A [`crate::Comm::with_phase`] scope closed.
+    PhaseExit,
+}
+
+/// One packed ring record. 20 bytes; all lossy narrowings saturate and are
+/// counted, never silently wrapped.
+#[derive(Clone, Copy, Default)]
+struct Packed {
+    /// Nanoseconds since the previous record (saturating).
+    dt_ns: u32,
+    /// [`FlightKind`] discriminant.
+    kind: u8,
+    /// Phase intern index + 1; 0 = no phase.
+    phase: u8,
+    /// Round + 1, saturating; 0 = no round annotation.
+    round: u16,
+    /// Peer rank; `u32::MAX` = not a point-to-point record.
+    peer: u32,
+    /// Payload words (saturating).
+    words: u32,
+    /// Request id + 1, saturating; 0 = no request annotation.
+    request: u32,
+}
+
+/// A decoded flight record with absolute epoch-relative timestamp.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Nanoseconds since the universe epoch.
+    pub t_ns: u64,
+    /// Record kind.
+    pub kind: FlightKind,
+    /// Innermost phase label active when recorded.
+    pub phase: Option<&'static str>,
+    /// Schedule-round annotation active when recorded.
+    pub round: Option<u64>,
+    /// Peer rank for `Send`/`Recv`.
+    pub peer: Option<usize>,
+    /// Payload words for `Send`/`Recv` (0 for phase records).
+    pub words: u64,
+    /// Request-id annotation active when recorded (batched serving).
+    pub request: Option<u64>,
+}
+
+/// The recorder's self-accounting: how much it recorded, lost and cost.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlightOverhead {
+    /// Ring capacity in records (0 = recorder disabled).
+    pub capacity: usize,
+    /// Total records ever offered to the ring.
+    pub recorded: u64,
+    /// Records evicted by wraparound (oldest-first). When non-zero the
+    /// ring holds only the final `capacity`-record window and word-sum
+    /// reconciliation against the cost counters is no longer exact.
+    pub dropped: u64,
+    /// Timestamp deltas that exceeded `u32::MAX` ns and were clamped.
+    pub saturated_deltas: u64,
+    /// Nanoseconds spent inside `record` calls, measured by the recorder
+    /// itself (one extra clock read per record).
+    pub overhead_ns: u64,
+}
+
+/// Everything drained from one rank's ring at the end of a run (or at a
+/// crash), decoded into self-describing events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightSnapshot {
+    /// The rank this ring belonged to.
+    pub rank: usize,
+    /// Decoded records, oldest first, timestamps non-decreasing.
+    pub events: Vec<FlightEvent>,
+    /// Self-accounting counters.
+    pub overhead: FlightOverhead,
+}
+
+impl FlightSnapshot {
+    /// Total words in `Send` records — reconciled against the comm matrix
+    /// and hot-path counters by the post-mortem pipeline (exact only when
+    /// `overhead.dropped == 0`).
+    pub fn words_sent(&self) -> u64 {
+        self.events.iter().filter(|e| e.kind == FlightKind::Send).map(|e| e.words).sum()
+    }
+
+    /// Total words in `Recv` records.
+    pub fn words_recv(&self) -> u64 {
+        self.events.iter().filter(|e| e.kind == FlightKind::Recv).map(|e| e.words).sum()
+    }
+}
+
+/// The per-rank ring buffer. All storage is allocated in [`new`]; every
+/// later call is allocation-free.
+///
+/// [`new`]: FlightRecorder::new
+pub struct FlightRecorder {
+    ring: Vec<Packed>,
+    /// Next write position (== oldest record once the ring has wrapped).
+    head: usize,
+    /// Live records (≤ capacity).
+    len: usize,
+    /// Timestamp of the most recent record.
+    last_ns: u64,
+    phases: [Option<&'static str>; MAX_PHASES],
+    phase_count: usize,
+    recorded: u64,
+    dropped: u64,
+    saturated_deltas: u64,
+    overhead_ns: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder with room for `capacity` records; `capacity == 0`
+    /// disables recording entirely (no ring, no clock reads).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            ring: vec![Packed::default(); capacity],
+            head: 0,
+            len: 0,
+            last_ns: 0,
+            phases: [None; MAX_PHASES],
+            phase_count: 0,
+            recorded: 0,
+            dropped: 0,
+            saturated_deltas: 0,
+            overhead_ns: 0,
+        }
+    }
+
+    /// Whether the ring records anything. Callers check this before
+    /// reading the clock so a disabled recorder costs one branch.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        !self.ring.is_empty()
+    }
+
+    /// Interns a phase label; returns index + 1, or 0 when the label is
+    /// `None` or the table is full (the record is still kept, unlabelled).
+    fn intern_phase(&mut self, phase: Option<&'static str>) -> u8 {
+        let Some(name) = phase else { return 0 };
+        for (i, slot) in self.phases[..self.phase_count].iter().enumerate() {
+            if *slot == Some(name) {
+                return (i + 1) as u8;
+            }
+        }
+        if self.phase_count < MAX_PHASES {
+            self.phases[self.phase_count] = Some(name);
+            self.phase_count += 1;
+            self.phase_count as u8
+        } else {
+            0
+        }
+    }
+
+    /// Appends one record. `now_ns` is the caller's clock read (nanoseconds
+    /// since the universe epoch); the recorder never reads a clock itself.
+    /// No-op when disabled. Never allocates.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        now_ns: u64,
+        kind: FlightKind,
+        phase: Option<&'static str>,
+        round: Option<u64>,
+        peer: Option<usize>,
+        words: u64,
+        request: Option<u64>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let dt = now_ns.saturating_sub(self.last_ns);
+        let dt_ns = if dt > u32::MAX as u64 {
+            self.saturated_deltas += 1;
+            u32::MAX
+        } else {
+            dt as u32
+        };
+        self.last_ns = now_ns;
+        let packed = Packed {
+            dt_ns,
+            kind: kind as u8,
+            phase: self.intern_phase(phase),
+            round: round.map_or(0, |r| r.saturating_add(1).min(u16::MAX as u64) as u16),
+            peer: peer.map_or(u32::MAX, |p| p.min(u32::MAX as usize - 1) as u32),
+            words: words.min(u32::MAX as u64) as u32,
+            request: request.map_or(0, |r| r.saturating_add(1).min(u32::MAX as u64) as u32),
+        };
+        self.ring[self.head] = packed;
+        self.head = (self.head + 1) % self.ring.len();
+        if self.len < self.ring.len() {
+            self.len += 1;
+        } else {
+            self.dropped += 1;
+        }
+        self.recorded += 1;
+    }
+
+    /// Charges `ns` of measured recording cost to the self-overhead
+    /// counter (the caller times its own `record` call).
+    #[inline]
+    pub fn add_overhead(&mut self, ns: u64) {
+        self.overhead_ns += ns;
+    }
+
+    /// Decodes the ring into chronological events with absolute
+    /// timestamps. Allocates (it is called once, at drain time, outside
+    /// the measured steady state).
+    pub fn snapshot(&self, rank: usize) -> FlightSnapshot {
+        // Oldest-first ring order.
+        let start = if self.len < self.ring.len() { 0 } else { self.head };
+        let packed: Vec<&Packed> =
+            (0..self.len).map(|i| &self.ring[(start + i) % self.ring.len().max(1)]).collect();
+        // Walk backwards from the last absolute timestamp: the newest
+        // record sits at `last_ns`; each predecessor is its successor's
+        // time minus the successor's delta.
+        let mut times = vec![0u64; packed.len()];
+        let mut t = self.last_ns;
+        for i in (0..packed.len()).rev() {
+            times[i] = t;
+            if i > 0 {
+                t = t.saturating_sub(packed[i].dt_ns as u64);
+            }
+        }
+        let events = packed
+            .iter()
+            .zip(&times)
+            .map(|(p, &t_ns)| FlightEvent {
+                t_ns,
+                kind: match p.kind {
+                    0 => FlightKind::Send,
+                    1 => FlightKind::Recv,
+                    2 => FlightKind::PhaseEnter,
+                    _ => FlightKind::PhaseExit,
+                },
+                phase: if p.phase == 0 { None } else { self.phases[(p.phase - 1) as usize] },
+                round: if p.round == 0 { None } else { Some(p.round as u64 - 1) },
+                peer: if p.peer == u32::MAX { None } else { Some(p.peer as usize) },
+                words: p.words as u64,
+                request: if p.request == 0 { None } else { Some(p.request as u64 - 1) },
+            })
+            .collect();
+        FlightSnapshot {
+            rank,
+            events,
+            overhead: FlightOverhead {
+                capacity: self.ring.len(),
+                recorded: self.recorded,
+                dropped: self.dropped,
+                saturated_deltas: self.saturated_deltas,
+                overhead_ns: self.overhead_ns,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(rec: &mut FlightRecorder, t: u64, peer: usize, words: u64) {
+        rec.record(t, FlightKind::Send, Some("gather-x"), Some(3), Some(peer), words, Some(42));
+    }
+
+    #[test]
+    fn roundtrip_preserves_fields_and_absolute_times() {
+        let mut rec = FlightRecorder::new(8);
+        send(&mut rec, 100, 1, 64);
+        rec.record(250, FlightKind::Recv, None, None, Some(2), 32, None);
+        rec.record(260, FlightKind::PhaseExit, Some("gather-x"), None, None, 0, None);
+        let snap = rec.snapshot(5);
+        assert_eq!(snap.rank, 5);
+        assert_eq!(snap.events.len(), 3);
+        assert_eq!(
+            snap.events[0],
+            FlightEvent {
+                t_ns: 100,
+                kind: FlightKind::Send,
+                phase: Some("gather-x"),
+                round: Some(3),
+                peer: Some(1),
+                words: 64,
+                request: Some(42),
+            }
+        );
+        assert_eq!(snap.events[1].t_ns, 250);
+        assert_eq!(snap.events[1].phase, None);
+        assert_eq!(snap.events[2].t_ns, 260);
+        assert_eq!(snap.events[2].kind, FlightKind::PhaseExit);
+        assert_eq!(snap.overhead.recorded, 3);
+        assert_eq!(snap.overhead.dropped, 0);
+        assert_eq!(snap.words_sent(), 64);
+        assert_eq!(snap.words_recv(), 32);
+    }
+
+    #[test]
+    fn wraparound_keeps_the_newest_window_and_counts_drops() {
+        let mut rec = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            send(&mut rec, i * 10, (i % 3) as usize, i);
+        }
+        let snap = rec.snapshot(0);
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.overhead.recorded, 10);
+        assert_eq!(snap.overhead.dropped, 6);
+        // The surviving window is the last four records, in order.
+        let times: Vec<u64> = snap.events.iter().map(|e| e.t_ns).collect();
+        assert_eq!(times, vec![60, 70, 80, 90]);
+        let words: Vec<u64> = snap.events.iter().map(|e| e.words).collect();
+        assert_eq!(words, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn timestamps_stay_monotone_even_with_saturated_deltas() {
+        let mut rec = FlightRecorder::new(8);
+        send(&mut rec, 0, 0, 1);
+        // A delta far beyond u32::MAX ns saturates but must not corrupt
+        // ordering of later records.
+        send(&mut rec, 20_000_000_000, 0, 2);
+        send(&mut rec, 20_000_000_100, 0, 3);
+        let snap = rec.snapshot(0);
+        assert_eq!(snap.overhead.saturated_deltas, 1);
+        let times: Vec<u64> = snap.events.iter().map(|e| e.t_ns).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "non-monotone: {times:?}");
+        assert_eq!(*times.last().unwrap(), 20_000_000_100);
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let mut rec = FlightRecorder::new(0);
+        assert!(!rec.enabled());
+        send(&mut rec, 100, 0, 7);
+        let snap = rec.snapshot(0);
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.overhead.recorded, 0);
+        assert_eq!(snap.overhead.capacity, 0);
+    }
+
+    #[test]
+    fn phase_table_overflow_drops_labels_not_records() {
+        // MAX_PHASES distinct labels fit; one more loses its label only.
+        let labels: Vec<&'static str> = (0..MAX_PHASES + 1)
+            .map(|i| &*Box::leak(format!("phase-{i}").into_boxed_str()))
+            .collect();
+        let mut rec = FlightRecorder::new(64);
+        for (i, name) in labels.iter().enumerate() {
+            rec.record(i as u64, FlightKind::PhaseEnter, Some(name), None, None, 0, None);
+        }
+        let snap = rec.snapshot(0);
+        assert_eq!(snap.events.len(), MAX_PHASES + 1);
+        assert_eq!(snap.events[0].phase, Some(labels[0]));
+        assert_eq!(snap.events[MAX_PHASES - 1].phase, Some(labels[MAX_PHASES - 1]));
+        assert_eq!(snap.events[MAX_PHASES].phase, None, "overflow label dropped, record kept");
+    }
+}

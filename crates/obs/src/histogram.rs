@@ -33,6 +33,17 @@ pub struct Histogram {
     pub buckets: Vec<u64>,
 }
 
+/// The power-of-two bucket index for observation `v` — shared by
+/// [`Histogram`] and the exemplar histograms in [`crate::slo`] so the two
+/// always agree on which bucket an observation lands in.
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        64 - ((v - 1).leading_zeros() as usize)
+    }
+}
+
 impl Histogram {
     /// Records one observation.
     pub fn observe(&mut self, v: u64) {
@@ -45,7 +56,7 @@ impl Histogram {
         }
         self.count += 1;
         self.sum += v;
-        let bucket = if v <= 1 { 0 } else { 64 - ((v - 1).leading_zeros() as usize) };
+        let bucket = bucket_index(v);
         if self.buckets.len() <= bucket {
             self.buckets.resize(bucket + 1, 0);
         }
@@ -86,23 +97,44 @@ impl Histogram {
     }
 
     /// The `q`-quantile (`0 < q ≤ 1`) as a bucket upper bound clamped to
-    /// `[min, max]`; 0 when empty. `quantile(1.0)` is the exact max.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// `[min, max]`, or `None` when the histogram is empty — an empty
+    /// histogram has no quantiles, and reporting 0 would be
+    /// indistinguishable from a real 0 ns measurement. `try_quantile(1.0)`
+    /// is the exact max.
+    pub fn try_quantile(&self, q: f64) -> Option<u64> {
+        let i = self.quantile_bucket(q)?;
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        Some((1u64 << i).clamp(self.min, self.max))
+    }
+
+    /// The bucket index holding the `q`-quantile observation (`None` when
+    /// empty) — exemplar histograms use this to link a quantile readout to
+    /// a concrete request recorded in that bucket.
+    pub(crate) fn quantile_bucket(&self, q: f64) -> Option<usize> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         if q >= 1.0 {
-            return self.max;
+            return Some(self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0));
         }
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return (1u64 << i).clamp(self.min, self.max);
+                return Some(i);
             }
         }
-        self.max
+        Some(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Infallible form of [`Histogram::try_quantile`]: 0 when empty. Kept
+    /// for call sites that fold the empty case into "no latency"; report
+    /// rendering should prefer `try_quantile` and print `-` for `None`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.try_quantile(q).unwrap_or(0)
     }
 
     /// Median (bucket-resolution).
@@ -120,18 +152,20 @@ impl Histogram {
         self.quantile(0.99)
     }
 
-    /// JSON form: exact stats, the percentile readouts, and the non-empty
-    /// buckets as `{le, count}` pairs.
+    /// JSON form: exact stats, the percentile readouts (`null` when the
+    /// histogram is empty — there is no quantile to report), and the
+    /// non-empty buckets as `{le, count}` pairs.
     pub fn to_json(&self) -> Value {
+        let quantile = |q: f64| self.try_quantile(q).map(Value::from).unwrap_or(Value::Null);
         Value::object()
             .with("count", self.count)
             .with("sum", self.sum)
             .with("min", self.min)
             .with("max", self.max)
             .with("mean", self.mean())
-            .with("p50", self.p50())
-            .with("p90", self.p90())
-            .with("p99", self.p99())
+            .with("p50", quantile(0.50))
+            .with("p90", quantile(0.90))
+            .with("p99", quantile(0.99))
             .with(
                 "buckets",
                 Value::Array(
@@ -221,6 +255,7 @@ mod tests {
         assert_eq!(h.p50(), 64);
         assert_eq!(h.p90(), 128.min(h.max)); // clamped to max = 100
         assert_eq!(h.p99(), 100);
+        assert_eq!(h.try_quantile(0.50), Some(64));
         assert_eq!(h.quantile(1.0), 100);
         assert_eq!(h.quantile(0.0), 1); // clamps to min
     }
@@ -230,6 +265,9 @@ mod tests {
         let h = Histogram::default();
         assert_eq!(h.p50(), 0);
         assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.try_quantile(0.5), None, "empty histogram has no quantiles");
+        assert_eq!(h.try_quantile(1.0), None);
+        assert_eq!(h.to_json().get("p99"), Some(&Value::Null), "JSON renders null, not 0");
         assert_eq!(h.mean(), 0.0);
         let mut other = Histogram::default();
         other.observe(5);

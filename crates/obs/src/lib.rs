@@ -37,6 +37,7 @@
 
 pub mod chrome;
 pub mod critical;
+pub mod flight;
 pub mod histogram;
 pub mod json;
 pub mod matrix;
@@ -44,18 +45,23 @@ pub mod metrics;
 pub mod occupancy;
 pub mod regress;
 pub mod replay;
+pub mod schema;
+pub mod slo;
 pub mod span;
 
 pub use chrome::{
     chrome_trace, chrome_trace_multi, chrome_trace_string, chrome_trace_with_profile,
 };
 pub use critical::{CriticalPath, StragglerReport};
+pub use flight::{chrome_from_flight, flight_json, postmortem_json, reconcile_postmortem};
 pub use histogram::{Histogram, ProfileHistograms};
 pub use matrix::CommMatrix;
 pub use metrics::MetricsRegistry;
 pub use occupancy::{spherical_step_bound, OccupancyReport};
 pub use regress::{parse_snapshot, BenchKey, BenchRecord, RegressionReport};
 pub use replay::{AlphaBetaModel, ReplayReport};
+pub use schema::{validate, ArtifactKind};
+pub use slo::{quantile_cell, Exemplar, ExemplarHistogram, RequestLatency, SloReport};
 pub use span::{
     counter_stats, phase_stats, phase_stats_by_name, spans, CounterStats, PhaseSpan, PhaseStats,
 };

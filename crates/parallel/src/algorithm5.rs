@@ -29,7 +29,7 @@ use crate::plan::{ExchangeKind, PlanWorkspace, RankPlan};
 use crate::schedule::{shared_row_blocks, CommSchedule};
 use std::cell::{OnceCell, RefCell};
 use symtensor_core::SymTensor3;
-use symtensor_mpsim::{Comm, CommEvent, CostReport, Universe};
+use symtensor_mpsim::{Comm, CommEvent, CostReport, FlightSnapshot, Universe};
 use symtensor_pool::Pool;
 
 /// Communication strategy for the two vector phases.
@@ -458,6 +458,78 @@ impl<'a> RankContext<'a> {
         (ys, ternary)
     }
 
+    /// [`RankContext::sttsv_multi`] on the plan path with **request-scoped
+    /// tracing**: `requests[v]` is the serving-layer id of vector `v`. The
+    /// per-vector kernel passes are annotated with their request id (so
+    /// flight-recorder records and `CommEvent`s emitted during request
+    /// `v`'s compute carry it) and individually timed; the batch-level
+    /// exchange phases are timed as a whole, since each message carries
+    /// every request's pieces back-to-back and cannot be attributed to one
+    /// request. While a request's compute runs, the attached [`Pool`]'s
+    /// workspace leases are tagged with the same id.
+    ///
+    /// Returns the outputs and ternary count of [`RankContext::sttsv_multi`]
+    /// (bit-identical — the per-vector kernel loop is the same
+    /// decomposition) plus this rank's [`BatchSpans`].
+    pub fn sttsv_multi_requests(
+        &self,
+        comm: &Comm,
+        my_shards: &[Vec<Vec<f64>>],
+        requests: &[u64],
+    ) -> (Vec<Vec<Vec<f64>>>, u64, BatchSpans) {
+        assert!(self.use_plan, "sttsv_multi_requests requires the plan path (with_plan)");
+        assert_eq!(my_shards.len(), requests.len(), "one request id per vector");
+        let batch = my_shards.len();
+        let start_ns = comm.elapsed_ns();
+        if batch == 0 {
+            return (Vec::new(), 0, BatchSpans::empty(start_ns));
+        }
+        let plan = self.compile(comm.rank());
+        let mut ws = self.plan_ws.borrow_mut();
+        plan.ensure_capacity(&mut ws, batch);
+        for (v, shards) in my_shards.iter().enumerate() {
+            plan.load_shards(&mut ws, v, shards);
+        }
+        let gather_t0 = comm.elapsed_ns();
+        comm.with_phase("gather-x", || {
+            self.plan_exchange(comm, plan, &mut ws, TAG_X, ExchangeKind::Gather, batch)
+        });
+        let gather_ns = comm.elapsed_ns().saturating_sub(gather_t0);
+        let mut compute_ns = Vec::with_capacity(batch);
+        let ternary = comm.with_phase("local-compute", || {
+            let mut total = 0u64;
+            for (v, &request) in requests.iter().enumerate() {
+                // One request-annotated `compute:kernel` span per vector:
+                // the span's flight records (and any trace events inside)
+                // carry the request id, as do the pool's workspace leases.
+                comm.annotate_request(request);
+                if let Some(pool) = self.pool {
+                    pool.workspaces().set_request(request);
+                }
+                let t0 = comm.elapsed_ns();
+                total += comm
+                    .with_phase("compute:kernel", || plan.compute_vector(&mut ws, v, self.pool));
+                compute_ns.push(comm.elapsed_ns().saturating_sub(t0));
+                if let Some(pool) = self.pool {
+                    pool.workspaces().clear_request();
+                }
+                comm.clear_request();
+            }
+            comm.annotate_counter("plan:arena_bytes", plan.arena_bytes() as u64);
+            comm.annotate_counter("plan:fresh_allocs", ws.fresh_allocs());
+            total
+        });
+        let reduce_t0 = comm.elapsed_ns();
+        comm.with_phase("reduce-y", || {
+            self.plan_exchange(comm, plan, &mut ws, TAG_Y, ExchangeKind::Reduce, batch)
+        });
+        let reduce_ns = comm.elapsed_ns().saturating_sub(reduce_t0);
+        let ys = (0..batch).map(|v| plan.extract(&ws, v)).collect();
+        let spans =
+            BatchSpans { start_ns, gather_ns, compute_ns, reduce_ns, end_ns: comm.elapsed_ns() };
+        (ys, ternary, spans)
+    }
+
     /// The plan path's exchange: mirrors [`RankContext::exchange_phase`]
     /// round for round and byte for byte, but packs from / unpacks into
     /// the flat slabs using the precompiled piece layouts, with message
@@ -652,7 +724,7 @@ pub fn parallel_sttsv(
     x: &[f64],
     mode: Mode,
 ) -> SttsvRun {
-    let (run, _traces) = run_sttsv(tensor, part, x, mode, false);
+    let (run, _traces, _flight) = run_sttsv(tensor, part, x, mode, false);
     run
 }
 
@@ -667,6 +739,21 @@ pub fn parallel_sttsv_traced(
     x: &[f64],
     mode: Mode,
 ) -> (SttsvRun, Vec<Vec<CommEvent>>) {
+    let (run, traces, _flight) = run_sttsv(tensor, part, x, mode, true);
+    (run, traces)
+}
+
+/// [`parallel_sttsv_traced`] plus each rank's **flight-recorder window**:
+/// the always-on bounded ring of delta-encoded send/recv/phase records the
+/// runtime keeps regardless of tracing. The snapshots feed the
+/// `symtensor-obs` flight exporters (`--flight` in the CLI); results and
+/// the [`CostReport`] are identical to the untraced run.
+pub fn parallel_sttsv_traced_flight(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x: &[f64],
+    mode: Mode,
+) -> (SttsvRun, Vec<Vec<CommEvent>>, Vec<FlightSnapshot>) {
     run_sttsv(tensor, part, x, mode, true)
 }
 
@@ -676,7 +763,7 @@ fn run_sttsv(
     x: &[f64],
     mode: Mode,
     traced: bool,
-) -> (SttsvRun, Vec<Vec<CommEvent>>) {
+) -> (SttsvRun, Vec<Vec<CommEvent>>, Vec<FlightSnapshot>) {
     let n = part.dim();
     assert_eq!(tensor.dim(), n);
     assert_eq!(x.len(), n);
@@ -697,11 +784,11 @@ fn run_sttsv(
         ctx.sttsv(comm, &my_shards)
     };
     let universe = Universe::new(p_count);
-    let (rank_results, report, traces) = if traced {
-        universe.run_traced(rank_main)
+    let (rank_results, report, traces, flight) = if traced {
+        universe.run_traced_flight(rank_main)
     } else {
         let (results, report) = universe.run(rank_main);
-        (results, report, Vec::new())
+        (results, report, Vec::new(), Vec::new())
     };
 
     let mut y = vec![0.0; n];
@@ -714,7 +801,7 @@ fn run_sttsv(
             y[global.start + local.start..global.start + local.end].copy_from_slice(&shards[t]);
         }
     }
-    (SttsvRun { y, report, ternary_per_rank }, traces)
+    (SttsvRun { y, report, ternary_per_rank }, traces, flight)
 }
 
 /// The result of a driver-level **batched** parallel STTSV run.
@@ -727,6 +814,31 @@ pub struct SttsvMultiRun {
     /// Per-rank ternary-multiplication counts summed over the batch
     /// (`B ×` the single-vector counts).
     pub ternary_per_rank: Vec<u64>,
+}
+
+/// One rank's timing decomposition of a request-annotated batch
+/// ([`RankContext::sttsv_multi_requests`]), in the rank's own
+/// [`Comm::elapsed_ns`] clock. The serving driver merges these across
+/// ranks with straggler semantics (each span is as slow as its slowest
+/// rank).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchSpans {
+    /// When this rank entered the batch (absolute).
+    pub start_ns: u64,
+    /// Duration of the gather-x exchange phase.
+    pub gather_ns: u64,
+    /// Per-vector kernel durations, indexed like the batch.
+    pub compute_ns: Vec<u64>,
+    /// Duration of the reduce-y exchange phase.
+    pub reduce_ns: u64,
+    /// When this rank finished extracting the batch's outputs (absolute).
+    pub end_ns: u64,
+}
+
+impl BatchSpans {
+    fn empty(now_ns: u64) -> Self {
+        BatchSpans { start_ns: now_ns, end_ns: now_ns, ..BatchSpans::default() }
+    }
 }
 
 /// Runs [`RankContext::sttsv_multi`] on the simulated machine: all `B`

@@ -40,14 +40,17 @@ pub mod partition;
 pub mod plan;
 pub mod scatter;
 pub mod schedule;
+pub mod serve;
 pub mod tetra;
 pub mod triangle;
 
 pub use algorithm5::{
     parallel_sttsv, parallel_sttsv_mt, parallel_sttsv_multi, parallel_sttsv_multi_planned,
     parallel_sttsv_padded, parallel_sttsv_planned, parallel_sttsv_planned_traced,
-    parallel_sttsv_traced, Mode, RankContext, SttsvMultiRun, SttsvRun,
+    parallel_sttsv_traced, parallel_sttsv_traced_flight, BatchSpans, Mode, RankContext,
+    SttsvMultiRun, SttsvRun,
 };
 pub use partition::TetraPartition;
 pub use plan::{PlanWorkspace, RankPlan};
 pub use schedule::CommSchedule;
+pub use serve::{parallel_sttsv_serve, RequestRecord, ServeRequest, ServeRun};

@@ -400,14 +400,28 @@ impl RankPlan {
     /// result is bit-identical to the legacy path across thread counts.
     /// Returns the exact ternary-multiplication count.
     pub fn compute(&self, ws: &mut PlanWorkspace, batch: usize, pool: Option<&Pool>) -> u64 {
+        let mut ternary = 0u64;
+        for v in 0..batch {
+            ternary += self.compute_vector(ws, v, pool);
+        }
+        ternary
+    }
+
+    /// Runs the local kernels for the single slab `v` — the per-vector
+    /// unit [`RankPlan::compute`] is built from, exposed so the serving
+    /// driver can time and request-annotate each vector of a batch
+    /// individually. Zeroes slab `v` of `y` (a `fill`, not an allocation)
+    /// before accumulating; results are bit-identical to the batched form.
+    /// Returns the exact ternary-multiplication count.
+    pub fn compute_vector(&self, ws: &mut PlanWorkspace, v: usize, pool: Option<&Pool>) -> u64 {
         let stride = self.stride();
         let b = self.b;
         let PlanWorkspace { x, y, scratch, .. } = ws;
-        y[..batch * stride].fill(0.0);
         let mut ternary = 0u64;
-        for v in 0..batch {
+        {
             let xv = &x[v * stride..(v + 1) * stride];
             let yv = &mut y[v * stride..(v + 1) * stride];
+            yv.fill(0.0);
             match pool {
                 None => {
                     for blk in &self.blocks {

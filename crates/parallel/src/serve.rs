@@ -1,0 +1,308 @@
+//! Batched serving of STTSV requests with request-scoped tracing.
+//!
+//! The throughput path ([`parallel_sttsv_multi_planned`]) amortizes the α
+//! term by moving a whole batch through one exchange-phase pair — but it
+//! answers only "how long did the batch take". A serving system needs the
+//! *per-request* decomposition: how long did request 17 queue, how long
+//! did its batch take to form, what was its kernel time, how much exchange
+//! latency did it absorb. [`parallel_sttsv_serve`] runs a stream of
+//! [`ServeRequest`]s through the compiled-plan batched kernel and measures
+//! exactly that, with straggler semantics (a span is as slow as its
+//! slowest rank — the time a client would actually observe), threading
+//! each request's id through the flight recorder, the `CommEvent` log and
+//! the worker pool's workspace leases while its kernel runs.
+//!
+//! Results are bit-identical to [`parallel_sttsv_multi_planned`] over the
+//! same batches: the serving layer changes *when* things are measured,
+//! never *what* is computed.
+//!
+//! [`parallel_sttsv_multi_planned`]: crate::algorithm5::parallel_sttsv_multi_planned
+
+use crate::algorithm5::{BatchSpans, Mode, RankContext};
+use crate::partition::TetraPartition;
+use crate::schedule::CommSchedule;
+use symtensor_core::SymTensor3;
+use symtensor_mpsim::{Comm, CostReport, FlightSnapshot, Universe};
+use symtensor_pool::Pool;
+
+/// One STTSV request submitted to the serving layer.
+#[derive(Clone, Debug)]
+pub struct ServeRequest {
+    /// Caller-chosen request id — threaded through flight-recorder
+    /// records, trace events and pool leases during this request's
+    /// compute.
+    pub id: u64,
+    /// Arrival time on the serving clock (ns). Queue wait is measured
+    /// from here to the start of the batch that carries the request.
+    pub arrival_ns: u64,
+    /// The input vector (`part.dim()` long).
+    pub x: Vec<f64>,
+}
+
+impl ServeRequest {
+    /// A request that arrived at time 0.
+    pub fn new(id: u64, x: Vec<f64>) -> Self {
+        ServeRequest { id, arrival_ns: 0, x }
+    }
+}
+
+/// The measured latency decomposition of one served request. All values
+/// are straggler-merged across ranks: a span is the slowest rank's,
+/// because that is when the result (which needs every rank's shard)
+/// actually became available.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// The request id.
+    pub id: u64,
+    /// Which batch carried the request.
+    pub batch: usize,
+    /// The request's slab index within its batch.
+    pub batch_index: usize,
+    /// Arrival → the carrying batch starting to form.
+    pub queue_wait_ns: u64,
+    /// Shard extraction / batch assembly.
+    pub batch_form_ns: u64,
+    /// This request's kernel pass (slowest rank).
+    pub compute_ns: u64,
+    /// The batch's gather + reduce exchange phases (slowest rank each) —
+    /// shared by every request in the batch.
+    pub exchange_ns: u64,
+    /// Arrival → every rank finished extracting the batch's outputs.
+    pub e2e_ns: u64,
+}
+
+/// One rank's per-batch measurement, produced inside the simulated rank.
+struct RankBatch {
+    /// Batch began forming on this rank (absolute).
+    begin_ns: u64,
+    /// Shards extracted, batch assembled (absolute).
+    formed_ns: u64,
+    /// The kernel-level spans from [`RankContext::sttsv_multi_requests`].
+    spans: BatchSpans,
+    /// This rank's output shards, `[v][t]`.
+    ys: Vec<Vec<Vec<f64>>>,
+    /// Ternary multiplications for the batch.
+    ternary: u64,
+}
+
+/// The result of a serving run.
+#[derive(Clone, Debug)]
+pub struct ServeRun {
+    /// `ys[i]` is the assembled output for `requests[i]`, in submission
+    /// order — bit-identical to [`parallel_sttsv_multi_planned`] over the
+    /// same batches.
+    ///
+    /// [`parallel_sttsv_multi_planned`]: crate::algorithm5::parallel_sttsv_multi_planned
+    pub ys: Vec<Vec<f64>>,
+    /// Exact communication costs of the whole run.
+    pub report: CostReport,
+    /// Per-rank ternary multiplications over all batches.
+    pub ternary_per_rank: Vec<u64>,
+    /// One latency record per request, in submission order.
+    pub records: Vec<RequestRecord>,
+    /// Every rank's flight-recorder window at the end of the run, with
+    /// request-annotated records for each request's kernel pass.
+    pub flight: Vec<FlightSnapshot>,
+}
+
+/// Serves `requests` through the compiled-plan batched STTSV kernel.
+///
+/// Requests are carried in submission order, `batch_cap` per batch (the
+/// last batch may be smaller). `threads > 1` attaches a worker [`Pool`]
+/// per rank, whose workspace leases are tagged with the running request's
+/// id. Panics if `batch_cap == 0` or any vector has the wrong dimension.
+pub fn parallel_sttsv_serve(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    requests: &[ServeRequest],
+    mode: Mode,
+    threads: usize,
+    batch_cap: usize,
+) -> ServeRun {
+    assert!(batch_cap > 0, "batch capacity must be positive");
+    let n = part.dim();
+    assert_eq!(tensor.dim(), n);
+    for r in requests {
+        assert_eq!(r.x.len(), n, "request {} has wrong dimension", r.id);
+    }
+    let p_count = part.num_procs();
+    let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
+    let batches: Vec<&[ServeRequest]> = requests.chunks(batch_cap).collect();
+
+    let rank_main = |comm: &Comm| {
+        let p = comm.rank();
+        let pool = (threads > 1).then(|| Pool::new(threads));
+        let mut ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref()).with_plan();
+        if let Some(pool) = pool.as_ref() {
+            ctx = ctx.with_pool(pool);
+        }
+        let mut out = Vec::with_capacity(batches.len());
+        for batch in &batches {
+            let begin_ns = comm.elapsed_ns();
+            let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+            let my_shards: Vec<Vec<Vec<f64>>> = comm.with_phase("batch-form", || {
+                batch
+                    .iter()
+                    .map(|r| {
+                        part.r_set(p)
+                            .iter()
+                            .map(|&i| {
+                                let block = &r.x[part.block_range(i)];
+                                block[part.shard_range(i, p)].to_vec()
+                            })
+                            .collect()
+                    })
+                    .collect()
+            });
+            let formed_ns = comm.elapsed_ns();
+            let (ys, ternary, spans) = ctx.sttsv_multi_requests(comm, &my_shards, &ids);
+            out.push(RankBatch { begin_ns, formed_ns, spans, ys, ternary });
+        }
+        out
+    };
+    let (rank_results, report, flight) = Universe::new(p_count).run_flight(rank_main);
+
+    // Merge per-rank measurements into per-request records (straggler
+    // semantics) and assemble the outputs.
+    let mut ys = vec![vec![0.0; n]; requests.len()];
+    let mut ternary_per_rank = vec![0u64; p_count];
+    let mut records = Vec::with_capacity(requests.len());
+    let mut offset = 0usize;
+    for (k, batch) in batches.iter().enumerate() {
+        let per_rank: Vec<&RankBatch> = rank_results.iter().map(|b| &b[k]).collect();
+        let begin = per_rank.iter().map(|b| b.begin_ns).max().unwrap_or(0);
+        let form =
+            per_rank.iter().map(|b| b.formed_ns.saturating_sub(b.begin_ns)).max().unwrap_or(0);
+        let gather = per_rank.iter().map(|b| b.spans.gather_ns).max().unwrap_or(0);
+        let reduce = per_rank.iter().map(|b| b.spans.reduce_ns).max().unwrap_or(0);
+        let end = per_rank.iter().map(|b| b.spans.end_ns).max().unwrap_or(0);
+        for (v, r) in batch.iter().enumerate() {
+            let compute =
+                per_rank.iter().map(|b| b.spans.compute_ns.get(v).copied().unwrap_or(0)).max();
+            records.push(RequestRecord {
+                id: r.id,
+                batch: k,
+                batch_index: v,
+                queue_wait_ns: begin.saturating_sub(r.arrival_ns),
+                batch_form_ns: form,
+                compute_ns: compute.unwrap_or(0),
+                exchange_ns: gather + reduce,
+                e2e_ns: end.saturating_sub(r.arrival_ns),
+            });
+        }
+        for (p, rank_batch) in rank_results.iter().enumerate() {
+            let rb = &rank_batch[k];
+            ternary_per_rank[p] += rb.ternary;
+            for (v, shards) in rb.ys.iter().enumerate() {
+                for (t, &i) in part.r_set(p).iter().enumerate() {
+                    let global = part.block_range(i);
+                    let local = part.shard_range(i, p);
+                    ys[offset + v][global.start + local.start..global.start + local.end]
+                        .copy_from_slice(&shards[t]);
+                }
+            }
+        }
+        offset += batch.len();
+    }
+    ServeRun { ys, report, ternary_per_rank, records, flight }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm5::{parallel_sttsv, parallel_sttsv_multi_planned};
+    use rand::prelude::*;
+    use symtensor_core::generate::random_symmetric;
+    use symtensor_mpsim::FlightKind;
+    use symtensor_steiner::spherical;
+
+    fn setup(q: u64) -> (SymTensor3, TetraPartition, usize) {
+        let qs = q as usize;
+        let n = (qs * qs + 1) * qs * (qs + 1); // block size divisible by P
+        let part = TetraPartition::new(spherical(q), n).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let tensor = random_symmetric(n, &mut rng);
+        (tensor, part, n)
+    }
+
+    fn vectors(n: usize, count: usize) -> Vec<Vec<f64>> {
+        (0..count).map(|v| (0..n).map(|i| ((i + 3 * v) % 11) as f64 - 4.0).collect()).collect()
+    }
+
+    #[test]
+    fn served_outputs_match_single_vector_runs() {
+        let (tensor, part, n) = setup(2);
+        let xs = vectors(n, 5);
+        let requests: Vec<ServeRequest> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| ServeRequest::new(100 + i as u64, x.clone()))
+            .collect();
+        let run = parallel_sttsv_serve(&tensor, &part, &requests, Mode::Scheduled, 1, 2);
+        assert_eq!(run.ys.len(), 5);
+        for (x, y) in xs.iter().zip(&run.ys) {
+            let reference = parallel_sttsv(&tensor, &part, x, Mode::Scheduled);
+            assert_eq!(y, &reference.y, "served output must be bit-identical");
+        }
+        // Batches of [2, 2, 1]: the batched report equals the sum of the
+        // equivalent multi-planned runs.
+        let mut expected_words = 0;
+        for chunk in xs.chunks(2) {
+            let multi = parallel_sttsv_multi_planned(&tensor, &part, chunk, Mode::Scheduled, 1);
+            expected_words += multi.report.total_words_sent();
+        }
+        assert_eq!(run.report.total_words_sent(), expected_words);
+    }
+
+    #[test]
+    fn records_decompose_each_request() {
+        let (tensor, part, n) = setup(2);
+        let xs = vectors(n, 6);
+        let requests: Vec<ServeRequest> =
+            xs.iter().enumerate().map(|(i, x)| ServeRequest::new(i as u64, x.clone())).collect();
+        let run = parallel_sttsv_serve(&tensor, &part, &requests, Mode::Scheduled, 2, 4);
+        assert_eq!(run.records.len(), 6);
+        for (i, rec) in run.records.iter().enumerate() {
+            assert_eq!(rec.id, i as u64);
+            assert_eq!(rec.batch, i / 4);
+            assert_eq!(rec.batch_index, i % 4);
+            assert!(rec.compute_ns > 0, "request {i} measured no compute");
+            assert!(rec.e2e_ns >= rec.compute_ns);
+            assert!(rec.e2e_ns >= rec.queue_wait_ns);
+        }
+        // Later batches queue behind earlier ones.
+        assert!(run.records[4].queue_wait_ns >= run.records[0].queue_wait_ns);
+    }
+
+    #[test]
+    fn flight_windows_carry_request_annotations() {
+        let (tensor, part, n) = setup(2);
+        let xs = vectors(n, 3);
+        let requests: Vec<ServeRequest> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| ServeRequest::new(40 + i as u64, x.clone()))
+            .collect();
+        let run = parallel_sttsv_serve(&tensor, &part, &requests, Mode::Scheduled, 1, 3);
+        assert_eq!(run.flight.len(), part.num_procs());
+        for snap in &run.flight {
+            assert!(snap.overhead.recorded > 0, "recorder is always on");
+            // Every request's compute:kernel phase-enter carries its id.
+            for id in 40..43u64 {
+                assert!(
+                    snap.events.iter().any(|e| e.request == Some(id)
+                        && e.kind == FlightKind::PhaseEnter
+                        && e.phase == Some("compute:kernel")),
+                    "rank {} has no flight record for request {id}",
+                    snap.rank
+                );
+            }
+            // Exchange records are batch-scoped: sends are unattributed.
+            assert!(snap
+                .events
+                .iter()
+                .filter(|e| e.kind == FlightKind::Send)
+                .all(|e| e.request.is_none()));
+        }
+    }
+}

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use symtensor_core::generate::random_symmetric;
+use symtensor_mpsim::{FlightKind, FlightRecorder};
 use symtensor_parallel::blocks::OwnedBlocks;
 use symtensor_parallel::plan::ExchangeKind;
 use symtensor_parallel::{PlanWorkspace, RankPlan, TetraPartition};
@@ -138,4 +139,29 @@ fn steady_state_sttsv_performs_zero_heap_allocations() {
         assert_eq!(ws.fresh_allocs(), fresh_after_warmup, "no buffer growth after warm-up");
         assert!(out.iter().flatten().flatten().all(|v| v.is_finite()));
     }
+
+    // The always-on flight recorder shares the steady state's zero-alloc
+    // contract: once constructed, recording never touches the heap — not
+    // even when the ring wraps and starts evicting. 10 000 records into a
+    // 512-slot ring exercise both the fill and the wrap regimes.
+    let mut rec = FlightRecorder::new(512);
+    let before = allocs();
+    for i in 0..10_000u64 {
+        rec.record(
+            i * 100,
+            if i % 2 == 0 { FlightKind::Send } else { FlightKind::Recv },
+            Some("gather-x"),
+            Some(i % 7),
+            Some((i % 5) as usize),
+            6,
+            (i % 3 == 0).then_some(i),
+        );
+    }
+    let after = allocs();
+    assert_eq!(after - before, 0, "flight recording must not touch the heap");
+    let snap = rec.snapshot(0);
+    assert_eq!(snap.events.len(), 512, "the ring retains exactly its capacity");
+    assert_eq!(snap.overhead.recorded, 10_000);
+    assert_eq!(snap.overhead.dropped, 9_488);
+    assert!(snap.events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
 }

@@ -69,6 +69,11 @@ pub struct WorkspacePool {
     free: Mutex<Vec<Vec<f64>>>,
     leases: AtomicU64,
     fresh: AtomicU64,
+    /// The request currently charged for leases, stored as `id + 1`
+    /// (0 = untagged) so the untagged state needs no `Option` in an
+    /// atomic.
+    current_request: AtomicU64,
+    request_leases: AtomicU64,
 }
 
 impl WorkspacePool {
@@ -85,6 +90,9 @@ impl WorkspacePool {
     /// served buffer's capacity had to grow.
     pub fn lease_zeroed(&self, len: usize) -> Vec<f64> {
         self.leases.fetch_add(1, Ordering::Relaxed);
+        if self.current_request.load(Ordering::Relaxed) != 0 {
+            self.request_leases.fetch_add(1, Ordering::Relaxed);
+        }
         let mut buf = self.free.lock().expect("workspace pool poisoned").pop().unwrap_or_default();
         if buf.capacity() < len {
             self.fresh.fetch_add(1, Ordering::Relaxed);
@@ -113,6 +121,31 @@ impl WorkspacePool {
     /// Buffers currently sitting in the free list.
     pub fn pooled(&self) -> usize {
         self.free.lock().expect("workspace pool poisoned").len()
+    }
+
+    /// Tags subsequent leases with serving request `id` — the batched
+    /// serving driver sets this around each request's compute so pool
+    /// activity is attributable per request.
+    pub fn set_request(&self, id: u64) {
+        self.current_request.store(id.saturating_add(1), Ordering::Relaxed);
+    }
+
+    /// Clears the request tag; subsequent leases are untagged.
+    pub fn clear_request(&self) {
+        self.current_request.store(0, Ordering::Relaxed);
+    }
+
+    /// The request currently charged for leases, if any.
+    pub fn current_request(&self) -> Option<u64> {
+        match self.current_request.load(Ordering::Relaxed) {
+            0 => None,
+            tagged => Some(tagged - 1),
+        }
+    }
+
+    /// Leases served while a request tag was active.
+    pub fn request_lease_count(&self) -> u64 {
+        self.request_leases.load(Ordering::Relaxed)
     }
 }
 
@@ -449,6 +482,26 @@ mod tests {
         let e = ws.lease_zeroed(64);
         assert_eq!(ws.fresh_count(), 2);
         ws.give_back(e);
+    }
+
+    #[test]
+    fn request_tagging_attributes_leases() {
+        let ws = WorkspacePool::new();
+        assert_eq!(ws.current_request(), None);
+        ws.give_back(ws.lease_zeroed(8));
+        assert_eq!(ws.request_lease_count(), 0, "untagged leases are not charged");
+        ws.set_request(0); // request id 0 is a valid, distinct tag
+        assert_eq!(ws.current_request(), Some(0));
+        ws.give_back(ws.lease_zeroed(8));
+        ws.set_request(41);
+        assert_eq!(ws.current_request(), Some(41));
+        ws.give_back(ws.lease_zeroed(8));
+        assert_eq!(ws.request_lease_count(), 2);
+        ws.clear_request();
+        assert_eq!(ws.current_request(), None);
+        ws.give_back(ws.lease_zeroed(8));
+        assert_eq!(ws.request_lease_count(), 2);
+        assert_eq!(ws.lease_count(), 4);
     }
 
     #[test]
