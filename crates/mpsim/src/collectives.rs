@@ -26,6 +26,19 @@ const TAG_REDUCE_SCATTER: u64 = 3 << 48;
 const TAG_STAR: u64 = 4 << 48;
 
 impl Comm {
+    /// `recv` for collective steps: the first rank whose receive fails
+    /// trips the universe's shared abort flag ([`Comm::fail_fast`]) before
+    /// propagating the error, so every other participant blocked inside
+    /// the deserted collective returns `Err` within one abort-poll
+    /// interval instead of waiting out its own full timeout.
+    fn recv_or_abort(&self, src: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        let out = self.recv(src, tag);
+        if out.is_err() {
+            self.fail_fast();
+        }
+        out
+    }
+
     /// Personalized all-to-all: rank `r` sends `sendbufs[d]` to rank `d` and
     /// returns `recv` with `recv[s]` = the buffer rank `s` addressed to `r`.
     /// Buffers may be empty and of varying sizes (the "v" variant).
@@ -57,7 +70,7 @@ impl Comm {
                         TAG_ALL_TO_ALL + step as u64,
                         std::mem::take(&mut sendbufs[dst]),
                     );
-                    recv[src] = self.recv(src, TAG_ALL_TO_ALL + step as u64)?;
+                    recv[src] = self.recv_or_abort(src, TAG_ALL_TO_ALL + step as u64)?;
                     self.count_round();
                 }
                 Ok(())
@@ -89,7 +102,8 @@ impl Comm {
                     let block = out[fwd_origin].clone().expect("ring invariant");
                     self.send(next, TAG_ALL_GATHER + step as u64, block);
                     let recv_origin = (rank + p - step - 1) % p;
-                    out[recv_origin] = Some(self.recv(prev, TAG_ALL_GATHER + step as u64)?);
+                    out[recv_origin] =
+                        Some(self.recv_or_abort(prev, TAG_ALL_GATHER + step as u64)?);
                     self.count_round();
                 }
             }
@@ -116,7 +130,7 @@ impl Comm {
                     TAG_REDUCE_SCATTER + step as u64,
                     std::mem::take(&mut contribs[dst]),
                 );
-                let piece = self.recv(src, TAG_REDUCE_SCATTER + step as u64)?;
+                let piece = self.recv_or_abort(src, TAG_REDUCE_SCATTER + step as u64)?;
                 assert_eq!(
                     piece.len(),
                     acc.len(),
@@ -144,7 +158,7 @@ impl Comm {
             if rank == 0 {
                 let mut acc = local;
                 for src in 1..p {
-                    let piece = self.recv(src, TAG_STAR)?;
+                    let piece = self.recv_or_abort(src, TAG_STAR)?;
                     assert_eq!(
                         piece.len(),
                         acc.len(),
@@ -160,7 +174,7 @@ impl Comm {
                 Ok(acc)
             } else {
                 self.send(0, TAG_STAR, local);
-                self.recv(0, TAG_STAR + 1)
+                self.recv_or_abort(0, TAG_STAR + 1)
             }
         })
     }
@@ -177,7 +191,7 @@ impl Comm {
                 }
                 Ok(data)
             } else {
-                self.recv(root, TAG_STAR + 2)
+                self.recv_or_abort(root, TAG_STAR + 2)
             }
         })
     }
@@ -191,7 +205,7 @@ impl Comm {
                 out[root] = local;
                 for (src, slot) in out.iter_mut().enumerate() {
                     if src != root {
-                        *slot = self.recv(src, TAG_STAR + 3)?;
+                        *slot = self.recv_or_abort(src, TAG_STAR + 3)?;
                     }
                 }
                 Ok(Some(out))

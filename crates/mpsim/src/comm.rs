@@ -3,6 +3,7 @@
 //! (when enabled) timestamped event tracing with phase/round annotation.
 
 use crate::cost::{CommEvent, CommEventKind, SharedCounters};
+use crate::fault::{FaultPlan, FaultState, InjectedFault, SendAction};
 use crate::flight::{FlightKind, FlightRecorder, FlightSnapshot};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,6 +26,10 @@ pub struct Msg {
     pub tag: u64,
     /// Payload words.
     pub data: Vec<f64>,
+    /// Marks a chaos-injected duplicate delivery. Receivers discard marked
+    /// copies on intake (the model of sequence-number deduplication), so a
+    /// duplicate can never be claimed by a later tag-matched receive.
+    pub dup: bool,
 }
 
 /// Identity and last phase/round annotations of the rank whose panic
@@ -172,6 +177,10 @@ pub struct Comm {
     trace: Option<RefCell<Vec<CommEvent>>>,
     /// Always-on bounded flight recorder (capacity 0 disables).
     flight: RefCell<FlightRecorder>,
+    /// Chaos state when the universe has a [`FaultPlan`] installed that can
+    /// actually inject something this attempt; `None` otherwise, so an
+    /// inert plan costs one branch per send and nothing per receive.
+    faults: Option<RefCell<FaultState>>,
 }
 
 impl Comm {
@@ -189,6 +198,7 @@ impl Comm {
         epoch: Instant,
         tracing: bool,
         flight_capacity: usize,
+        faults: Option<FaultPlan>,
     ) -> Self {
         Comm {
             rank,
@@ -205,6 +215,9 @@ impl Comm {
             request: Cell::new(None),
             trace: tracing.then(|| RefCell::new(Vec::new())),
             flight: RefCell::new(FlightRecorder::new(flight_capacity)),
+            faults: faults
+                .filter(FaultPlan::is_active)
+                .map(|plan| RefCell::new(FaultState::new(plan, rank))),
         }
     }
 
@@ -382,26 +395,94 @@ impl Comm {
         self.senders.len()
     }
 
+    /// Records one injected fault in the trace and the flight ring, so a
+    /// post-mortem can tell chaos apart from organic failures.
+    fn record_fault(&self, fault: InjectedFault, peer: usize, words: u64) {
+        self.record(CommEventKind::Fault { fault, peer, words });
+        self.record_flight(FlightKind::Fault, Some(peer), words);
+    }
+
+    /// Trips the universe's shared abort flag, attributed to this rank at
+    /// its current phase/round — the fail-fast signal. Every peer blocked
+    /// in [`Comm::recv`] observes it within one abort-poll interval
+    /// (sub-100 ms) and returns [`CommError::Disconnected`]. First caller
+    /// wins the attribution; later trips are no-ops on the info slot.
+    ///
+    /// Collectives call this on their first receive failure so a deserted
+    /// collective errors on *every* surviving rank instead of leaving the
+    /// others to block out their own full timeouts.
+    pub fn fail_fast(&self) {
+        self.abort.trip(AbortInfo {
+            rank: self.rank,
+            phase: self.phase.get(),
+            round: self.round.get(),
+        });
+    }
+
     /// Sends `data` to `dst` with a user `tag`. Non-blocking (links are
     /// unbounded); counts `data.len()` words and one message.
     ///
+    /// Counters, trace and flight records are charged only for messages
+    /// that actually enter the network: a send to a rank that has already
+    /// exited (its receiver is gone) and a chaos-injected drop both leave
+    /// the word counters untouched, so a post-mortem's counter/matrix
+    /// reconciliation stays exact on failure paths.
+    ///
     /// # Panics
     /// Panics on self-sends — local data movement is free in the model and
-    /// should not go through the network.
+    /// should not go through the network. Panics with a `chaos:` message
+    /// when an installed [`FaultPlan`] crashes this rank here.
     pub fn send(&self, dst: usize, tag: u64, data: Vec<f64>) {
         assert_ne!(
             dst, self.rank,
             "rank {}: self-send (local copies are not communication)",
             self.rank
         );
-        let counters = self.counters.rank(self.rank);
-        counters.words_sent.fetch_add(data.len() as u64, Ordering::Relaxed);
-        counters.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        self.record(CommEventKind::Send { dst, tag, words: data.len() as u64 });
-        self.record_flight(FlightKind::Send, Some(dst), data.len() as u64);
-        // A send can only fail if the destination already exited; that rank's
-        // result does not depend on this message, so drop it silently.
-        let _ = self.senders[dst].send(Msg { src: self.rank, tag, data });
+        if let Some(faults) = &self.faults {
+            let mut st = faults.borrow_mut();
+            if st.crash_due(self.rank, self.phase.get(), self.round.get()) {
+                drop(st);
+                self.record_fault(InjectedFault::Crash, dst, data.len() as u64);
+                self.fail_fast();
+                panic!("chaos: injected crash on rank {} (send)", self.rank);
+            }
+            let action = st.on_send(self.rank);
+            drop(st);
+            match action {
+                SendAction::Deliver => {}
+                SendAction::Drop => {
+                    // Discarded before reaching the network: no counters, no
+                    // send record — only the fault record shows the intent.
+                    self.record_fault(InjectedFault::Drop, dst, data.len() as u64);
+                    return;
+                }
+                SendAction::Duplicate => {
+                    self.record_fault(InjectedFault::Duplicate, dst, data.len() as u64);
+                    // The duplicate is a network artifact the receiver
+                    // dedups on intake; it is not charged as traffic.
+                    let _ = self.senders[dst].send(Msg {
+                        src: self.rank,
+                        tag,
+                        data: data.clone(),
+                        dup: true,
+                    });
+                }
+                SendAction::Delay(delay) => {
+                    self.record_fault(InjectedFault::Delay, dst, data.len() as u64);
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        let words = data.len() as u64;
+        // An Err means the destination already exited; the message never
+        // entered the network, so it must not appear in the cost counters.
+        if self.senders[dst].send(Msg { src: self.rank, tag, data, dup: false }).is_ok() {
+            let counters = self.counters.rank(self.rank);
+            counters.words_sent.fetch_add(words, Ordering::Relaxed);
+            counters.msgs_sent.fetch_add(1, Ordering::Relaxed);
+            self.record(CommEventKind::Send { dst, tag, words });
+            self.record_flight(FlightKind::Send, Some(dst), words);
+        }
     }
 
     /// Receives the message from `src` carrying `tag`, buffering any other
@@ -411,6 +492,13 @@ impl Comm {
     /// granularity while blocked, so a dead peer never costs the full
     /// timeout).
     pub fn recv(&self, src: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        if let Some(faults) = &self.faults {
+            if faults.borrow().crash_due(self.rank, self.phase.get(), self.round.get()) {
+                self.record_fault(InjectedFault::Crash, src, 0);
+                self.fail_fast();
+                panic!("chaos: injected crash on rank {} (recv)", self.rank);
+            }
+        }
         // Check the mailbox first.
         {
             let mut mailbox = self.mailbox.borrow_mut();
@@ -435,6 +523,11 @@ impl Comm {
             }
             match self.receiver.recv_timeout(remaining.min(ABORT_POLL)) {
                 Ok(msg) => {
+                    if msg.dup {
+                        // Chaos-injected duplicate: the receiver-side dedup
+                        // discards it before matching or accounting.
+                        continue;
+                    }
                     if msg.src == src && msg.tag == tag {
                         return Ok(self.account_recv(msg));
                     }
@@ -592,6 +685,7 @@ mod tests {
                     CommEventKind::Send { .. } => "send".to_string(),
                     CommEventKind::Recv { .. } => "recv".to_string(),
                     CommEventKind::Counter { key, .. } => format!("#{key}"),
+                    CommEventKind::Fault { fault, .. } => format!("!{}", fault.label()),
                 })
                 .collect();
             assert_eq!(labels[..3], ["+outer", "+inner", "-inner"]);

@@ -64,6 +64,19 @@ pub enum CommEventKind {
         /// The sampled value.
         value: u64,
     },
+    /// A chaos-injected fault (see [`crate::fault::FaultPlan`]) — recorded
+    /// so post-mortems can separate injected failures from organic ones.
+    /// Injected drops and duplicates move no accountable traffic, so this
+    /// event contributes 0 to [`CommEvent::words`].
+    Fault {
+        /// What was injected.
+        fault: crate::fault::InjectedFault,
+        /// The peer the affected message addressed (destination for send-
+        /// side faults, expected source for a crash inside `recv`).
+        peer: usize,
+        /// Words in the affected message (0 for a crash inside `recv`).
+        words: u64,
+    },
 }
 
 /// One timestamped, phase-annotated event recorded when tracing is enabled.

@@ -47,15 +47,26 @@ pub enum FlightKind {
     PhaseEnter,
     /// A [`crate::Comm::with_phase`] scope closed.
     PhaseExit,
+    /// A chaos-injected fault (see [`crate::fault::FaultPlan`]); `words`
+    /// carries the affected message's size, `peer` its counterpart.
+    Fault,
 }
 
+/// Flag bit in [`Packed::kind`] marking a record in which at least one
+/// field was clamped by width reduction — decoded into
+/// [`FlightEvent::saturated`] so consumers never mistake an aliased value
+/// (a clamped round, a >4 s delta, a truncated word count) for an exact
+/// one.
+const KIND_SATURATED: u8 = 0x80;
+
 /// One packed ring record. 20 bytes; all lossy narrowings saturate and are
-/// counted, never silently wrapped.
+/// flagged per record (plus counted globally for deltas), never silently
+/// wrapped.
 #[derive(Clone, Copy, Default)]
 struct Packed {
     /// Nanoseconds since the previous record (saturating).
     dt_ns: u32,
-    /// [`FlightKind`] discriminant.
+    /// [`FlightKind`] discriminant, with [`KIND_SATURATED`] in the top bit.
     kind: u8,
     /// Phase intern index + 1; 0 = no phase.
     phase: u8,
@@ -86,6 +97,11 @@ pub struct FlightEvent {
     pub words: u64,
     /// Request-id annotation active when recorded (batched serving).
     pub request: Option<u64>,
+    /// True when any field of the packed record was clamped during width
+    /// reduction (round ≥ 65535, timestamp delta > ~4.29 s, words or peer
+    /// or request id beyond `u32` range) — the decoded values above are
+    /// then lower bounds, not exact.
+    pub saturated: bool,
 }
 
 /// The recorder's self-accounting: how much it recorded, lost and cost.
@@ -212,17 +228,26 @@ impl FlightRecorder {
         if !self.enabled() {
             return;
         }
+        let mut saturated = false;
         let dt = now_ns.saturating_sub(self.last_ns);
         let dt_ns = if dt > u32::MAX as u64 {
             self.saturated_deltas += 1;
+            saturated = true;
             u32::MAX
         } else {
             dt as u32
         };
         self.last_ns = now_ns;
+        // Rounds ≥ u16::MAX and request ids ≥ u32::MAX would alias to the
+        // clamped maximum after decode; flag the record instead of letting
+        // distinct values read back equal.
+        saturated |= round.is_some_and(|r| r >= u16::MAX as u64)
+            || peer.is_some_and(|p| p as u64 > u32::MAX as u64 - 1)
+            || words > u32::MAX as u64
+            || request.is_some_and(|r| r >= u32::MAX as u64);
         let packed = Packed {
             dt_ns,
-            kind: kind as u8,
+            kind: kind as u8 | if saturated { KIND_SATURATED } else { 0 },
             phase: self.intern_phase(phase),
             round: round.map_or(0, |r| r.saturating_add(1).min(u16::MAX as u64) as u16),
             peer: peer.map_or(u32::MAX, |p| p.min(u32::MAX as usize - 1) as u32),
@@ -270,17 +295,19 @@ impl FlightRecorder {
             .zip(&times)
             .map(|(p, &t_ns)| FlightEvent {
                 t_ns,
-                kind: match p.kind {
+                kind: match p.kind & !KIND_SATURATED {
                     0 => FlightKind::Send,
                     1 => FlightKind::Recv,
                     2 => FlightKind::PhaseEnter,
-                    _ => FlightKind::PhaseExit,
+                    3 => FlightKind::PhaseExit,
+                    _ => FlightKind::Fault,
                 },
                 phase: if p.phase == 0 { None } else { self.phases[(p.phase - 1) as usize] },
                 round: if p.round == 0 { None } else { Some(p.round as u64 - 1) },
                 peer: if p.peer == u32::MAX { None } else { Some(p.peer as usize) },
                 words: p.words as u64,
                 request: if p.request == 0 { None } else { Some(p.request as u64 - 1) },
+                saturated: p.kind & KIND_SATURATED != 0,
             })
             .collect();
         FlightSnapshot {
@@ -324,6 +351,7 @@ mod tests {
                 peer: Some(1),
                 words: 64,
                 request: Some(42),
+                saturated: false,
             }
         );
         assert_eq!(snap.events[1].t_ns, 250);
@@ -366,6 +394,44 @@ mod tests {
         let times: Vec<u64> = snap.events.iter().map(|e| e.t_ns).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]), "non-monotone: {times:?}");
         assert_eq!(*times.last().unwrap(), 20_000_000_100);
+        // The record whose delta clamped is flagged; its neighbours are not.
+        let flags: Vec<bool> = snap.events.iter().map(|e| e.saturated).collect();
+        assert_eq!(flags, vec![false, true, false]);
+    }
+
+    #[test]
+    fn clamped_rounds_are_flagged_not_silently_aliased() {
+        let mut rec = FlightRecorder::new(8);
+        // Exactly representable: round 65533 (stored as 65534).
+        rec.record(0, FlightKind::Send, None, Some(u16::MAX as u64 - 2), Some(0), 1, None);
+        // First aliasing value and far beyond: both clamp to the same
+        // stored maximum, so both must carry the saturated flag.
+        rec.record(1, FlightKind::Send, None, Some(u16::MAX as u64), Some(0), 1, None);
+        rec.record(2, FlightKind::Send, None, Some(u64::MAX), Some(0), 1, None);
+        // Word counts beyond u32 clamp and flag too.
+        rec.record(3, FlightKind::Send, None, None, Some(0), u64::MAX, None);
+        let snap = rec.snapshot(0);
+        assert_eq!(snap.events[0].round, Some(u16::MAX as u64 - 2));
+        assert!(!snap.events[0].saturated, "exactly-representable round must not be flagged");
+        assert!(snap.events[1].saturated && snap.events[2].saturated);
+        assert_eq!(snap.events[1].round, snap.events[2].round, "clamped values alias…");
+        assert!(snap.events[1].saturated, "…but the flag says they are not exact");
+        assert!(snap.events[3].saturated);
+        assert_eq!(snap.events[3].words, u32::MAX as u64);
+    }
+
+    #[test]
+    fn fault_kind_roundtrips() {
+        let mut rec = FlightRecorder::new(4);
+        rec.record(5, FlightKind::Fault, Some("gather-x"), Some(1), Some(2), 9, None);
+        let snap = rec.snapshot(1);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].kind, FlightKind::Fault);
+        assert_eq!(snap.events[0].peer, Some(2));
+        assert_eq!(snap.events[0].words, 9);
+        assert!(!snap.events[0].saturated);
+        // Fault records are not Send records: word sums stay clean.
+        assert_eq!(snap.words_sent(), 0);
     }
 
     #[test]

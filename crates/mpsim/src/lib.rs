@@ -26,11 +26,13 @@ pub mod collectives;
 pub mod collectives_tree;
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod flight;
 pub mod matching;
 
 pub use comm::{AbortInfo, Comm, CommError, Msg};
 pub use cost::{CommEvent, CommEventKind, CostReport, RankCost};
+pub use fault::{CrashSpec, FaultPlan, InjectedFault, XorShift64};
 pub use flight::{
     FlightEvent, FlightKind, FlightOverhead, FlightRecorder, FlightSnapshot,
     DEFAULT_FLIGHT_CAPACITY,
@@ -49,6 +51,7 @@ pub struct Universe {
     recv_timeout: Duration,
     tracing: bool,
     flight_capacity: usize,
+    faults: Option<FaultPlan>,
 }
 
 impl Universe {
@@ -61,6 +64,7 @@ impl Universe {
             recv_timeout: Duration::from_secs(60),
             tracing: false,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            faults: None,
         }
     }
 
@@ -83,6 +87,17 @@ impl Universe {
     /// recorder-off arm of overhead A/B measurements.
     pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
         self.flight_capacity = capacity;
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`] (symtensor-chaos): every rank
+    /// consults it on send/recv to drop, delay or duplicate messages and to
+    /// fire scheduled crashes. A plan that can inject nothing (all
+    /// probabilities zero, no exact drops, no crash due this attempt) is
+    /// observationally inert — counters, traces and flight windows are
+    /// bit-identical to a universe without the plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -245,6 +260,7 @@ impl Universe {
                 let barrier = barrier.clone();
                 let abort = abort.clone();
                 let timeout = self.recv_timeout;
+                let faults = self.faults.clone();
                 handles.push(scope.spawn(move || {
                     let comm = Comm::new(
                         rank,
@@ -257,6 +273,7 @@ impl Universe {
                         epoch,
                         tracing,
                         flight_capacity,
+                        faults,
                     );
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));

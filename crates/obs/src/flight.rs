@@ -36,6 +36,7 @@ fn kind_str(kind: FlightKind) -> &'static str {
         FlightKind::Recv => "recv",
         FlightKind::PhaseEnter => "phase_enter",
         FlightKind::PhaseExit => "phase_exit",
+        FlightKind::Fault => "fault",
     }
 }
 
@@ -50,11 +51,14 @@ fn event_json(e: &FlightEvent) -> Value {
     if let Some(peer) = e.peer {
         v.set("peer", peer);
     }
-    if e.kind == FlightKind::Send || e.kind == FlightKind::Recv {
+    if matches!(e.kind, FlightKind::Send | FlightKind::Recv | FlightKind::Fault) {
         v.set("words", e.words);
     }
     if let Some(request) = e.request {
         v.set("request", request);
+    }
+    if e.saturated {
+        v.set("saturated", true);
     }
     v
 }
@@ -147,7 +151,7 @@ pub fn chrome_from_flight(snapshots: &[FlightSnapshot], failing: Option<usize>) 
                         push_span(&mut events, snap.rank, phase, start, e.t_ns, false);
                     }
                 }
-                FlightKind::Send | FlightKind::Recv => {
+                FlightKind::Send | FlightKind::Recv | FlightKind::Fault => {
                     let mut args = Value::object();
                     if let Some(peer) = e.peer {
                         args.set("peer", peer);
@@ -159,10 +163,14 @@ pub fn chrome_from_flight(snapshots: &[FlightSnapshot], failing: Option<usize>) 
                     if let Some(request) = e.request {
                         args.set("request", request);
                     }
+                    // Injected faults get their own category so a
+                    // post-mortem reader can separate chaos from organic
+                    // traffic at a glance.
+                    let cat = if e.kind == FlightKind::Fault { "fault" } else { "comm" };
                     events.push(
                         Value::object()
                             .with("name", kind_str(e.kind))
-                            .with("cat", "comm")
+                            .with("cat", cat)
                             .with("ph", "i")
                             .with("s", "t")
                             .with("pid", PID)
@@ -260,6 +268,21 @@ pub fn reconcile_postmortem(failure: &RankFailure) -> Result<(), String> {
         for event in events {
             if let CommEventKind::Recv { src, words, .. } = event.kind {
                 recv_matrix.add(src, dst, words);
+            }
+        }
+    }
+    // No link can deliver more than was sent on it — injected duplicates
+    // are deduplicated before accounting and injected drops never charge
+    // the sender, so this holds even for chaos-injected aborted runs.
+    let p = failure.traces.len();
+    for src in 0..p {
+        for dst in 0..p {
+            if recv_matrix.words(src, dst) > send_matrix.words(src, dst) {
+                return Err(format!(
+                    "link {src}->{dst}: {} words received but only {} sent",
+                    recv_matrix.words(src, dst),
+                    send_matrix.words(src, dst)
+                ));
             }
         }
     }
@@ -381,6 +404,61 @@ mod tests {
             assert_eq!(snap.overhead.dropped, 0);
             assert_eq!(snap.words_sent(), 6);
         }
+    }
+
+    #[test]
+    fn postmortem_reconciles_after_injected_faults() {
+        use std::time::Duration;
+        use symtensor_mpsim::{CrashSpec, FaultPlan};
+        // Chaos run: rank 1's only send is dropped, rank 2 crashes on
+        // schedule. Counters, trace matrices and flight sums must still
+        // reconcile — the dropped transfer appears in none of them.
+        let plan = FaultPlan::seeded(11).drop_nth_send(1, 0).with_crash(CrashSpec {
+            rank: 2,
+            phase: "gather-x".into(),
+            round: 2,
+            on_attempt: None,
+        });
+        let failure = Universe::new(3)
+            .with_recv_timeout(Duration::from_millis(200))
+            .with_faults(plan)
+            .try_run_traced(|comm| {
+                comm.with_phase("gather-x", || {
+                    comm.annotate_round(2);
+                    let next = (comm.rank() + 1) % 3;
+                    comm.send(next, 0, vec![1.0; 6]);
+                    let prev = (comm.rank() + 2) % 3;
+                    let _ = comm.recv(prev, 0);
+                    comm.clear_round();
+                });
+            })
+            .unwrap_err();
+        assert_eq!(failure.rank, 2, "the scheduled crash is the root cause");
+        assert!(failure.message.contains("chaos"), "got: {}", failure.message);
+        reconcile_postmortem(&failure).unwrap();
+        // Rank 1's send was dropped before the network: 0 accountable
+        // words, but the injected fault is visible in its telemetry.
+        assert_eq!(failure.report.per_rank[1].words_sent, 0);
+        assert_eq!(failure.flight[1].words_sent(), 0);
+        let rank1_faults: Vec<_> = failure.traces[1]
+            .iter()
+            .filter_map(|e| match e.kind {
+                CommEventKind::Fault { fault, peer, words } => Some((fault, peer, words)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            rank1_faults,
+            vec![(symtensor_mpsim::InjectedFault::Drop, 2, 6)],
+            "the drop must be recorded as injected, not organic"
+        );
+        assert!(
+            failure.flight[2].events.iter().any(|e| e.kind == FlightKind::Fault),
+            "the crash leaves a fault record in rank 2's flight window"
+        );
+        // The dump renders and validates end to end.
+        let dump = postmortem_json(&failure);
+        assert_eq!(crate::validate(&dump), Ok(crate::ArtifactKind::Postmortem));
     }
 
     #[test]

@@ -117,8 +117,15 @@ fn check_flight_ranks(doc: &Value, what: &str) -> Result<(), String> {
             }
             last = t;
             let kind = require_str(e, "kind", &ectx)?;
-            if !["send", "recv", "phase_enter", "phase_exit"].contains(&kind) {
+            if !["send", "recv", "phase_enter", "phase_exit", "fault"].contains(&kind) {
                 return Err(format!("{ectx}: unknown kind `{kind}`"));
+            }
+            // The saturation flag is optional but, when present, must be a
+            // boolean — a numeric 1 would be ambiguous with a word count.
+            if let Some(sat) = e.get("saturated") {
+                if !matches!(sat, Value::Bool(_)) {
+                    return Err(format!("{ectx}: `saturated` is not a boolean"));
+                }
             }
         }
     }
@@ -242,6 +249,26 @@ mod tests {
 
         let doc = json::parse(r#"{"version": "symtensor-flight-v9"}"#).unwrap();
         assert!(validate(&doc).unwrap_err().contains("version"));
+
+        // `saturated` must be a real boolean, and `fault` is a known kind.
+        let doc = json::parse(
+            r#"{"version": "symtensor-flight-v1", "ranks": [
+                {"rank": 0, "words_sent": 0, "words_recv": 0,
+                 "overhead": {"capacity": 1, "recorded": 1, "dropped": 0,
+                              "saturated_deltas": 0, "overhead_ns": 0},
+                 "events": [{"t_ns": 1, "kind": "fault", "saturated": 1}]}]}"#,
+        )
+        .unwrap();
+        assert!(validate(&doc).unwrap_err().contains("saturated"));
+        let doc = json::parse(
+            r#"{"version": "symtensor-flight-v1", "ranks": [
+                {"rank": 0, "words_sent": 0, "words_recv": 0,
+                 "overhead": {"capacity": 1, "recorded": 1, "dropped": 0,
+                              "saturated_deltas": 0, "overhead_ns": 0},
+                 "events": [{"t_ns": 1, "kind": "fault", "words": 6, "saturated": true}]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(validate(&doc), Ok(ArtifactKind::Flight));
 
         let doc =
             json::parse(r#"{"rows": [{"kernel": "k"}], "threshold": 0.25, "regressed": false}"#)

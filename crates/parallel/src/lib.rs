@@ -53,4 +53,7 @@ pub use algorithm5::{
 pub use partition::TetraPartition;
 pub use plan::{PlanWorkspace, RankPlan};
 pub use schedule::CommSchedule;
-pub use serve::{parallel_sttsv_serve, RequestRecord, ServeRequest, ServeRun};
+pub use serve::{
+    parallel_sttsv_serve, parallel_sttsv_serve_chaos, ChaosPolicy, RequestRecord, ServeError,
+    ServeRequest, ServeRun,
+};

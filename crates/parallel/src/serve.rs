@@ -21,8 +21,10 @@
 use crate::algorithm5::{BatchSpans, Mode, RankContext};
 use crate::partition::TetraPartition;
 use crate::schedule::CommSchedule;
+use std::time::Duration;
+use symtensor_core::seq::sttsv_sym;
 use symtensor_core::SymTensor3;
-use symtensor_mpsim::{Comm, CostReport, FlightSnapshot, Universe};
+use symtensor_mpsim::{Comm, CostReport, FaultPlan, FlightSnapshot, RankCost, Universe};
 use symtensor_pool::Pool;
 
 /// One STTSV request submitted to the serving layer.
@@ -45,6 +47,26 @@ impl ServeRequest {
         ServeRequest { id, arrival_ns: 0, x }
     }
 }
+
+/// A structured serving-layer error — invalid configurations return this
+/// instead of panicking deep inside the batch loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// `batch_cap == 0`: the batch loop could never make progress.
+    ZeroBatchCap,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ZeroBatchCap => {
+                write!(f, "batch capacity must be positive (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// The measured latency decomposition of one served request. All values
 /// are straggler-merged across ranks: a span is the slowest rank's,
@@ -69,6 +91,13 @@ pub struct RequestRecord {
     pub exchange_ns: u64,
     /// Arrival → every rank finished extracting the batch's outputs.
     pub e2e_ns: u64,
+    /// Failed attempts the carrying batch absorbed before it succeeded (or
+    /// was degraded). Always 0 on the fault-free path.
+    pub retries: u32,
+    /// True when the batch exhausted its retries and this request's answer
+    /// came from the sequential [`sttsv_sym`] fallback instead of the
+    /// distributed kernel.
+    pub degraded: bool,
 }
 
 /// One rank's per-batch measurement, produced inside the simulated rank.
@@ -105,12 +134,77 @@ pub struct ServeRun {
     pub flight: Vec<FlightSnapshot>,
 }
 
+/// Extracts one rank's shards for every request in a batch.
+fn extract_shards(part: &TetraPartition, p: usize, batch: &[ServeRequest]) -> Vec<Vec<Vec<f64>>> {
+    batch
+        .iter()
+        .map(|r| {
+            part.r_set(p)
+                .iter()
+                .map(|&i| {
+                    let block = &r.x[part.block_range(i)];
+                    block[part.shard_range(i, p)].to_vec()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Straggler-merges one batch's per-rank measurements into request
+/// records and assembles its slice of the outputs.
+#[allow(clippy::too_many_arguments)]
+fn merge_batch(
+    part: &TetraPartition,
+    batch: &[ServeRequest],
+    k: usize,
+    per_rank: &[&RankBatch],
+    retries: u32,
+    offset: usize,
+    ys: &mut [Vec<f64>],
+    ternary_per_rank: &mut [u64],
+    records: &mut Vec<RequestRecord>,
+) {
+    let begin = per_rank.iter().map(|b| b.begin_ns).max().unwrap_or(0);
+    let form = per_rank.iter().map(|b| b.formed_ns.saturating_sub(b.begin_ns)).max().unwrap_or(0);
+    let gather = per_rank.iter().map(|b| b.spans.gather_ns).max().unwrap_or(0);
+    let reduce = per_rank.iter().map(|b| b.spans.reduce_ns).max().unwrap_or(0);
+    let end = per_rank.iter().map(|b| b.spans.end_ns).max().unwrap_or(0);
+    for (v, r) in batch.iter().enumerate() {
+        let compute =
+            per_rank.iter().map(|b| b.spans.compute_ns.get(v).copied().unwrap_or(0)).max();
+        records.push(RequestRecord {
+            id: r.id,
+            batch: k,
+            batch_index: v,
+            queue_wait_ns: begin.saturating_sub(r.arrival_ns),
+            batch_form_ns: form,
+            compute_ns: compute.unwrap_or(0),
+            exchange_ns: gather + reduce,
+            e2e_ns: end.saturating_sub(r.arrival_ns),
+            retries,
+            degraded: false,
+        });
+    }
+    for (p, rb) in per_rank.iter().enumerate() {
+        ternary_per_rank[p] += rb.ternary;
+        for (v, shards) in rb.ys.iter().enumerate() {
+            for (t, &i) in part.r_set(p).iter().enumerate() {
+                let global = part.block_range(i);
+                let local = part.shard_range(i, p);
+                ys[offset + v][global.start + local.start..global.start + local.end]
+                    .copy_from_slice(&shards[t]);
+            }
+        }
+    }
+}
+
 /// Serves `requests` through the compiled-plan batched STTSV kernel.
 ///
 /// Requests are carried in submission order, `batch_cap` per batch (the
 /// last batch may be smaller). `threads > 1` attaches a worker [`Pool`]
 /// per rank, whose workspace leases are tagged with the running request's
-/// id. Panics if `batch_cap == 0` or any vector has the wrong dimension.
+/// id. Returns [`ServeError::ZeroBatchCap`] when `batch_cap == 0`;
+/// panics if any vector has the wrong dimension.
 pub fn parallel_sttsv_serve(
     tensor: &SymTensor3,
     part: &TetraPartition,
@@ -118,8 +212,10 @@ pub fn parallel_sttsv_serve(
     mode: Mode,
     threads: usize,
     batch_cap: usize,
-) -> ServeRun {
-    assert!(batch_cap > 0, "batch capacity must be positive");
+) -> Result<ServeRun, ServeError> {
+    if batch_cap == 0 {
+        return Err(ServeError::ZeroBatchCap);
+    }
     let n = part.dim();
     assert_eq!(tensor.dim(), n);
     for r in requests {
@@ -140,20 +236,8 @@ pub fn parallel_sttsv_serve(
         for batch in &batches {
             let begin_ns = comm.elapsed_ns();
             let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
-            let my_shards: Vec<Vec<Vec<f64>>> = comm.with_phase("batch-form", || {
-                batch
-                    .iter()
-                    .map(|r| {
-                        part.r_set(p)
-                            .iter()
-                            .map(|&i| {
-                                let block = &r.x[part.block_range(i)];
-                                block[part.shard_range(i, p)].to_vec()
-                            })
-                            .collect()
-                    })
-                    .collect()
-            });
+            let my_shards: Vec<Vec<Vec<f64>>> =
+                comm.with_phase("batch-form", || extract_shards(part, p, batch));
             let formed_ns = comm.elapsed_ns();
             let (ys, ternary, spans) = ctx.sttsv_multi_requests(comm, &my_shards, &ids);
             out.push(RankBatch { begin_ns, formed_ns, spans, ys, ternary });
@@ -170,41 +254,172 @@ pub fn parallel_sttsv_serve(
     let mut offset = 0usize;
     for (k, batch) in batches.iter().enumerate() {
         let per_rank: Vec<&RankBatch> = rank_results.iter().map(|b| &b[k]).collect();
-        let begin = per_rank.iter().map(|b| b.begin_ns).max().unwrap_or(0);
-        let form =
-            per_rank.iter().map(|b| b.formed_ns.saturating_sub(b.begin_ns)).max().unwrap_or(0);
-        let gather = per_rank.iter().map(|b| b.spans.gather_ns).max().unwrap_or(0);
-        let reduce = per_rank.iter().map(|b| b.spans.reduce_ns).max().unwrap_or(0);
-        let end = per_rank.iter().map(|b| b.spans.end_ns).max().unwrap_or(0);
-        for (v, r) in batch.iter().enumerate() {
-            let compute =
-                per_rank.iter().map(|b| b.spans.compute_ns.get(v).copied().unwrap_or(0)).max();
-            records.push(RequestRecord {
-                id: r.id,
-                batch: k,
-                batch_index: v,
-                queue_wait_ns: begin.saturating_sub(r.arrival_ns),
-                batch_form_ns: form,
-                compute_ns: compute.unwrap_or(0),
-                exchange_ns: gather + reduce,
-                e2e_ns: end.saturating_sub(r.arrival_ns),
-            });
+        merge_batch(
+            part,
+            batch,
+            k,
+            &per_rank,
+            0,
+            offset,
+            &mut ys,
+            &mut ternary_per_rank,
+            &mut records,
+        );
+        offset += batch.len();
+    }
+    Ok(ServeRun { ys, report, ternary_per_rank, records, flight })
+}
+
+/// How the chaos serving layer injects faults and recovers from them.
+#[derive(Clone, Debug)]
+pub struct ChaosPolicy {
+    /// The deterministic fault plan installed into every batch attempt
+    /// (re-keyed per attempt via [`FaultPlan::for_attempt`]).
+    pub plan: FaultPlan,
+    /// Failed attempts a batch may absorb before its requests degrade to
+    /// the sequential fallback.
+    pub max_retries: u32,
+    /// Base backoff between attempts; attempt `k` sleeps `backoff << k`.
+    pub backoff: Duration,
+    /// Per-recv timeout inside each attempt — keeps a deserted collective
+    /// from stalling the retry loop for the default 60 s.
+    pub recv_timeout: Duration,
+}
+
+impl ChaosPolicy {
+    /// A policy with serving-friendly defaults: 2 retries, 10 ms base
+    /// backoff, 250 ms recv timeout.
+    pub fn new(plan: FaultPlan) -> Self {
+        ChaosPolicy {
+            plan,
+            max_retries: 2,
+            backoff: Duration::from_millis(10),
+            recv_timeout: Duration::from_millis(250),
         }
-        for (p, rank_batch) in rank_results.iter().enumerate() {
-            let rb = &rank_batch[k];
-            ternary_per_rank[p] += rb.ternary;
-            for (v, shards) in rb.ys.iter().enumerate() {
-                for (t, &i) in part.r_set(p).iter().enumerate() {
-                    let global = part.block_range(i);
-                    let local = part.shard_range(i, p);
-                    ys[offset + v][global.start + local.start..global.start + local.end]
-                        .copy_from_slice(&shards[t]);
+    }
+}
+
+/// [`parallel_sttsv_serve`] with deterministic fault injection and
+/// bounded-retry recovery.
+///
+/// Each batch runs in its own [`Universe`] with `policy.plan` installed.
+/// When a rank fails (injected crash, or a timeout forced by dropped
+/// messages), the whole batch is retried with exponential backoff, up to
+/// `policy.max_retries` times; each retry re-keys the plan's PRNG streams
+/// via [`FaultPlan::for_attempt`], so an attempt-0 crash spec lets the
+/// retry succeed. A batch that exhausts its retries is *degraded*: every
+/// request in it is answered by the sequential [`sttsv_sym`] fallback and
+/// its records carry `degraded = true` with zeroed timing spans.
+///
+/// Recovered (non-degraded) outputs are bit-identical to the fault-free
+/// [`parallel_sttsv_serve`] run — a retried batch recomputes from the
+/// original request vectors in a fresh universe, and the arithmetic is
+/// deterministic. The merged [`CostReport`] includes the words actually
+/// moved by *failed* attempts too: retries have a real communication
+/// cost. `flight` holds the final attempt of the last batch (earlier
+/// windows are superseded); with an inert plan (`drop_prob = 0`, no
+/// crash) the per-batch costs equal the fault-free path's.
+pub fn parallel_sttsv_serve_chaos(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    requests: &[ServeRequest],
+    mode: Mode,
+    threads: usize,
+    batch_cap: usize,
+    policy: &ChaosPolicy,
+) -> Result<ServeRun, ServeError> {
+    if batch_cap == 0 {
+        return Err(ServeError::ZeroBatchCap);
+    }
+    let n = part.dim();
+    assert_eq!(tensor.dim(), n);
+    for r in requests {
+        assert_eq!(r.x.len(), n, "request {} has wrong dimension", r.id);
+    }
+    let p_count = part.num_procs();
+    let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
+    let batches: Vec<&[ServeRequest]> = requests.chunks(batch_cap).collect();
+
+    let mut ys = vec![vec![0.0; n]; requests.len()];
+    let mut report = CostReport { per_rank: vec![RankCost::default(); p_count] };
+    let mut ternary_per_rank = vec![0u64; p_count];
+    let mut records = Vec::with_capacity(requests.len());
+    let mut flight: Vec<FlightSnapshot> = Vec::new();
+    let mut offset = 0usize;
+    for (k, batch) in batches.iter().enumerate() {
+        let rank_main = |comm: &Comm| {
+            let p = comm.rank();
+            let pool = (threads > 1).then(|| Pool::new(threads));
+            let mut ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref()).with_plan();
+            if let Some(pool) = pool.as_ref() {
+                ctx = ctx.with_pool(pool);
+            }
+            let begin_ns = comm.elapsed_ns();
+            let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+            let my_shards: Vec<Vec<Vec<f64>>> =
+                comm.with_phase("batch-form", || extract_shards(part, p, batch));
+            let formed_ns = comm.elapsed_ns();
+            let (ys, ternary, spans) = ctx.sttsv_multi_requests(comm, &my_shards, &ids);
+            RankBatch { begin_ns, formed_ns, spans, ys, ternary }
+        };
+
+        let mut attempt = 0u32;
+        let survived = loop {
+            let universe = Universe::new(p_count)
+                .with_recv_timeout(policy.recv_timeout)
+                .with_faults(policy.plan.for_attempt(attempt));
+            match universe.try_run_traced(rank_main) {
+                Ok((per_rank, batch_report, _traces, batch_flight)) => {
+                    report = report.merged(&batch_report);
+                    flight = batch_flight;
+                    break Some(per_rank);
+                }
+                Err(failure) => {
+                    // Failed attempts still moved real words — keep them.
+                    report = report.merged(&failure.report);
+                    flight = failure.flight;
+                    if attempt >= policy.max_retries {
+                        break None;
+                    }
+                    std::thread::sleep(policy.backoff * (1u32 << attempt.min(16)));
+                    attempt += 1;
+                }
+            }
+        };
+
+        match survived {
+            Some(per_rank) => {
+                let refs: Vec<&RankBatch> = per_rank.iter().collect();
+                merge_batch(
+                    part,
+                    batch,
+                    k,
+                    &refs,
+                    attempt,
+                    offset,
+                    &mut ys,
+                    &mut ternary_per_rank,
+                    &mut records,
+                );
+            }
+            None => {
+                for (v, r) in batch.iter().enumerate() {
+                    let (y, _ops) = sttsv_sym(tensor, &r.x);
+                    ys[offset + v] = y;
+                    records.push(RequestRecord {
+                        id: r.id,
+                        batch: k,
+                        batch_index: v,
+                        retries: policy.max_retries,
+                        degraded: true,
+                        ..RequestRecord::default()
+                    });
                 }
             }
         }
         offset += batch.len();
     }
-    ServeRun { ys, report, ternary_per_rank, records, flight }
+    Ok(ServeRun { ys, report, ternary_per_rank, records, flight })
 }
 
 #[cfg(test)]
@@ -238,7 +453,7 @@ mod tests {
             .enumerate()
             .map(|(i, x)| ServeRequest::new(100 + i as u64, x.clone()))
             .collect();
-        let run = parallel_sttsv_serve(&tensor, &part, &requests, Mode::Scheduled, 1, 2);
+        let run = parallel_sttsv_serve(&tensor, &part, &requests, Mode::Scheduled, 1, 2).unwrap();
         assert_eq!(run.ys.len(), 5);
         for (x, y) in xs.iter().zip(&run.ys) {
             let reference = parallel_sttsv(&tensor, &part, x, Mode::Scheduled);
@@ -260,7 +475,7 @@ mod tests {
         let xs = vectors(n, 6);
         let requests: Vec<ServeRequest> =
             xs.iter().enumerate().map(|(i, x)| ServeRequest::new(i as u64, x.clone())).collect();
-        let run = parallel_sttsv_serve(&tensor, &part, &requests, Mode::Scheduled, 2, 4);
+        let run = parallel_sttsv_serve(&tensor, &part, &requests, Mode::Scheduled, 2, 4).unwrap();
         assert_eq!(run.records.len(), 6);
         for (i, rec) in run.records.iter().enumerate() {
             assert_eq!(rec.id, i as u64);
@@ -283,7 +498,7 @@ mod tests {
             .enumerate()
             .map(|(i, x)| ServeRequest::new(40 + i as u64, x.clone()))
             .collect();
-        let run = parallel_sttsv_serve(&tensor, &part, &requests, Mode::Scheduled, 1, 3);
+        let run = parallel_sttsv_serve(&tensor, &part, &requests, Mode::Scheduled, 1, 3).unwrap();
         assert_eq!(run.flight.len(), part.num_procs());
         for snap in &run.flight {
             assert!(snap.overhead.recorded > 0, "recorder is always on");

@@ -4,7 +4,9 @@
 
 use std::time::Duration;
 use symtensor_mpsim::{CommError, Universe};
-use symtensor_parallel::{parallel_sttsv, Mode, TetraPartition};
+use symtensor_parallel::{
+    parallel_sttsv, parallel_sttsv_serve, Mode, ServeError, ServeRequest, TetraPartition,
+};
 use symtensor_steiner::{spherical, sqs8, SteinerSystem};
 
 #[test]
@@ -26,8 +28,9 @@ fn mismatched_schedule_surfaces_as_timeout() {
 
 #[test]
 fn collective_with_partial_participation_times_out() {
-    // Rank 2 skips the all-gather: everyone else must observe a timeout
-    // rather than deadlock.
+    // Rank 2 skips the all-gather: *every* surviving participant must
+    // observe the failure — the first timeout trips the shared abort
+    // flag, so nobody blocks out the full timeout on a dead peer.
     let universe = Universe::new(3).with_recv_timeout(Duration::from_millis(60));
     let (results, _) = universe.run(|comm| {
         if comm.rank() == 2 {
@@ -36,7 +39,38 @@ fn collective_with_partial_participation_times_out() {
             comm.all_gather(vec![1.0]).is_err()
         }
     });
-    assert!(results[0] || results[1], "at least one participant must observe the failure");
+    assert!(results[0], "rank 0 must observe the deserted collective");
+    assert!(results[1], "rank 1 must observe the deserted collective");
+}
+
+#[test]
+fn deserted_all_to_all_errors_on_every_survivor() {
+    // Same desertion, harder collective: all_to_all_v has P-1 rounds and
+    // each survivor only talks to the deserter in one of them. Fail-fast
+    // propagation must still bring everyone down within one abort poll.
+    let universe = Universe::new(4).with_recv_timeout(Duration::from_millis(80));
+    let (results, _) = universe.run(|comm| {
+        if comm.rank() == 3 {
+            true
+        } else {
+            let chunks: Vec<Vec<f64>> = (0..4).map(|d| vec![d as f64]).collect();
+            comm.all_to_all_v(chunks).is_err()
+        }
+    });
+    for (rank, observed) in results.iter().enumerate() {
+        assert!(observed, "rank {rank} must observe the deserted all-to-all");
+    }
+}
+
+#[test]
+fn zero_batch_cap_is_a_structured_error() {
+    // Regression: this used to panic inside `chunks(0)`.
+    let part = TetraPartition::new(spherical(2), 30).unwrap();
+    let tensor = symtensor_core::SymTensor3::zeros(30);
+    let requests = vec![ServeRequest::new(0, vec![0.0; 30])];
+    let err = parallel_sttsv_serve(&tensor, &part, &requests, Mode::Scheduled, 1, 0).unwrap_err();
+    assert_eq!(err, ServeError::ZeroBatchCap);
+    assert!(format!("{err}").contains("batch capacity"));
 }
 
 #[test]

@@ -91,7 +91,7 @@ fn serving_slo_report_links_p99_to_a_real_request() {
             ServeRequest { id: 100 + v as u64, arrival_ns: 0, x }
         })
         .collect();
-    let run = parallel_sttsv_serve(&tensor, &part, &requests, Mode::Scheduled, 1, 2);
+    let run = parallel_sttsv_serve(&tensor, &part, &requests, Mode::Scheduled, 1, 2).unwrap();
 
     // Served outputs are the single-vector answers, bit for bit.
     for (req, y) in requests.iter().zip(&run.ys) {
@@ -134,7 +134,7 @@ fn serve_flight_window_validates_and_carries_request_ids() {
     let (tensor, part) = setup(2);
     let n = part.dim();
     let requests: Vec<ServeRequest> = (0..3).map(|v| ServeRequest::new(7 + v, input(n))).collect();
-    let run = parallel_sttsv_serve(&tensor, &part, &requests, Mode::Scheduled, 1, 3);
+    let run = parallel_sttsv_serve(&tensor, &part, &requests, Mode::Scheduled, 1, 3).unwrap();
 
     let doc = flight_json(&run.flight);
     assert_eq!(validate(&doc), Ok(ArtifactKind::Flight));
