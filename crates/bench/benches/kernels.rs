@@ -104,6 +104,24 @@ fn bench_plan(c: &mut Criterion, rows: &mut Vec<Value>) {
             plan.load_full(ws, 0, black_box(&x_full));
             plan.compute(ws, 1, None)
         };
+        // Comm-free analog of the overlapped exchange: the same plan driven
+        // through the readiness machinery (owned-only prefix, then one
+        // simulated peer arrival at a time) instead of one barrier compute.
+        // Measures the dependency-tracking overhead the pipelining adds on
+        // top of the arena walk — the overlap's win is hidden wait, so its
+        // kernel cost must stay in the same band as `plan_arena`.
+        let overlap = |ws: &mut PlanWorkspace| {
+            plan.load_full(ws, 0, black_box(&x_full));
+            let mut st = plan.overlap_state(1, false);
+            plan.compute_overlapped(ws, &mut st, None);
+            st.take_flushable();
+            for pidx in 0..plan.peers().len() {
+                plan.note_gather_arrival(&mut st, pidx);
+                plan.compute_overlapped(ws, &mut st, None);
+                st.take_flushable();
+            }
+            plan.finish_overlapped(ws, &mut st, None)
+        };
 
         let ternary = legacy();
         group.throughput(Throughput::Elements(ternary));
@@ -113,12 +131,18 @@ fn bench_plan(c: &mut Criterion, rows: &mut Vec<Value>) {
         group.bench_with_input(BenchmarkId::new("plan_arena", n), &n, |bench, _| {
             bench.iter(|| arena(&mut ws))
         });
+        group.bench_with_input(BenchmarkId::new("plan_overlap", n), &n, |bench, _| {
+            bench.iter(|| overlap(&mut ws))
+        });
 
         let (ns_legacy, t_legacy) = measure(&mut legacy);
         record(rows, "owned_blocks", n, Some(q), ns_legacy, t_legacy);
         let (ns_plan, t_plan) = measure(|| arena(&mut ws));
         assert_eq!(t_plan, t_legacy, "q={q}: plan and legacy ternary counts must agree");
         record(rows, "plan_arena", n, Some(q), ns_plan, t_plan);
+        let (ns_overlap, t_overlap) = measure(|| overlap(&mut ws));
+        assert_eq!(t_overlap, t_legacy, "q={q}: overlapped ternary count must agree");
+        record(rows, "plan_overlap", n, Some(q), ns_overlap, t_overlap);
     }
     group.finish();
 }

@@ -284,8 +284,13 @@ fn parse_model(arg: Option<&String>) -> AlphaBetaModel {
         .map(|s| s.split(',').filter_map(|p| p.trim().parse().ok()).collect())
         .unwrap_or_default();
     match parts.as_slice() {
-        [alpha, beta, gamma] => AlphaBetaModel { alpha: *alpha, beta: *beta, gamma: *gamma },
-        _ => usage("--replay requires ALPHA,BETA,GAMMA (e.g. --replay 1000,0.5,1)"),
+        [alpha, beta, gamma] => {
+            AlphaBetaModel { alpha: *alpha, beta: *beta, gamma: *gamma, link_ns: 0.0 }
+        }
+        [alpha, beta, gamma, link] => {
+            AlphaBetaModel { alpha: *alpha, beta: *beta, gamma: *gamma, link_ns: *link }
+        }
+        _ => usage("--replay requires ALPHA,BETA,GAMMA[,LINK] (e.g. --replay 1000,0.5,1)"),
     }
 }
 

@@ -11,11 +11,14 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
-/// Granularity at which a blocked [`Comm::recv`] re-checks the universe's
-/// abort flag. A panicking peer therefore surfaces as
+/// Default granularity at which a blocked [`Comm::recv`] re-checks the
+/// universe's abort flag. A panicking peer therefore surfaces as
 /// [`CommError::Disconnected`] within this bound (sub-100 ms) instead of
-/// after the full receive timeout (60 s by default).
-const ABORT_POLL: Duration = Duration::from_millis(25);
+/// after the full receive timeout (60 s by default). Configurable per
+/// universe via [`crate::Universe::with_poll_interval`] — chaos suites
+/// drop it to ~2 ms so fail-fast paths cost milliseconds, not tens of
+/// them.
+pub(crate) const DEFAULT_POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 /// A point-to-point message: source rank, user tag, payload of words.
 #[derive(Clone, Debug)]
@@ -156,12 +159,14 @@ pub struct Comm {
     counters: SharedCounters,
     barrier: Arc<Barrier>,
     recv_timeout: Duration,
+    /// Granularity at which blocked receives re-check the abort flag.
+    poll_interval: Duration,
     /// Tripped by the universe when any rank panics; blocked receives poll
-    /// it (at [`ABORT_POLL`] granularity) so surviving ranks fail fast
-    /// instead of waiting out the full timeout — surviving sender clones
-    /// keep the mpsc channels alive, so the `Disconnected` state would
-    /// otherwise never be observed. Carries the aborting rank's identity
-    /// and last phase/round for error attribution.
+    /// it (at [`Comm::poll_interval`] granularity) so surviving ranks fail
+    /// fast instead of waiting out the full timeout — surviving sender
+    /// clones keep the mpsc channels alive, so the `Disconnected` state
+    /// would otherwise never be observed. Carries the aborting rank's
+    /// identity and last phase/round for error attribution.
     abort: Arc<AbortState>,
     /// Shared start instant of the universe — event timestamps are
     /// nanoseconds since this epoch.
@@ -194,6 +199,7 @@ impl Comm {
         counters: SharedCounters,
         barrier: Arc<Barrier>,
         recv_timeout: Duration,
+        poll_interval: Duration,
         abort: Arc<AbortState>,
         epoch: Instant,
         tracing: bool,
@@ -208,6 +214,7 @@ impl Comm {
             counters,
             barrier,
             recv_timeout,
+            poll_interval,
             abort,
             epoch,
             phase: Cell::new(None),
@@ -228,10 +235,21 @@ impl Comm {
     }
 
     /// Drains the event log recorded so far (empty when tracing is
-    /// disabled). Prefer [`crate::Universe::run_traced`], which collects
-    /// every rank's full log at the end of the run without this mid-run
-    /// destructive drain.
+    /// disabled).
+    #[deprecated(
+        since = "0.6.0",
+        note = "destructive mid-run drains truncate the logs that \
+                `Universe::run_traced` collects at the end of the run; \
+                use the non-destructive traced entry points instead"
+    )]
     pub fn take_trace(&self) -> Vec<CommEvent> {
+        self.drain_trace()
+    }
+
+    /// Crate-internal trace drain: the universe calls this exactly once
+    /// per rank, after the rank's closure has returned, to collect the
+    /// full event log for [`crate::Universe::run_traced`].
+    pub(crate) fn drain_trace(&self) -> Vec<CommEvent> {
         self.trace.as_ref().map(|t| t.borrow_mut().split_off(0)).unwrap_or_default()
     }
 
@@ -485,51 +503,93 @@ impl Comm {
         }
     }
 
-    /// Receives the message from `src` carrying `tag`, buffering any other
-    /// messages that arrive first. Errors after the configured timeout, or
-    /// with [`CommError::Disconnected`] as soon as the universe's abort
-    /// flag reports that a peer rank panicked (polled at sub-100 ms
-    /// granularity while blocked, so a dead peer never costs the full
-    /// timeout).
-    pub fn recv(&self, src: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+    /// Fires any chaos crash scheduled for this rank at the current
+    /// phase/round — shared prologue of every receive entry point, so an
+    /// injected crash surfaces identically whether the rank was about to
+    /// block, poll, or drain.
+    fn check_crash_fault(&self, peer: usize) {
         if let Some(faults) = &self.faults {
             if faults.borrow().crash_due(self.rank, self.phase.get(), self.round.get()) {
-                self.record_fault(InjectedFault::Crash, src, 0);
+                self.record_fault(InjectedFault::Crash, peer, 0);
                 self.fail_fast();
                 panic!("chaos: injected crash on rank {} (recv)", self.rank);
             }
         }
-        // Check the mailbox first.
-        {
-            let mut mailbox = self.mailbox.borrow_mut();
-            if let Some(pos) = mailbox.iter().position(|m| m.src == src && m.tag == tag) {
-                let msg = mailbox.swap_remove(pos);
-                return Ok(self.account_recv(msg));
-            }
+    }
+
+    /// Claims the earliest buffered message matching `filter`, preserving
+    /// arrival order among the rest. `Vec::remove` (not `swap_remove`) is
+    /// load-bearing: two messages with the same `(src, tag)` — e.g. the
+    /// pipelined serving path's back-to-back gather batches — must be
+    /// claimed in the order they arrived.
+    fn mailbox_claim(&self, filter: impl Fn(&Msg) -> bool) -> Option<Msg> {
+        let mut mailbox = self.mailbox.borrow_mut();
+        let pos = mailbox.iter().position(filter)?;
+        Some(mailbox.remove(pos))
+    }
+
+    /// Receives the message from `src` carrying `tag`, buffering any other
+    /// messages that arrive first. Errors after the configured timeout, or
+    /// with [`CommError::Disconnected`] as soon as the universe's abort
+    /// flag reports that a peer rank panicked (polled at the universe's
+    /// poll interval while blocked, so a dead peer never costs the full
+    /// timeout).
+    pub fn recv(&self, src: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        match self.recv_any(&[(src, tag)]) {
+            Ok((_, _, data)) => Ok(data),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Receives the earliest-arrived message matching **any** of the
+    /// `(src, tag)` candidates — the progress-engine primitive behind the
+    /// overlapped exchange: a rank drains whichever peer's piece lands
+    /// first instead of receiving in fixed schedule order. Returns the
+    /// matched `(src, tag)` alongside the payload, with exactly the same
+    /// counter/trace/flight/fault accounting as [`Comm::recv`].
+    ///
+    /// Timeout and disconnect errors are attributed to the first candidate
+    /// (the set blocks as a unit; there is no single expected peer).
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty, or with a `chaos:` message when an
+    /// installed [`crate::FaultPlan`] crashes this rank here.
+    pub fn recv_any(
+        &self,
+        candidates: &[(usize, u64)],
+    ) -> Result<(usize, u64, Vec<f64>), CommError> {
+        let (from, want_tag) = *candidates.first().expect("recv_any: empty candidate set");
+        self.check_crash_fault(from);
+        let matches = |m: &Msg| candidates.iter().any(|&(s, t)| m.src == s && m.tag == t);
+        // Check the mailbox first: earliest arrival among all candidates.
+        if let Some(msg) = self.mailbox_claim(matches) {
+            let (src, tag) = (msg.src, msg.tag);
+            return Ok((src, tag, self.account_recv(msg)));
         }
         let deadline = Instant::now() + self.recv_timeout;
         loop {
             if self.abort.tripped() {
                 return Err(CommError::Disconnected {
                     rank: self.rank,
-                    from: src,
-                    tag,
+                    from,
+                    tag: want_tag,
                     abort: self.abort.info(),
                 });
             }
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
-                return Err(CommError::Timeout { rank: self.rank, from: src, tag });
+                return Err(CommError::Timeout { rank: self.rank, from, tag: want_tag });
             }
-            match self.receiver.recv_timeout(remaining.min(ABORT_POLL)) {
+            match self.receiver.recv_timeout(remaining.min(self.poll_interval)) {
                 Ok(msg) => {
                     if msg.dup {
                         // Chaos-injected duplicate: the receiver-side dedup
                         // discards it before matching or accounting.
                         continue;
                     }
-                    if msg.src == src && msg.tag == tag {
-                        return Ok(self.account_recv(msg));
+                    if matches(&msg) {
+                        let (src, tag) = (msg.src, msg.tag);
+                        return Ok((src, tag, self.account_recv(msg)));
                     }
                     self.mailbox.borrow_mut().push(msg);
                 }
@@ -538,13 +598,38 @@ impl Comm {
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(CommError::Disconnected {
                         rank: self.rank,
-                        from: src,
-                        tag,
+                        from,
+                        tag: want_tag,
                         abort: self.abort.info(),
                     });
                 }
             }
         }
+    }
+
+    /// Non-blocking [`Comm::recv`]: claims the message from `src` with
+    /// `tag` if one has already arrived (mailbox first, then a drain of
+    /// the channel), buffering non-matching arrivals exactly like `recv`.
+    /// Returns `None` when no matching message is available yet — the
+    /// caller keeps computing and polls again later. Accounting is
+    /// identical to [`Comm::recv`] for claimed messages.
+    pub fn try_recv(&self, src: usize, tag: u64) -> Option<Vec<f64>> {
+        self.check_crash_fault(src);
+        if let Some(msg) = self.mailbox_claim(|m| m.src == src && m.tag == tag) {
+            return Some(self.account_recv(msg));
+        }
+        // Drain whatever the channel holds right now; either the match is
+        // among it or everything lands in the mailbox for later claims.
+        while let Ok(msg) = self.receiver.try_recv() {
+            if msg.dup {
+                continue;
+            }
+            if msg.src == src && msg.tag == tag {
+                return Some(self.account_recv(msg));
+            }
+            self.mailbox.borrow_mut().push(msg);
+        }
+        None
     }
 
     fn account_recv(&self, msg: Msg) -> Vec<f64> {
@@ -609,7 +694,9 @@ mod tests {
 
     #[test]
     fn timeout_error_mentions_parties() {
-        let universe = Universe::new(2).with_recv_timeout(Duration::from_millis(20));
+        let universe = Universe::new(2)
+            .with_recv_timeout(Duration::from_millis(20))
+            .with_poll_interval(Duration::from_millis(2));
         let (results, _) = universe.run(|comm| {
             if comm.rank() == 0 {
                 format!("{}", comm.recv(1, 5).unwrap_err())
@@ -653,6 +740,114 @@ mod tests {
             }
         });
         assert_eq!(results[1], 4950.0);
+    }
+
+    #[test]
+    fn mailbox_preserves_arrival_order_for_same_src_tag() {
+        // Four messages buffer in the mailbox while rank 0 claims tag 30
+        // first; claiming tag 20 from the *front* of the mailbox must not
+        // reorder the two remaining tag-10 messages (a swap-remove would
+        // hand back 2.0 before 1.0). The pipelined serving path depends on
+        // this: consecutive batches reuse the same (src, tag) pair.
+        let (results, _) = Universe::new(2).run(|comm| {
+            if comm.rank() == 1 {
+                comm.send(0, 20, vec![9.0]);
+                comm.send(0, 10, vec![1.0]);
+                comm.send(0, 10, vec![2.0]);
+                comm.send(0, 30, vec![7.0]);
+                vec![]
+            } else {
+                let c = comm.recv(1, 30).unwrap(); // buffers 20, 10, 10
+                let b = comm.recv(1, 20).unwrap(); // removes the front entry
+                let first = comm.recv(1, 10).unwrap();
+                let second = comm.recv(1, 10).unwrap();
+                vec![c[0], b[0], first[0], second[0]]
+            }
+        });
+        assert_eq!(results[0], vec![7.0, 9.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_recv_claims_only_arrived_messages() {
+        let (results, report) = Universe::new(2).run(|comm| {
+            if comm.rank() == 1 {
+                assert!(comm.try_recv(0, 99).is_none(), "nothing sent yet");
+                comm.send(0, 5, vec![1.5, 2.5]);
+                comm.barrier();
+                0.0
+            } else {
+                assert!(comm.try_recv(1, 99).is_none(), "wrong tag never matches");
+                comm.barrier();
+                // After the barrier the send has happened: the message is
+                // in the channel, so a non-blocking claim must find it.
+                let data = comm.try_recv(1, 5).expect("message must be available");
+                assert!(comm.try_recv(1, 5).is_none(), "claimed exactly once");
+                data.iter().sum()
+            }
+        });
+        assert_eq!(results[0], 4.0);
+        assert_eq!(report.per_rank[0].words_recv, 2);
+        assert_eq!(report.per_rank[0].msgs_recv, 1);
+        assert_eq!(report.per_rank[1].words_sent, 2);
+    }
+
+    #[test]
+    fn recv_any_drains_candidates_with_exact_accounting() {
+        // Rank 0 drains one message from each of three peers in whatever
+        // order they land; the claimed set and the counters must match a
+        // fixed-order drain exactly.
+        let p = 4;
+        let (results, report) = Universe::new(p).run(|comm| {
+            if comm.rank() == 0 {
+                let mut candidates: Vec<(usize, u64)> =
+                    (1..p).map(|src| (src, 40 + src as u64)).collect();
+                let mut got = vec![0.0; p];
+                while !candidates.is_empty() {
+                    let (src, tag, data) = comm.recv_any(&candidates).unwrap();
+                    assert_eq!(tag, 40 + src as u64);
+                    got[src] = data[0];
+                    candidates.retain(|&(s, _)| s != src);
+                }
+                // A drained candidate set cannot be claimed twice.
+                assert!(comm.try_recv(1, 41).is_none());
+                got.iter().sum::<f64>()
+            } else {
+                comm.send(0, 40 + comm.rank() as u64, vec![comm.rank() as f64; 3]);
+                0.0
+            }
+        });
+        assert_eq!(results[0], 6.0);
+        assert_eq!(report.per_rank[0].msgs_recv, 3);
+        assert_eq!(report.per_rank[0].words_recv, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty candidate set")]
+    fn recv_any_rejects_an_empty_candidate_set() {
+        Universe::new(1).run(|comm| {
+            let _ = comm.recv_any(&[]);
+        });
+    }
+
+    #[test]
+    fn short_poll_interval_fails_fast_quickly() {
+        use std::time::Instant;
+        // With a 2 ms poll interval a panicking peer surfaces to blocked
+        // receivers within a few milliseconds instead of the default 25 ms
+        // granularity — the chaos suites rely on this to keep wall-clock
+        // down.
+        let start = Instant::now();
+        let universe = Universe::new(2).with_poll_interval(Duration::from_millis(2));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            universe.run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("deliberate failure");
+                }
+                assert!(matches!(comm.recv(1, 0), Err(crate::CommError::Disconnected { .. })));
+            })
+        }));
+        assert!(outcome.is_err());
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod fault;
 pub mod flight;
 pub mod matching;
 
+pub use collectives::AllToAllEvent;
 pub use comm::{AbortInfo, Comm, CommError, Msg};
 pub use cost::{CommEvent, CommEventKind, CostReport, RankCost};
 pub use fault::{CrashSpec, FaultPlan, InjectedFault, XorShift64};
@@ -49,6 +50,7 @@ use std::time::{Duration, Instant};
 pub struct Universe {
     size: usize,
     recv_timeout: Duration,
+    poll_interval: Duration,
     tracing: bool,
     flight_capacity: usize,
     faults: Option<FaultPlan>,
@@ -62,14 +64,15 @@ impl Universe {
         Universe {
             size,
             recv_timeout: Duration::from_secs(60),
+            poll_interval: comm::DEFAULT_POLL_INTERVAL,
             tracing: false,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
             faults: None,
         }
     }
 
-    /// Enables per-rank event tracing: every send/recv is recorded and can
-    /// be drained inside the rank closure with [`Comm::take_trace`].
+    /// Enables per-rank event tracing: every send/recv is recorded and
+    /// collected at the end of the run by the traced entry points.
     pub fn with_tracing(mut self, tracing: bool) -> Self {
         self.tracing = tracing;
         self
@@ -79,6 +82,16 @@ impl Universe {
     /// tests so deadlocks surface quickly).
     pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
         self.recv_timeout = timeout;
+        self
+    }
+
+    /// Overrides the abort-poll interval: how often a blocked receive
+    /// re-checks the universe's fail-fast flag (default 25 ms). Chaos and
+    /// fail-fast suites drop this to ~2 ms so an injected crash surfaces
+    /// in milliseconds of wall-clock instead of tens of them.
+    pub fn with_poll_interval(mut self, interval: Duration) -> Self {
+        assert!(!interval.is_zero(), "poll interval must be non-zero");
+        self.poll_interval = interval;
         self
     }
 
@@ -260,6 +273,7 @@ impl Universe {
                 let barrier = barrier.clone();
                 let abort = abort.clone();
                 let timeout = self.recv_timeout;
+                let poll_interval = self.poll_interval;
                 let faults = self.faults.clone();
                 handles.push(scope.spawn(move || {
                     let comm = Comm::new(
@@ -269,6 +283,7 @@ impl Universe {
                         counters,
                         barrier,
                         timeout,
+                        poll_interval,
                         abort.clone(),
                         epoch,
                         tracing,
@@ -291,7 +306,7 @@ impl Universe {
                     // dump needs its final window most of all.
                     RankOutcome {
                         result,
-                        trace: comm.take_trace(),
+                        trace: comm.drain_trace(),
                         flight: comm.flight_snapshot(),
                         abort_info: abort.info(),
                     }
@@ -446,7 +461,9 @@ mod tests {
 
     #[test]
     fn missing_send_times_out_instead_of_hanging() {
-        let universe = Universe::new(2).with_recv_timeout(Duration::from_millis(50));
+        let universe = Universe::new(2)
+            .with_recv_timeout(Duration::from_millis(50))
+            .with_poll_interval(Duration::from_millis(2));
         let (results, _) =
             universe.run(|comm| if comm.rank() == 1 { comm.recv(0, 99).is_err() } else { true });
         assert!(results[1], "recv with no matching send must time out");
@@ -604,6 +621,55 @@ mod tests {
             assert_eq!(send.request, Some(7));
             let recv = snap.events.iter().find(|e| e.kind == FlightKind::Recv).unwrap();
             assert_eq!(recv.request, None, "recv happened after clear_request");
+        }
+    }
+
+    #[test]
+    fn deprecated_take_trace_observes_the_same_events_as_run_traced() {
+        // The destructive mid-run drain is deprecated; this pins down that
+        // it still sees exactly the events the non-destructive collection
+        // reports (kinds, phases, rounds — timestamps differ across runs),
+        // so downstream code can migrate without observable change.
+        let workload = |comm: &Comm| {
+            comm.with_phase("swap", || {
+                comm.annotate_round(2);
+                let partner = 1 - comm.rank();
+                comm.exchange(partner, 3, vec![1.0, 2.0]).unwrap();
+                comm.clear_round();
+            });
+        };
+        let shape = |events: &[CommEvent]| -> Vec<(String, Option<&'static str>, Option<u64>)> {
+            events
+                .iter()
+                .map(|e| {
+                    let kind = match e.kind {
+                        CommEventKind::PhaseEnter { name, .. } => format!("+{name}"),
+                        CommEventKind::PhaseExit { name, .. } => format!("-{name}"),
+                        CommEventKind::Send { dst, tag, words } => {
+                            format!("send:{dst}:{tag}:{words}")
+                        }
+                        CommEventKind::Recv { src, tag, words } => {
+                            format!("recv:{src}:{tag}:{words}")
+                        }
+                        CommEventKind::Counter { key, value } => format!("#{key}={value}"),
+                        CommEventKind::Fault { fault, .. } => format!("!{}", fault.label()),
+                    };
+                    (kind, e.phase, e.round)
+                })
+                .collect()
+        };
+        let (_, _, collected) = Universe::new(2).run_traced(workload);
+        #[allow(deprecated)]
+        let (drained, _) = Universe::new(2).with_tracing(true).run(|comm| {
+            workload(comm);
+            comm.take_trace()
+        });
+        for rank in 0..2 {
+            assert_eq!(
+                shape(&collected[rank]),
+                shape(&drained[rank]),
+                "rank {rank}: destructive and non-destructive paths must agree"
+            );
         }
     }
 

@@ -117,6 +117,7 @@ fn tracing_records_every_event_in_order() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn tracing_disabled_yields_empty_logs() {
     let (results, _) = Universe::new(2).run(|comm| {
         if comm.rank() == 0 {
@@ -130,6 +131,7 @@ fn tracing_disabled_yields_empty_logs() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn run_traced_returns_logs_already_drained_mid_run() {
     // A closure that drains mid-run only loses what it drained; run_traced
     // still returns the remainder rather than panicking or double counting.

@@ -421,6 +421,7 @@ mod tests {
         });
         let failure = Universe::new(3)
             .with_recv_timeout(Duration::from_millis(200))
+            .with_poll_interval(Duration::from_millis(2))
             .with_faults(plan)
             .try_run_traced(|comm| {
                 comm.with_phase("gather-x", || {

@@ -339,6 +339,32 @@ mod tests {
     }
 
     #[test]
+    fn checked_in_snapshot_covers_overlap_kernels() {
+        // The repository's BENCH_kernels.json is the perf-gate baseline;
+        // the overlapped-exchange kernel rows must be present there (so a
+        // vanished `plan_overlap` is a Missing verdict, not silence) and
+        // must join cleanly against themselves.
+        let snapshot = include_str!("../../../BENCH_kernels.json");
+        let rows = parse_snapshot(snapshot).unwrap();
+        for q in [2u64, 3] {
+            assert!(
+                rows.iter().any(|r| r.key.kernel == "plan_overlap" && r.key.q == Some(q)),
+                "baseline snapshot must carry a plan_overlap row for q={q}"
+            );
+        }
+        let report = RegressionReport::evaluate(&rows, &rows, 0.15);
+        assert!(!report.regressed());
+        let mut dropped = rows.clone();
+        dropped.retain(|r| r.key.kernel != "plan_overlap");
+        let report = RegressionReport::evaluate(&rows, &dropped, 0.15);
+        assert!(report.regressed(), "losing the overlap rows must trip the gate");
+        assert!(report
+            .failures()
+            .iter()
+            .all(|r| r.key.kernel == "plan_overlap" && r.verdict == Verdict::Missing));
+    }
+
+    #[test]
     fn identical_snapshots_pass() {
         let rows = vec![rec("a", 64, None, 100.0), rec("b", 128, Some(2), 7.5)];
         let report = RegressionReport::evaluate(&rows, &rows, 0.15);

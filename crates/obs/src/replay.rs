@@ -31,7 +31,16 @@ use symtensor_mpsim::CommEvent;
 
 /// The α-β-γ machine model: per-message latency, per-word inverse
 /// bandwidth (both in virtual nanoseconds), and a dimensionless multiplier
-/// on measured compute-span durations.
+/// on measured compute-span durations. The optional `link_ns` term is a
+/// one-way network flight time: the sender is released after `α + β·w`,
+/// but the message only becomes receivable `link_ns` later. With
+/// `link_ns = 0` (the default and every pre-existing construction) the
+/// model is unchanged — a message is available the instant the sender's
+/// clock finishes the send, which makes perfectly regular round-paired
+/// schedules lockstep (zero modeled recv-wait). A nonzero `link_ns` models
+/// the wire itself, so even a lockstep schedule pays `link_ns` of recv-wait
+/// per message **unless the receiver has other work to do in the meantime**
+/// — which is exactly what the overlapped exchange pipeline provides.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AlphaBetaModel {
     /// Cost charged to the sender per message (latency term), in virtual ns.
@@ -40,6 +49,18 @@ pub struct AlphaBetaModel {
     pub beta: f64,
     /// Multiplier on each measured compute-phase span duration.
     pub gamma: f64,
+    /// One-way network flight time per message, in virtual ns: a message
+    /// sent at sender-clock `t` with `w` words becomes receivable at
+    /// `t + α + β·w + link_ns`. Occupies neither endpoint — pure pipeline
+    /// depth, hideable by overlapping independent work.
+    pub link_ns: f64,
+}
+
+impl Default for AlphaBetaModel {
+    /// `bandwidth_only()` — the unit the paper's bounds are stated in.
+    fn default() -> Self {
+        AlphaBetaModel::bandwidth_only()
+    }
 }
 
 impl AlphaBetaModel {
@@ -48,19 +69,33 @@ impl AlphaBetaModel {
     /// bandwidth cost and of `symtensor_parallel::bounds::
     /// scheduled_words_per_vector`.
     pub fn bandwidth_only() -> Self {
-        AlphaBetaModel { alpha: 0.0, beta: 1.0, gamma: 0.0 }
+        AlphaBetaModel { alpha: 0.0, beta: 1.0, gamma: 0.0, link_ns: 0.0 }
     }
 
     /// Pure compute accounting: `α = β = 0, γ = 1` — makespan equals the
     /// maximum per-rank measured compute total (communication is free).
     pub fn compute_only() -> Self {
-        AlphaBetaModel { alpha: 0.0, beta: 0.0, gamma: 1.0 }
+        AlphaBetaModel { alpha: 0.0, beta: 0.0, gamma: 1.0, link_ns: 0.0 }
+    }
+
+    /// The same model with a one-way network flight time of `link_ns`
+    /// virtual nanoseconds per message.
+    pub fn with_link(self, link_ns: f64) -> Self {
+        AlphaBetaModel { link_ns, ..self }
     }
 }
 
 /// The phase whose measured span durations are charged as compute when no
 /// override is given — Algorithm 5's local ternary-multiplication phase.
 pub const DEFAULT_COMPUTE_PHASE: &str = "local-compute";
+
+/// The compute phases of the **overlapped** exchange pipeline: the barrier
+/// path's tail compute plus the `compute:overlap` spans the pipelined
+/// driver runs *inside* its exchange phases (owned-only blocks during the
+/// gather, dependency groups on each arrival). Replaying with both charges
+/// that interleaved compute where it actually ran, so the virtual clock
+/// sees the overlap instead of modeling the gather as pure waiting.
+pub const OVERLAP_COMPUTE_PHASES: [&str; 2] = [DEFAULT_COMPUTE_PHASE, "compute:overlap"];
 
 /// Identifies one replayed op: `ranks[rank].ops[index]`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,6 +152,10 @@ pub struct ReplayOp {
     /// a receive that had to wait, otherwise the previous op on the same
     /// rank (`None` for a rank's first op).
     pub pred: Option<OpId>,
+    /// For a receive: the send it was matched to (recorded whether or not
+    /// the receive had to wait — `pred` only names the sender when it was
+    /// binding). `None` for sends and compute ops.
+    pub matched_send: Option<OpId>,
 }
 
 /// One rank's replay: its op schedule and the per-rank decomposition of
@@ -203,6 +242,45 @@ impl PhaseDrift {
     }
 }
 
+/// The overlap decomposition of one phase's receives, summed across ranks:
+/// of each matched message's flight window (modeled send start → arrival),
+/// how much elapsed while the receiver was doing something else
+/// (**hidden**) versus how much the receiver spent blocked (**exposed**).
+///
+/// `hidden + exposed` is not the flight time — `hidden` is capped at the
+/// flight window while `exposed` is the receiver's actual wait — but the
+/// A/B contrast is exactly the paper's overlap question: a pipelined
+/// exchange moves time from `exposed` into `hidden` without changing a
+/// single message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseOverlap {
+    /// Phase name the receives were annotated with.
+    pub phase: String,
+    /// Flight time that passed before the receiver claimed each message —
+    /// communication the phase *hid* behind other work, in virtual ns.
+    pub hidden_ns: f64,
+    /// Receiver blocking on not-yet-arrived messages — communication the
+    /// phase *exposed*, in virtual ns (this phase's slice of
+    /// [`RankReplay::recv_wait_ns`]).
+    pub exposed_ns: f64,
+    /// Modeled compute charged to ops annotated with this phase (nonzero
+    /// only for compute phases like `compute:overlap`), in virtual ns.
+    pub compute_ns: f64,
+}
+
+impl PhaseOverlap {
+    /// Fraction of the accounted flight time this phase hid:
+    /// `hidden / (hidden + exposed)`; 0 when nothing was in flight.
+    pub fn hidden_fraction(&self) -> f64 {
+        let total = self.hidden_ns + self.exposed_ns;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.hidden_ns / total
+        }
+    }
+}
+
 impl ReplayReport {
     /// Maximum modeled send occupancy over ranks — under
     /// [`AlphaBetaModel::bandwidth_only`] this is exactly `β ×` the
@@ -264,6 +342,91 @@ impl ReplayReport {
             .collect()
     }
 
+    /// This rank-indexed vector holds each rank's modeled recv-wait summed
+    /// over the receives annotated with `phase` — the per-rank "how long
+    /// did gather-x block" number the overlap A/B compares.
+    pub fn phase_recv_wait_per_rank(&self, phase: &str) -> Vec<f64> {
+        self.ranks
+            .iter()
+            .map(|rank| {
+                rank.ops
+                    .iter()
+                    .filter(|op| matches!(op.kind, OpKind::Recv { .. }) && op.phase == Some(phase))
+                    .map(|op| {
+                        let arrival = op
+                            .matched_send
+                            .map(|s| self.ranks[s.rank].ops[s.index].end + self.model.link_ns)
+                            .unwrap_or(op.start);
+                        (arrival - op.start).max(0.0)
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// The hidden/exposed decomposition of every phase that received
+    /// messages or ran compute, in phase-name order. For each receive, the
+    /// matched send's modeled window `[send.start, send.end + link_ns]` is
+    /// the message's flight; the part that elapsed before the receiver's
+    /// claim is **hidden**, the receiver's block (if it outran the arrival)
+    /// is **exposed**.
+    pub fn overlap_decomposition(&self) -> Vec<PhaseOverlap> {
+        fn slot<'a>(
+            acc: &'a mut BTreeMap<String, PhaseOverlap>,
+            name: &str,
+        ) -> &'a mut PhaseOverlap {
+            acc.entry(name.to_string()).or_insert_with(|| PhaseOverlap {
+                phase: name.to_string(),
+                hidden_ns: 0.0,
+                exposed_ns: 0.0,
+                compute_ns: 0.0,
+            })
+        }
+        let mut acc: BTreeMap<String, PhaseOverlap> = BTreeMap::new();
+        for rank in &self.ranks {
+            for op in &rank.ops {
+                match op.kind {
+                    OpKind::Recv { .. } => {
+                        let Some(s) = op.matched_send else { continue };
+                        let send = &self.ranks[s.rank].ops[s.index];
+                        let arrive = send.end + self.model.link_ns;
+                        let po = slot(&mut acc, op.phase.unwrap_or("(unphased)"));
+                        po.hidden_ns += (op.start.min(arrive) - send.start).max(0.0);
+                        po.exposed_ns += (arrive - op.start).max(0.0);
+                    }
+                    OpKind::Compute { .. } => {
+                        let advance = op.end - op.start;
+                        if advance > 0.0 {
+                            slot(&mut acc, op.phase.unwrap_or(DEFAULT_COMPUTE_PHASE)).compute_ns +=
+                                advance;
+                        }
+                    }
+                    OpKind::Send { .. } => {}
+                }
+            }
+        }
+        acc.into_values().collect()
+    }
+
+    /// JSON form of [`ReplayReport::overlap_decomposition`]: one object
+    /// per phase with `hidden_ns` / `exposed_ns` / `compute_ns` and the
+    /// hidden fraction — the E16 A/B table.
+    pub fn overlap_json(&self) -> Value {
+        Value::Array(
+            self.overlap_decomposition()
+                .into_iter()
+                .map(|po| {
+                    Value::object()
+                        .with("phase", po.phase.as_str())
+                        .with("hidden_ns", po.hidden_ns)
+                        .with("exposed_ns", po.exposed_ns)
+                        .with("compute_ns", po.compute_ns)
+                        .with("hidden_fraction", po.hidden_fraction())
+                })
+                .collect(),
+        )
+    }
+
     /// JSON form: the model, makespan, per-rank decomposition.
     pub fn to_json(&self) -> Value {
         Value::object()
@@ -307,6 +470,18 @@ pub type ExtractedOp = (OpKind, Option<&'static str>, Option<u64>);
 /// span of the designated compute phase (nested re-entries of the same
 /// name are folded into the outer span).
 pub fn extract_ops(traces: &[Vec<CommEvent>], compute_phase: &str) -> Vec<Vec<ExtractedOp>> {
+    extract_ops_multi(traces, &[compute_phase])
+}
+
+/// [`extract_ops`] over a *set* of compute phases: a `Compute` op is
+/// emitted per outermost span of any listed phase. The phases must not
+/// nest within each other (the overlapped pipeline's `compute:overlap`
+/// and `local-compute` never do; `compute:kernel` nests inside
+/// `local-compute` and must therefore not be listed alongside it).
+pub fn extract_ops_multi(
+    traces: &[Vec<CommEvent>],
+    compute_phases: &[&str],
+) -> Vec<Vec<ExtractedOp>> {
     traces
         .iter()
         .map(|trace| {
@@ -322,14 +497,14 @@ pub fn extract_ops(traces: &[Vec<CommEvent>], compute_phase: &str) -> Vec<Vec<Ex
                     CommEventKind::Recv { src, tag, words } => {
                         ops.push((OpKind::Recv { src, tag, words }, event.phase, event.round));
                     }
-                    CommEventKind::PhaseEnter { name, .. } if name == compute_phase => {
+                    CommEventKind::PhaseEnter { name, .. } if compute_phases.contains(&name) => {
                         if depth == 0 {
                             entered_at = event.t_ns;
                             entered_phase = Some(name);
                         }
                         depth += 1;
                     }
-                    CommEventKind::PhaseExit { name, .. } if name == compute_phase => {
+                    CommEventKind::PhaseExit { name, .. } if compute_phases.contains(&name) => {
                         depth = depth.saturating_sub(1);
                         if depth == 0 {
                             ops.push((
@@ -356,6 +531,18 @@ pub fn replay(
     replay_with_compute_phase(traces, model, DEFAULT_COMPUTE_PHASE)
 }
 
+/// Replays a trace from the **overlapped** exchange pipeline: compute is
+/// charged for both the barrier-tail `local-compute` spans and the
+/// `compute:overlap` spans interleaved with the exchanges
+/// ([`OVERLAP_COMPUTE_PHASES`]). Use [`ReplayReport::overlap_decomposition`]
+/// on the result to see how much message flight time each phase hid.
+pub fn replay_overlapped(
+    traces: &[Vec<CommEvent>],
+    model: AlphaBetaModel,
+) -> Result<ReplayReport, ReplayError> {
+    replay_with_compute_phases(traces, model, &OVERLAP_COMPUTE_PHASES)
+}
+
 /// Replays the traces under `model`, charging `γ ×` the measured duration
 /// of every outermost `compute_phase` span as compute.
 ///
@@ -368,7 +555,18 @@ pub fn replay_with_compute_phase(
     model: AlphaBetaModel,
     compute_phase: &str,
 ) -> Result<ReplayReport, ReplayError> {
-    let raw = extract_ops(traces, compute_phase);
+    replay_with_compute_phases(traces, model, &[compute_phase])
+}
+
+/// [`replay_with_compute_phase`] over a set of non-nesting compute phases
+/// (see [`extract_ops_multi`]) — the general entry point behind both the
+/// barrier and overlapped replays.
+pub fn replay_with_compute_phases(
+    traces: &[Vec<CommEvent>],
+    model: AlphaBetaModel,
+    compute_phases: &[&str],
+) -> Result<ReplayReport, ReplayError> {
+    let raw = extract_ops_multi(traces, compute_phases);
     let p = raw.len();
     let mut ranks: Vec<RankReplay> = raw
         .iter()
@@ -382,6 +580,7 @@ pub fn replay_with_compute_phase(
                     start: 0.0,
                     end: 0.0,
                     pred: None,
+                    matched_send: None,
                 })
                 .collect(),
             ..RankReplay::default()
@@ -426,7 +625,7 @@ pub fn replay_with_compute_phase(
                         in_flight
                             .entry((rank, dst, tag))
                             .or_default()
-                            .push_back((end, OpId { rank, index }));
+                            .push_back((end + model.link_ns, OpId { rank, index }));
                     }
                     OpKind::Recv { src, tag, .. } => {
                         let Some(&(arrival, sender)) =
@@ -445,6 +644,7 @@ pub fn replay_with_compute_phase(
                         op.start = start;
                         op.end = end;
                         op.pred = pred;
+                        op.matched_send = Some(sender);
                         clock[rank] = end;
                         ranks[rank].recv_wait_ns += wait;
                     }
@@ -520,7 +720,7 @@ mod tests {
     #[test]
     fn alpha_counts_messages() {
         let traces = ring_traces(3, 5, 2);
-        let model = AlphaBetaModel { alpha: 100.0, beta: 0.0, gamma: 0.0 };
+        let model = AlphaBetaModel { alpha: 100.0, beta: 0.0, gamma: 0.0, link_ns: 0.0 };
         let report = replay(&traces, model).unwrap();
         // 2 messages per rank, 100 ns each, lockstep.
         assert_eq!(report.makespan_ns, 200.0);
@@ -594,6 +794,73 @@ mod tests {
     }
 
     #[test]
+    fn overlapped_replay_shifts_gather_wait_into_hidden() {
+        use symtensor_parallel::{
+            parallel_sttsv_overlapped_traced, parallel_sttsv_planned_traced, Mode, TetraPartition,
+        };
+        use symtensor_steiner::spherical;
+        // One barrier and one overlapped run of the same problem at each q —
+        // same messages, same bits — replayed under a model with a nonzero
+        // network flight time (`link_ns`), so messages have transit to hide.
+        // With link = 0 a perfectly regular round-paired schedule is
+        // lockstep (every arrival beats its receiver; recv-wait ≡ 0) and an
+        // A/B would be vacuous; the link term is what the overlap hides.
+        for q in [2u64, 3] {
+            let n = 30; // divisible by both row-block counts (5 and 10)
+            let part = TetraPartition::new(spherical(q), n).unwrap();
+            let mut tensor = symtensor_core::SymTensor3::zeros(n);
+            for i in 0..n {
+                for j in 0..=i {
+                    for k in 0..=j {
+                        tensor.set(i, j, k, ((i + 2 * j + 3 * k) % 7) as f64 - 3.0);
+                    }
+                }
+            }
+            let x: Vec<f64> = (0..n).map(|i| ((i * 5 + 2) as f64 * 0.01).cos()).collect();
+            let (b_run, b_traces) =
+                parallel_sttsv_planned_traced(&tensor, &part, &x, Mode::Scheduled, 1);
+            let (o_run, o_traces) =
+                parallel_sttsv_overlapped_traced(&tensor, &part, &x, Mode::Scheduled, 1);
+            assert_eq!(o_run.y, b_run.y, "A/B must compare identical computations");
+
+            let model =
+                AlphaBetaModel { alpha: 20_000.0, beta: 50.0, gamma: 1.0, link_ns: 100_000.0 };
+            let barrier = replay(&b_traces, model).unwrap();
+            let overlapped = replay_overlapped(&o_traces, model).unwrap();
+
+            let b_wait: f64 = barrier.phase_recv_wait_per_rank("gather-x").iter().sum();
+            let o_wait: f64 = overlapped.phase_recv_wait_per_rank("gather-x").iter().sum();
+            assert!(b_wait > 0.0, "q={q}: barrier gather must have modeled wait to hide");
+            assert!(
+                o_wait < b_wait,
+                "q={q}: overlap must reduce gather recv-wait: {o_wait} vs {b_wait}"
+            );
+
+            let hidden = |rep: &ReplayReport| {
+                rep.overlap_decomposition()
+                    .into_iter()
+                    .find(|po| po.phase == "gather-x")
+                    .map(|po| po.hidden_ns)
+                    .unwrap_or(0.0)
+            };
+            assert!(
+                hidden(&overlapped) > hidden(&barrier),
+                "q={q}: overlap must hide more gather flight time"
+            );
+            // The overlapped trace charges its interleaved compute under
+            // its own phase, visible in the decomposition.
+            assert!(overlapped
+                .overlap_decomposition()
+                .iter()
+                .any(|po| po.phase == "compute:overlap" && po.compute_ns > 0.0));
+            // Same messages, same per-rank send occupancy under the model.
+            for (b, o) in barrier.ranks.iter().zip(&overlapped.ranks) {
+                assert_eq!(b.send_busy_ns, o.send_busy_ns, "identical wire traffic");
+            }
+        }
+    }
+
+    #[test]
     fn drift_table_covers_phases() {
         let (_, _, traces) = Universe::new(2).run_traced(|comm| {
             comm.with_phase("gather-x", || {
@@ -605,9 +872,11 @@ mod tests {
                 std::hint::black_box((0..2000).map(|i| i as f64).sum::<f64>());
             });
         });
-        let (report, drift) =
-            replay_with_drift(&traces, AlphaBetaModel { alpha: 0.0, beta: 1.0, gamma: 1.0 })
-                .unwrap();
+        let (report, drift) = replay_with_drift(
+            &traces,
+            AlphaBetaModel { alpha: 0.0, beta: 1.0, gamma: 1.0, link_ns: 0.0 },
+        )
+        .unwrap();
         assert!(report.makespan_ns > 0.0);
         let gather = drift.iter().find(|d| d.phase == "gather-x").unwrap();
         assert_eq!(gather.modeled_ns, 16.0, "two ranks × 8 words");

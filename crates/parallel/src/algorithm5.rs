@@ -29,7 +29,7 @@ use crate::plan::{ExchangeKind, PlanWorkspace, RankPlan};
 use crate::schedule::{shared_row_blocks, CommSchedule};
 use std::cell::{OnceCell, RefCell};
 use symtensor_core::SymTensor3;
-use symtensor_mpsim::{Comm, CommEvent, CostReport, FlightSnapshot, Universe};
+use symtensor_mpsim::{AllToAllEvent, Comm, CommEvent, CostReport, FlightSnapshot, Universe};
 use symtensor_pool::Pool;
 
 /// Communication strategy for the two vector phases.
@@ -530,6 +530,429 @@ impl<'a> RankContext<'a> {
         (ys, ternary, spans)
     }
 
+    /// Serves `n_batches` request batches through a **double-buffered
+    /// pipeline**: while batch `k` computes, batch `k + 1`'s gather-x
+    /// messages are already in flight, alternating between two leased
+    /// [`PlanWorkspace`]s so the in-flight batch never clobbers the
+    /// computing one. `form(k)` produces batch `k`'s shards and request
+    /// ids the moment the pipeline is ready to admit it — which is when
+    /// its queue wait ends.
+    ///
+    /// Per-sender FIFO delivery makes the overlap safe without new tags:
+    /// batch `k`'s gather message on a given `(src, round)` link is always
+    /// claimed before batch `k + 1`'s (the mailbox preserves arrival order
+    /// per `(src, tag)`), so the wire format, cost counters and output
+    /// bits are identical to the sequential serving loop — only the
+    /// *timing* moves. Scheduled mode pipelines; the all-to-all modes fall
+    /// back to sequential barrier batches (their collective is a single
+    /// indivisible step).
+    pub fn sttsv_serve_pipelined(
+        &self,
+        comm: &Comm,
+        n_batches: usize,
+        mut form: impl FnMut(usize) -> (Vec<Vec<Vec<f64>>>, Vec<u64>),
+    ) -> Vec<ServedBatch> {
+        assert!(self.use_plan, "sttsv_serve_pipelined requires the plan path (with_plan)");
+        if self.mode != Mode::Scheduled {
+            // The collective exchanges are indivisible; serve batches
+            // back-to-back exactly like the sequential loop.
+            return (0..n_batches)
+                .map(|k| {
+                    let begin_ns = comm.elapsed_ns();
+                    let (shards, ids) = form(k);
+                    let formed_ns = comm.elapsed_ns();
+                    let (ys, ternary, spans) = self.sttsv_multi_requests(comm, &shards, &ids);
+                    ServedBatch { begin_ns, formed_ns, spans, ys, ternary }
+                })
+                .collect();
+        }
+        let p = comm.rank();
+        let plan = self.compile(p);
+        let schedule = self.schedule.expect("scheduled mode requires a schedule");
+        let actions = schedule.actions(p);
+        let mut wss = [PlanWorkspace::new(), PlanWorkspace::new()];
+        // Admits batch `k` into workspace `ws`: form, load, and put its
+        // gather messages on the wire. Receives are deferred to the
+        // batch's own turn — that deferral is the pipeline.
+        let mut stage = |k: usize, ws: &mut PlanWorkspace| -> (u64, u64, Vec<u64>) {
+            let begin_ns = comm.elapsed_ns();
+            let (shards, ids) = form(k);
+            let batch = shards.len();
+            plan.ensure_capacity(ws, batch);
+            for (v, s) in shards.iter().enumerate() {
+                plan.load_shards(ws, v, s);
+            }
+            let formed_ns = comm.elapsed_ns();
+            comm.with_phase("gather-x", || {
+                for (round, act) in actions.iter().enumerate() {
+                    comm.annotate_round(round as u64);
+                    if let Some(dst) = act.send_to {
+                        let pidx = plan.peer_slot(dst).expect("scheduled peer is in the plan");
+                        let buf = plan.pack(ws, ExchangeKind::Gather, pidx, batch);
+                        comm.send(dst, TAG_X + round as u64, buf);
+                    }
+                }
+                comm.clear_round();
+            });
+            (begin_ns, formed_ns, ids)
+        };
+        let mut pending: [Option<(u64, u64, Vec<u64>)>; 2] = [None, None];
+        let mut out = Vec::with_capacity(n_batches);
+        if n_batches > 0 {
+            pending[0] = Some(stage(0, &mut wss[0]));
+        }
+        for k in 0..n_batches {
+            let cur = k % 2;
+            let (begin_ns, formed_ns, ids) =
+                pending[cur].take().expect("batch was staged before its turn");
+            let batch = ids.len();
+            // Drain this batch's gather receives — the *exposed* gather
+            // time; everything hidden behind the previous batch's compute
+            // has already arrived and costs only a mailbox claim.
+            let gather_t0 = comm.elapsed_ns();
+            comm.with_phase("gather-x", || {
+                for (round, act) in actions.iter().enumerate() {
+                    comm.annotate_round(round as u64);
+                    if let Some(src) = act.recv_from {
+                        let buf =
+                            comm.recv(src, TAG_X + round as u64).expect("pipelined gather failed");
+                        let pidx = plan.peer_slot(src).expect("scheduled peer is in the plan");
+                        plan.unpack(&mut wss[cur], ExchangeKind::Gather, pidx, batch, buf);
+                    }
+                    if act.send_to.is_some() || act.recv_from.is_some() {
+                        comm.count_round();
+                    }
+                }
+                comm.clear_round();
+            });
+            let gather_ns = comm.elapsed_ns().saturating_sub(gather_t0);
+            // Admit the next batch before this one computes: its gather
+            // traffic rides under our kernel time.
+            if k + 1 < n_batches {
+                pending[1 - cur] = Some(stage(k + 1, &mut wss[1 - cur]));
+            }
+            let mut compute_ns = Vec::with_capacity(batch);
+            let ternary = comm.with_phase("local-compute", || {
+                let mut total = 0u64;
+                for (v, &request) in ids.iter().enumerate() {
+                    comm.annotate_request(request);
+                    if let Some(pool) = self.pool {
+                        pool.workspaces().set_request(request);
+                    }
+                    let t0 = comm.elapsed_ns();
+                    total += comm.with_phase("compute:kernel", || {
+                        plan.compute_vector(&mut wss[cur], v, self.pool)
+                    });
+                    compute_ns.push(comm.elapsed_ns().saturating_sub(t0));
+                    if let Some(pool) = self.pool {
+                        pool.workspaces().clear_request();
+                    }
+                    comm.clear_request();
+                }
+                comm.annotate_counter("plan:arena_bytes", plan.arena_bytes() as u64);
+                comm.annotate_counter("plan:fresh_allocs", wss[cur].fresh_allocs());
+                total
+            });
+            let reduce_t0 = comm.elapsed_ns();
+            comm.with_phase("reduce-y", || {
+                self.plan_exchange(comm, plan, &mut wss[cur], TAG_Y, ExchangeKind::Reduce, batch)
+            });
+            let reduce_ns = comm.elapsed_ns().saturating_sub(reduce_t0);
+            let ys = (0..batch).map(|v| plan.extract(&wss[cur], v)).collect();
+            let spans = BatchSpans {
+                start_ns: begin_ns,
+                gather_ns,
+                compute_ns,
+                reduce_ns,
+                end_ns: comm.elapsed_ns(),
+            };
+            out.push(ServedBatch { begin_ns, formed_ns, spans, ys, ternary });
+        }
+        out
+    }
+
+    /// One **overlapped** distributed STTSV through the compiled plan:
+    /// same wire format, word/message/round counts and output bits as
+    /// [`RankContext::sttsv`] on the plan path, but communication and
+    /// computation are pipelined — owned-only blocks run while the gather
+    /// messages are in flight, each dependency group runs the moment its
+    /// last x piece lands (drained in arrival order via
+    /// [`Comm::recv_any`]), and finalized scatter-y contributions flush
+    /// early in scheduled mode. Requires [`RankContext::with_plan`].
+    pub fn sttsv_overlapped(&self, comm: &Comm, my_shards: &[Vec<f64>]) -> (Vec<Vec<f64>>, u64) {
+        assert!(self.use_plan, "sttsv_overlapped requires the plan path (with_plan)");
+        let plan = self.compile(comm.rank());
+        let mut ws = self.plan_ws.borrow_mut();
+        plan.ensure_capacity(&mut ws, 1);
+        plan.load_shards(&mut ws, 0, my_shards);
+        let ternary = self.run_plan_overlapped(comm, plan, &mut ws, 1);
+        (plan.extract(&ws, 0), ternary)
+    }
+
+    /// Batched form of [`RankContext::sttsv_overlapped`]: the whole batch
+    /// moves through one overlapped exchange pair, bit-identical to
+    /// [`RankContext::sttsv_multi`] on the plan path.
+    pub fn sttsv_multi_overlapped(
+        &self,
+        comm: &Comm,
+        my_shards: &[Vec<Vec<f64>>],
+    ) -> (Vec<Vec<Vec<f64>>>, u64) {
+        assert!(self.use_plan, "sttsv_multi_overlapped requires the plan path (with_plan)");
+        if my_shards.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let batch = my_shards.len();
+        let plan = self.compile(comm.rank());
+        let mut ws = self.plan_ws.borrow_mut();
+        plan.ensure_capacity(&mut ws, batch);
+        for (v, shards) in my_shards.iter().enumerate() {
+            plan.load_shards(&mut ws, v, shards);
+        }
+        let ternary = self.run_plan_overlapped(comm, plan, &mut ws, batch);
+        let ys = (0..batch).map(|v| plan.extract(&ws, v)).collect();
+        (ys, ternary)
+    }
+
+    /// The overlapped three-phase pipeline (see the [`crate::plan`] module
+    /// docs for the bit-identity argument):
+    ///
+    /// 1. **gather-x** — all sends posted up-front (schedule order, round
+    ///    tags unchanged), owned-only blocks computed inside a nested
+    ///    `compute:overlap` span, then arrivals drained in completion
+    ///    order, each unlocking its dependency groups.
+    /// 2. **local-compute** — the remaining blocks (everything not yet
+    ///    computed opportunistically) inside the usual `compute:kernel`
+    ///    span, parallel on the attached pool.
+    /// 3. **reduce-y** — in scheduled mode, peers whose y rows finalized
+    ///    early were already flushed during phases 1–2; the rest flush
+    ///    here, and incoming partials are drained in arrival order but
+    ///    *applied* in schedule order (prefix rule), so the accumulation
+    ///    order — and therefore every output bit — matches the barrier
+    ///    path. The all-to-all modes flush at the collective and apply in
+    ///    ascending peer order, like their barrier form.
+    fn run_plan_overlapped(
+        &self,
+        comm: &Comm,
+        plan: &RankPlan,
+        ws: &mut PlanWorkspace,
+        batch: usize,
+    ) -> u64 {
+        let p = comm.rank();
+        let mut st = plan.overlap_state(batch, self.pool.is_some());
+        match self.mode {
+            Mode::Scheduled => {
+                let schedule = self.schedule.expect("scheduled mode requires a schedule");
+                let actions = schedule.actions(p);
+                // The round in which the schedule sends to each dst — the
+                // receiver's recv round is the same (rounds pair up), so
+                // early-flushed reduce messages carry the barrier tags.
+                let mut send_round = vec![None; self.part.num_procs()];
+                for (round, act) in actions.iter().enumerate() {
+                    if let Some(dst) = act.send_to {
+                        send_round[dst] = Some(round as u64);
+                    }
+                }
+                comm.with_phase("gather-x", || {
+                    for (round, act) in actions.iter().enumerate() {
+                        comm.annotate_round(round as u64);
+                        if let Some(dst) = act.send_to {
+                            let pidx = plan.peer_slot(dst).expect("scheduled peer is in the plan");
+                            let buf = plan.pack(ws, ExchangeKind::Gather, pidx, batch);
+                            comm.send(dst, TAG_X + round as u64, buf);
+                        }
+                    }
+                    comm.clear_round();
+                    // Owned-only blocks while every message is in flight.
+                    comm.with_phase("compute:overlap", || {
+                        plan.compute_overlapped(ws, &mut st, self.pool)
+                    });
+                    self.flush_ready(comm, plan, ws, &mut st, batch, &send_round);
+                    let mut candidates: Vec<(usize, u64)> = actions
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(round, act)| {
+                            act.recv_from.map(|src| (src, TAG_X + round as u64))
+                        })
+                        .collect();
+                    while !candidates.is_empty() {
+                        let (src, tag, buf) =
+                            comm.recv_any(&candidates).expect("overlapped gather failed");
+                        candidates.retain(|&c| c != (src, tag));
+                        let pidx = plan.peer_slot(src).expect("scheduled peer is in the plan");
+                        plan.unpack(ws, ExchangeKind::Gather, pidx, batch, buf);
+                        plan.note_gather_arrival(&mut st, pidx);
+                        comm.with_phase("compute:overlap", || {
+                            plan.compute_overlapped(ws, &mut st, self.pool)
+                        });
+                        self.flush_ready(comm, plan, ws, &mut st, batch, &send_round);
+                    }
+                    for act in actions {
+                        if act.send_to.is_some() || act.recv_from.is_some() {
+                            comm.count_round();
+                        }
+                    }
+                });
+                let ternary = comm.with_phase("local-compute", || {
+                    comm.with_phase("compute:kernel", || {
+                        let t = plan.finish_overlapped(ws, &mut st, self.pool);
+                        comm.annotate_counter("plan:arena_bytes", plan.arena_bytes() as u64);
+                        comm.annotate_counter("plan:fresh_allocs", ws.fresh_allocs());
+                        t
+                    })
+                });
+                comm.with_phase("reduce-y", || {
+                    self.flush_ready(comm, plan, ws, &mut st, batch, &send_round);
+                    // Drain in arrival order, apply in schedule order: the
+                    // reduce accumulation is order-sensitive, so arrivals
+                    // beyond the applied prefix are stashed.
+                    let recv_rounds: Vec<(usize, u64)> = actions
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(round, act)| act.recv_from.map(|src| (src, round as u64)))
+                        .collect();
+                    let mut candidates: Vec<(usize, u64)> =
+                        recv_rounds.iter().map(|&(src, round)| (src, TAG_Y + round)).collect();
+                    let mut arrived: Vec<Option<Vec<f64>>> = vec![None; recv_rounds.len()];
+                    let mut applied = 0usize;
+                    while !candidates.is_empty() {
+                        let (src, tag, buf) =
+                            comm.recv_any(&candidates).expect("overlapped reduce failed");
+                        candidates.retain(|&c| c != (src, tag));
+                        let slot = recv_rounds
+                            .iter()
+                            .position(|&(s, round)| s == src && TAG_Y + round == tag)
+                            .expect("arrival matches a scheduled recv");
+                        arrived[slot] = Some(buf);
+                        while applied < recv_rounds.len() {
+                            let Some(buf) = arrived[applied].take() else { break };
+                            let pidx = plan
+                                .peer_slot(recv_rounds[applied].0)
+                                .expect("scheduled peer is in the plan");
+                            plan.unpack(ws, ExchangeKind::Reduce, pidx, batch, buf);
+                            applied += 1;
+                        }
+                    }
+                    for act in actions {
+                        if act.send_to.is_some() || act.recv_from.is_some() {
+                            comm.count_round();
+                        }
+                    }
+                });
+                ternary
+            }
+            Mode::AllToAllPadded | Mode::AllToAllSparse => {
+                let p_count = self.part.num_procs();
+                let pad_len = batch * plan.pad_unit();
+                comm.with_phase("gather-x", || {
+                    let mut sendbufs = std::mem::take(&mut ws.a2a_send);
+                    sendbufs.resize_with(p_count, Vec::new);
+                    for pidx in 0..plan.peers().len() {
+                        let peer = plan.peers()[pidx].peer;
+                        let mut buf = plan.pack(ws, ExchangeKind::Gather, pidx, batch);
+                        if self.mode == Mode::AllToAllPadded {
+                            debug_assert!(buf.len() <= pad_len);
+                            buf.resize(pad_len, 0.0);
+                        }
+                        sendbufs[peer] = buf;
+                    }
+                    let shell = comm
+                        .all_to_all_v_overlapped(sendbufs, |event| match event {
+                            // Owned-only blocks start once the sends are
+                            // in flight (posting first keeps peers fed).
+                            AllToAllEvent::SendsPosted => {
+                                comm.with_phase("compute:overlap", || {
+                                    plan.compute_overlapped(ws, &mut st, self.pool)
+                                });
+                            }
+                            AllToAllEvent::Arrival { src, buf } => {
+                                let pidx =
+                                    plan.peer_slot(src).expect("every non-self rank is a peer");
+                                plan.unpack(ws, ExchangeKind::Gather, pidx, batch, buf);
+                                plan.note_gather_arrival(&mut st, pidx);
+                                comm.with_phase("compute:overlap", || {
+                                    plan.compute_overlapped(ws, &mut st, self.pool)
+                                });
+                            }
+                        })
+                        .expect("all-to-all failed");
+                    ws.a2a_send = shell;
+                });
+                let ternary = comm.with_phase("local-compute", || {
+                    comm.with_phase("compute:kernel", || {
+                        let t = plan.finish_overlapped(ws, &mut st, self.pool);
+                        comm.annotate_counter("plan:arena_bytes", plan.arena_bytes() as u64);
+                        comm.annotate_counter("plan:fresh_allocs", ws.fresh_allocs());
+                        t
+                    })
+                });
+                comm.with_phase("reduce-y", || {
+                    let mut sendbufs = std::mem::take(&mut ws.a2a_send);
+                    sendbufs.resize_with(p_count, Vec::new);
+                    for pidx in 0..plan.peers().len() {
+                        let peer = plan.peers()[pidx].peer;
+                        let mut buf = plan.pack(ws, ExchangeKind::Reduce, pidx, batch);
+                        if self.mode == Mode::AllToAllPadded {
+                            debug_assert!(buf.len() <= pad_len);
+                            buf.resize(pad_len, 0.0);
+                        }
+                        sendbufs[peer] = buf;
+                    }
+                    // Drain in arrival order, apply in ascending peer
+                    // order (the barrier form's accumulation order).
+                    let mut arrived: Vec<Option<Vec<f64>>> = vec![None; p_count];
+                    let mut applied = 0usize;
+                    let shell = comm
+                        .all_to_all_v_overlapped(sendbufs, |event| match event {
+                            AllToAllEvent::SendsPosted => {}
+                            AllToAllEvent::Arrival { src, buf } => {
+                                arrived[src] = Some(buf);
+                                while applied < p_count {
+                                    if applied == p {
+                                        applied += 1;
+                                        continue;
+                                    }
+                                    let Some(buf) = arrived[applied].take() else { break };
+                                    let pidx = plan
+                                        .peer_slot(applied)
+                                        .expect("every non-self rank is a peer");
+                                    plan.unpack(ws, ExchangeKind::Reduce, pidx, batch, buf);
+                                    applied += 1;
+                                }
+                            }
+                        })
+                        .expect("all-to-all failed");
+                    ws.a2a_send = shell;
+                });
+                ternary
+            }
+        }
+    }
+
+    /// Sends the reduce contribution of every peer whose y rows just
+    /// finalized (scheduled mode's early flush): packs through the
+    /// ordinary [`RankPlan::pack`] layout and reuses the barrier path's
+    /// `TAG_Y + round` tags, so the wire format is untouched — only the
+    /// send time moves earlier.
+    fn flush_ready(
+        &self,
+        comm: &Comm,
+        plan: &RankPlan,
+        ws: &mut PlanWorkspace,
+        st: &mut crate::plan::OverlapState,
+        batch: usize,
+        send_round: &[Option<u64>],
+    ) {
+        for pidx in st.take_flushable() {
+            let dst = plan.peers()[pidx].peer;
+            if let Some(round) = send_round[dst] {
+                comm.annotate_round(round);
+                let buf = plan.pack(ws, ExchangeKind::Reduce, pidx, batch);
+                comm.send(dst, TAG_Y + round, buf);
+                comm.clear_round();
+            }
+        }
+    }
+
     /// The plan path's exchange: mirrors [`RankContext::exchange_phase`]
     /// round for round and byte for byte, but packs from / unpacks into
     /// the flat slabs using the precompiled piece layouts, with message
@@ -841,6 +1264,27 @@ impl BatchSpans {
     }
 }
 
+/// One rank's measurement of a batch served through the double-buffered
+/// pipeline ([`RankContext::sttsv_serve_pipelined`]): when the batch was
+/// admitted and formed on this rank, its timing decomposition, and its
+/// outputs — the same shape the sequential serving loop records per batch.
+#[derive(Clone, Debug)]
+pub struct ServedBatch {
+    /// Batch admitted to the pipeline on this rank (absolute) — its queue
+    /// wait ends here.
+    pub begin_ns: u64,
+    /// Shards extracted and loaded, gather traffic on the wire (absolute).
+    pub formed_ns: u64,
+    /// The batch's timing decomposition. `gather_ns` is the *exposed*
+    /// gather time (drain only) — the pipeline's win shows up as this
+    /// shrinking relative to the sequential loop.
+    pub spans: BatchSpans,
+    /// This rank's output shards, indexed `[v][t]`.
+    pub ys: Vec<Vec<Vec<f64>>>,
+    /// Ternary multiplications this rank performed for the batch.
+    pub ternary: u64,
+}
+
 /// Runs [`RankContext::sttsv_multi`] on the simulated machine: all `B`
 /// contractions share one pair of exchange phases, so each rank's message
 /// and round counts equal a **single** STTSV while words scale with `B`.
@@ -1077,6 +1521,147 @@ pub fn parallel_sttsv_multi_planned(
             })
             .collect();
         ctx.sttsv_multi(comm, &my_shards)
+    };
+    let universe = Universe::new(p_count);
+    let (rank_results, report) = universe.run(rank_main);
+
+    let mut ys = vec![vec![0.0; n]; xs.len()];
+    let mut ternary_per_rank = Vec::with_capacity(p_count);
+    for (p, (shard_sets, ternary)) in rank_results.into_iter().enumerate() {
+        ternary_per_rank.push(ternary);
+        for (v, shards) in shard_sets.into_iter().enumerate() {
+            for (t, &i) in part.r_set(p).iter().enumerate() {
+                let global = part.block_range(i);
+                let local = part.shard_range(i, p);
+                ys[v][global.start + local.start..global.start + local.end]
+                    .copy_from_slice(&shards[t]);
+            }
+        }
+    }
+    SttsvMultiRun { ys, report, ternary_per_rank }
+}
+
+/// [`parallel_sttsv_planned`] with the **overlapped exchange** engine:
+/// owned-only blocks compute while gather-x messages are still in flight,
+/// dependency groups fire as each peer's piece lands, and (in scheduled
+/// mode) finished y rows flush their reduce contributions early. Values,
+/// ternary counts, and the full [`CostReport`] are bit-identical to the
+/// barrier-planned run — only event *timing* differs.
+pub fn parallel_sttsv_overlapped(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x: &[f64],
+    mode: Mode,
+    threads: usize,
+) -> SttsvRun {
+    let (run, _traces) = run_sttsv_overlapped(tensor, part, x, mode, threads, false);
+    run
+}
+
+/// Like [`parallel_sttsv_overlapped`] but with per-rank event tracing, so
+/// the overlapped pipeline feeds the same `symtensor-obs` replay/critical-
+/// path tooling as the barrier drivers (the E16 A/B study runs on this).
+pub fn parallel_sttsv_overlapped_traced(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x: &[f64],
+    mode: Mode,
+    threads: usize,
+) -> (SttsvRun, Vec<Vec<CommEvent>>) {
+    run_sttsv_overlapped(tensor, part, x, mode, threads, true)
+}
+
+fn run_sttsv_overlapped(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    x: &[f64],
+    mode: Mode,
+    threads: usize,
+    traced: bool,
+) -> (SttsvRun, Vec<Vec<CommEvent>>) {
+    let n = part.dim();
+    assert_eq!(tensor.dim(), n);
+    assert_eq!(x.len(), n);
+    let p_count = part.num_procs();
+    let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
+
+    let rank_main = |comm: &Comm| {
+        let p = comm.rank();
+        let pool = (threads > 1).then(|| Pool::new(threads));
+        let mut ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref()).with_plan();
+        if let Some(pool) = pool.as_ref() {
+            ctx = ctx.with_pool(pool);
+        }
+        let my_shards: Vec<Vec<f64>> = part
+            .r_set(p)
+            .iter()
+            .map(|&i| {
+                let block = &x[part.block_range(i)];
+                block[part.shard_range(i, p)].to_vec()
+            })
+            .collect();
+        ctx.sttsv_overlapped(comm, &my_shards)
+    };
+    let universe = Universe::new(p_count);
+    let (rank_results, report, traces) = if traced {
+        universe.run_traced(rank_main)
+    } else {
+        let (results, report) = universe.run(rank_main);
+        (results, report, Vec::new())
+    };
+
+    let mut y = vec![0.0; n];
+    let mut ternary_per_rank = Vec::with_capacity(p_count);
+    for (p, (shards, ternary)) in rank_results.into_iter().enumerate() {
+        ternary_per_rank.push(ternary);
+        for (t, &i) in part.r_set(p).iter().enumerate() {
+            let global = part.block_range(i);
+            let local = part.shard_range(i, p);
+            y[global.start + local.start..global.start + local.end].copy_from_slice(&shards[t]);
+        }
+    }
+    (SttsvRun { y, report, ternary_per_rank }, traces)
+}
+
+/// [`parallel_sttsv_multi_planned`] with the overlapped exchange engine:
+/// the whole batch pipelines through one dependency-driven gather /
+/// compute / reduce pass per rank. Bit-identical to the barrier-planned
+/// multi-vector run.
+pub fn parallel_sttsv_multi_overlapped(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    xs: &[Vec<f64>],
+    mode: Mode,
+    threads: usize,
+) -> SttsvMultiRun {
+    let n = part.dim();
+    assert_eq!(tensor.dim(), n);
+    for (v, x) in xs.iter().enumerate() {
+        assert_eq!(x.len(), n, "vector {v} has wrong dimension");
+    }
+    let p_count = part.num_procs();
+    let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
+
+    let rank_main = |comm: &Comm| {
+        let p = comm.rank();
+        let pool = (threads > 1).then(|| Pool::new(threads));
+        let mut ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref()).with_plan();
+        if let Some(pool) = pool.as_ref() {
+            ctx = ctx.with_pool(pool);
+        }
+        let my_shards: Vec<Vec<Vec<f64>>> = xs
+            .iter()
+            .map(|x| {
+                part.r_set(p)
+                    .iter()
+                    .map(|&i| {
+                        let block = &x[part.block_range(i)];
+                        block[part.shard_range(i, p)].to_vec()
+                    })
+                    .collect()
+            })
+            .collect();
+        ctx.sttsv_multi_overlapped(comm, &my_shards)
     };
     let universe = Universe::new(p_count);
     let (rank_results, report) = universe.run(rank_main);

@@ -45,15 +45,16 @@ pub mod tetra;
 pub mod triangle;
 
 pub use algorithm5::{
-    parallel_sttsv, parallel_sttsv_mt, parallel_sttsv_multi, parallel_sttsv_multi_planned,
+    parallel_sttsv, parallel_sttsv_mt, parallel_sttsv_multi, parallel_sttsv_multi_overlapped,
+    parallel_sttsv_multi_planned, parallel_sttsv_overlapped, parallel_sttsv_overlapped_traced,
     parallel_sttsv_padded, parallel_sttsv_planned, parallel_sttsv_planned_traced,
     parallel_sttsv_traced, parallel_sttsv_traced_flight, BatchSpans, Mode, RankContext,
     SttsvMultiRun, SttsvRun,
 };
 pub use partition::TetraPartition;
-pub use plan::{PlanWorkspace, RankPlan};
+pub use plan::{BlockClass, OverlapState, PlanWorkspace, RankPlan};
 pub use schedule::CommSchedule;
 pub use serve::{
-    parallel_sttsv_serve, parallel_sttsv_serve_chaos, ChaosPolicy, RequestRecord, ServeError,
-    ServeRequest, ServeRun,
+    parallel_sttsv_serve, parallel_sttsv_serve_chaos, parallel_sttsv_serve_pipelined, ChaosPolicy,
+    RequestRecord, ServeError, ServeRequest, ServeRun,
 };

@@ -270,6 +270,85 @@ pub fn parallel_sttsv_serve(
     Ok(ServeRun { ys, report, ternary_per_rank, records, flight })
 }
 
+/// [`parallel_sttsv_serve`] with the **double-buffered pipeline**: while
+/// batch `k` computes, batch `k + 1` is formed and its gather-x messages
+/// are already in flight, alternating between two plan workspaces per
+/// rank ([`RankContext::sttsv_serve_pipelined`]). Outputs, ternary counts
+/// and the [`CostReport`] are bit-identical to the sequential serving
+/// loop — per-sender FIFO delivery keeps back-to-back batches on the same
+/// round tags unambiguous — while each batch's recorded exchange span now
+/// measures only its *exposed* gather time (the part its predecessor's
+/// compute could not hide). Scheduled mode pipelines; the all-to-all
+/// modes run sequential barrier batches (their collective is one
+/// indivisible step) and produce records identical in structure.
+pub fn parallel_sttsv_serve_pipelined(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    requests: &[ServeRequest],
+    mode: Mode,
+    threads: usize,
+    batch_cap: usize,
+) -> Result<ServeRun, ServeError> {
+    if batch_cap == 0 {
+        return Err(ServeError::ZeroBatchCap);
+    }
+    let n = part.dim();
+    assert_eq!(tensor.dim(), n);
+    for r in requests {
+        assert_eq!(r.x.len(), n, "request {} has wrong dimension", r.id);
+    }
+    let p_count = part.num_procs();
+    let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
+    let batches: Vec<&[ServeRequest]> = requests.chunks(batch_cap).collect();
+
+    let rank_main = |comm: &Comm| {
+        let p = comm.rank();
+        let pool = (threads > 1).then(|| Pool::new(threads));
+        let mut ctx = RankContext::new(tensor, part, p, mode, schedule.as_ref()).with_plan();
+        if let Some(pool) = pool.as_ref() {
+            ctx = ctx.with_pool(pool);
+        }
+        let served = ctx.sttsv_serve_pipelined(comm, batches.len(), |k| {
+            let batch = batches[k];
+            let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+            let shards = comm.with_phase("batch-form", || extract_shards(part, p, batch));
+            (shards, ids)
+        });
+        served
+            .into_iter()
+            .map(|sb| RankBatch {
+                begin_ns: sb.begin_ns,
+                formed_ns: sb.formed_ns,
+                spans: sb.spans,
+                ys: sb.ys,
+                ternary: sb.ternary,
+            })
+            .collect::<Vec<_>>()
+    };
+    let (rank_results, report, flight) = Universe::new(p_count).run_flight(rank_main);
+
+    let mut ys = vec![vec![0.0; n]; requests.len()];
+    let mut ternary_per_rank = vec![0u64; p_count];
+    let mut records = Vec::with_capacity(requests.len());
+    let mut offset = 0usize;
+    for (k, batch) in batches.iter().enumerate() {
+        let per_rank: Vec<&RankBatch> = rank_results.iter().map(|b| &b[k]).collect();
+        merge_batch(
+            part,
+            batch,
+            k,
+            &per_rank,
+            0,
+            offset,
+            &mut ys,
+            &mut ternary_per_rank,
+            &mut records,
+        );
+        offset += batch.len();
+    }
+    Ok(ServeRun { ys, report, ternary_per_rank, records, flight })
+}
+
 /// How the chaos serving layer injects faults and recovers from them.
 #[derive(Clone, Debug)]
 pub struct ChaosPolicy {
@@ -487,6 +566,63 @@ mod tests {
         }
         // Later batches queue behind earlier ones.
         assert!(run.records[4].queue_wait_ns >= run.records[0].queue_wait_ns);
+    }
+
+    #[test]
+    fn pipelined_serve_is_bit_identical_to_sequential() {
+        let (tensor, part, n) = setup(2);
+        let xs = vectors(n, 7);
+        let requests: Vec<ServeRequest> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| ServeRequest::new(200 + i as u64, x.clone()))
+            .collect();
+        for mode in [Mode::Scheduled, Mode::AllToAllPadded, Mode::AllToAllSparse] {
+            for threads in [1usize, 3] {
+                let seq =
+                    parallel_sttsv_serve(&tensor, &part, &requests, mode, threads, 3).unwrap();
+                let pipe =
+                    parallel_sttsv_serve_pipelined(&tensor, &part, &requests, mode, threads, 3)
+                        .unwrap();
+                assert_eq!(pipe.ys, seq.ys, "{mode:?}/{threads}: outputs must be bit-identical");
+                assert_eq!(pipe.ternary_per_rank, seq.ternary_per_rank);
+                assert_eq!(
+                    pipe.report, seq.report,
+                    "{mode:?}/{threads}: pipelining must not move a single word"
+                );
+                assert_eq!(pipe.records.len(), seq.records.len());
+                for (pr, sr) in pipe.records.iter().zip(&seq.records) {
+                    assert_eq!(
+                        (pr.id, pr.batch, pr.batch_index),
+                        (sr.id, sr.batch, sr.batch_index)
+                    );
+                    assert!(pr.compute_ns > 0);
+                    assert!(pr.e2e_ns >= pr.compute_ns);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_batches_overlap_in_time() {
+        let (tensor, part, n) = setup(2);
+        let xs = vectors(n, 8);
+        let requests: Vec<ServeRequest> =
+            xs.iter().enumerate().map(|(i, x)| ServeRequest::new(i as u64, x.clone())).collect();
+        let run = parallel_sttsv_serve_pipelined(&tensor, &part, &requests, Mode::Scheduled, 1, 2)
+            .unwrap();
+        // Batch k+1 is admitted (queue wait ends) before batch k finishes:
+        // with 4 batches, at least one successor must begin before its
+        // predecessor's end-to-end completion — the pipeline's signature.
+        let mut overlapped = false;
+        for k in 1..4 {
+            let prev_end = run.records[2 * (k - 1)].e2e_ns;
+            let begin = run.records[2 * k].queue_wait_ns + requests[2 * k].arrival_ns;
+            if begin < prev_end {
+                overlapped = true;
+            }
+        }
+        assert!(overlapped, "no batch was admitted before its predecessor completed");
     }
 
     #[test]

@@ -69,7 +69,7 @@ fn compute_only_makespan_is_max_rank_compute() {
 /// weights (a path visits each op at most once).
 #[test]
 fn critical_path_respects_weight_bounds() {
-    let model = AlphaBetaModel { alpha: 3.0, beta: 0.5, gamma: 1.0 };
+    let model = AlphaBetaModel { alpha: 3.0, beta: 0.5, gamma: 1.0, link_ns: 0.0 };
     for q in [2usize, 3] {
         let (_, traces, _) = traced_run(q, Mode::Scheduled);
         let rep = replay(&traces, model).unwrap();
