@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
+use symtensor_telemetry::{keys as telemetry_keys, TelemetryPlane};
 
 /// Default granularity at which a blocked [`Comm::recv`] re-checks the
 /// universe's abort flag. A panicking peer therefore surfaces as
@@ -186,6 +187,20 @@ pub struct Comm {
     /// actually inject something this attempt; `None` otherwise, so an
     /// inert plan costs one branch per send and nothing per receive.
     faults: Option<RefCell<FaultState>>,
+    /// Live-metrics handle when the universe has a telemetry plane
+    /// attached; `None` costs one branch per send/recv.
+    telemetry: Option<TelemetryHandle>,
+}
+
+/// This rank's view of the shared [`TelemetryPlane`]: the plane, a
+/// one-entry phase-slot cache (so a publish costs a label compare, not a
+/// registry scan) and the high-water mark of alerts already stamped into
+/// the flight ring.
+struct TelemetryHandle {
+    plane: Arc<TelemetryPlane>,
+    cached_label: Cell<Option<&'static str>>,
+    cached_slot: Cell<usize>,
+    seen_alerts: Cell<u64>,
 }
 
 impl Comm {
@@ -205,6 +220,7 @@ impl Comm {
         tracing: bool,
         flight_capacity: usize,
         faults: Option<FaultPlan>,
+        telemetry: Option<Arc<TelemetryPlane>>,
     ) -> Self {
         Comm {
             rank,
@@ -225,6 +241,15 @@ impl Comm {
             faults: faults
                 .filter(FaultPlan::is_active)
                 .map(|plan| RefCell::new(FaultState::new(plan, rank))),
+            telemetry: telemetry.map(|plane| TelemetryHandle {
+                plane,
+                // `None` → slot 0 is the plane's standing invariant
+                // (UNPHASED is always slot 0), so the initial cache entry
+                // is already correct.
+                cached_label: Cell::new(None),
+                cached_slot: Cell::new(0),
+                seen_alerts: Cell::new(0),
+            }),
         }
     }
 
@@ -232,18 +257,6 @@ impl Comm {
     #[inline]
     pub fn tracing(&self) -> bool {
         self.trace.is_some()
-    }
-
-    /// Drains the event log recorded so far (empty when tracing is
-    /// disabled).
-    #[deprecated(
-        since = "0.6.0",
-        note = "destructive mid-run drains truncate the logs that \
-                `Universe::run_traced` collects at the end of the run; \
-                use the non-destructive traced entry points instead"
-    )]
-    pub fn take_trace(&self) -> Vec<CommEvent> {
-        self.drain_trace()
     }
 
     /// Crate-internal trace drain: the universe calls this exactly once
@@ -271,13 +284,21 @@ impl Comm {
     /// measured recording cost (one extra clock read) to the recorder's
     /// self-overhead counter. One branch and no clock read when the
     /// recorder is disabled.
+    ///
+    /// The overhead is measured as `Instant::elapsed` of a single
+    /// monotonic anchor — non-negative by construction, so the recorder's
+    /// self-tax (and the telemetry gauge fed from it) can never go
+    /// negative on coarse clocks, unlike a difference of two epoch reads.
     #[inline]
     fn record_flight(&self, kind: FlightKind, peer: Option<usize>, words: u64) {
         let mut flight = self.flight.borrow_mut();
         if !flight.enabled() {
             return;
         }
-        let t0 = self.now_ns();
+        let anchor = Instant::now();
+        // Saturating: `anchor` was read after `epoch`, but be explicit
+        // that a record timestamp can never underflow.
+        let t0 = anchor.saturating_duration_since(self.epoch).as_nanos() as u64;
         flight.record(
             t0,
             kind,
@@ -287,7 +308,7 @@ impl Comm {
             words,
             self.request.get(),
         );
-        flight.add_overhead(self.now_ns().saturating_sub(t0));
+        flight.add_overhead(anchor.elapsed().as_nanos() as u64);
     }
 
     /// Drains (non-destructively decodes) this rank's flight ring.
@@ -500,6 +521,10 @@ impl Comm {
             counters.msgs_sent.fetch_add(1, Ordering::Relaxed);
             self.record(CommEventKind::Send { dst, tag, words });
             self.record_flight(FlightKind::Send, Some(dst), words);
+            if let Some(h) = &self.telemetry {
+                h.plane.rank_cell(self.rank).on_send(self.tele_slot(h), words);
+                self.poll_alerts(h);
+            }
         }
     }
 
@@ -642,7 +667,90 @@ impl Comm {
             words: msg.data.len() as u64,
         });
         self.record_flight(FlightKind::Recv, Some(msg.src), msg.data.len() as u64);
+        if let Some(h) = &self.telemetry {
+            h.plane.rank_cell(self.rank).on_recv(self.tele_slot(h), msg.data.len() as u64);
+            self.poll_alerts(h);
+        }
         msg.data
+    }
+
+    /// Whether a live telemetry plane is attached to this run.
+    #[inline]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// The telemetry phase slot for the innermost active phase, via the
+    /// handle's one-entry cache: the common case (same phase as the last
+    /// publish) is a single pointer compare; a miss resolves the label
+    /// through the plane's registry once and re-primes the cache.
+    #[inline]
+    fn tele_slot(&self, h: &TelemetryHandle) -> usize {
+        let label = self.phase.get();
+        if label != h.cached_label.get() {
+            h.cached_label.set(label);
+            h.cached_slot.set(match label {
+                // `None` → UNPHASED, which is always slot 0.
+                None => 0,
+                Some(name) => h.plane.phase_slot(name),
+            });
+        }
+        h.cached_slot.get()
+    }
+
+    /// Stamps any alerts raised on the plane since this rank last looked
+    /// into the rank's own flight ring ([`FlightKind::Alert`], alert id in
+    /// the word field). The steady-state cost — no new alerts — is one
+    /// relaxed load.
+    fn poll_alerts(&self, h: &TelemetryHandle) {
+        let count = h.plane.alert_count();
+        if count == h.seen_alerts.get() {
+            return;
+        }
+        for alert in h.plane.alerts_since(h.seen_alerts.get()) {
+            self.record_flight(FlightKind::Alert, None, alert.id);
+        }
+        h.seen_alerts.set(count);
+    }
+
+    /// Adds `value` to the named telemetry gauge on this rank's cell.
+    /// No-op (one branch) when no plane is attached.
+    #[inline]
+    pub fn telemetry_gauge_add(&self, name: &'static str, value: u64) {
+        if let Some(h) = &self.telemetry {
+            let slot = h.plane.gauge_slot(name);
+            h.plane.rank_cell(self.rank).gauge_add(slot, value);
+        }
+    }
+
+    /// Sets the named telemetry gauge on this rank's cell to `value`.
+    /// No-op (one branch) when no plane is attached.
+    #[inline]
+    pub fn telemetry_gauge_set(&self, name: &'static str, value: u64) {
+        if let Some(h) = &self.telemetry {
+            let slot = h.plane.gauge_slot(name);
+            h.plane.rank_cell(self.rank).gauge_set(slot, value);
+        }
+    }
+
+    /// Records `value` into the named telemetry rolling histogram on this
+    /// rank's cell. No-op (one branch) when no plane is attached.
+    #[inline]
+    pub fn telemetry_observe(&self, name: &'static str, value: u64) {
+        if let Some(h) = &self.telemetry {
+            let slot = h.plane.hist_slot(name);
+            h.plane.rank_cell(self.rank).observe(slot, h.plane.now_ns(), value);
+        }
+    }
+
+    /// Publishes the flight recorder's accumulated self-overhead as the
+    /// `flight:overhead_ns` gauge — called by the universe after the
+    /// rank's closure returns, so scrapes see the final figure.
+    pub(crate) fn publish_flight_overhead(&self) {
+        if let Some(h) = &self.telemetry {
+            let slot = h.plane.gauge_slot(telemetry_keys::FLIGHT_OVERHEAD_NS);
+            h.plane.rank_cell(self.rank).gauge_set(slot, self.flight.borrow().overhead_ns());
+        }
     }
 
     /// Simultaneous send to and receive from `partner` (the "sendrecv"

@@ -50,6 +50,12 @@ pub enum FlightKind {
     /// A chaos-injected fault (see [`crate::fault::FaultPlan`]); `words`
     /// carries the affected message's size, `peer` its counterpart.
     Fault,
+    /// An SLO burn-rate alert from the live telemetry plane, stamped by
+    /// this rank when it noticed the alert (ranks poll the plane's alert
+    /// count on every send/recv); `words` carries the alert id, so a
+    /// post-mortem window shows exactly what the live plane saw — and
+    /// when each rank saw it — before a failure.
+    Alert,
 }
 
 /// Flag bit in [`Packed::kind`] marking a record in which at least one
@@ -265,10 +271,21 @@ impl FlightRecorder {
     }
 
     /// Charges `ns` of measured recording cost to the self-overhead
-    /// counter (the caller times its own `record` call).
+    /// counter (the caller times its own `record` call with a monotonic
+    /// `Instant`, so `ns` is non-negative by construction; the counter
+    /// saturates rather than wrapping).
     #[inline]
     pub fn add_overhead(&mut self, ns: u64) {
-        self.overhead_ns += ns;
+        self.overhead_ns = self.overhead_ns.saturating_add(ns);
+    }
+
+    /// The accumulated self-overhead in nanoseconds — the lightweight
+    /// getter behind the telemetry plane's recorder-overhead gauge
+    /// (monotone and never negative, unlike a wall-clock difference on a
+    /// coarse clock).
+    #[inline]
+    pub fn overhead_ns(&self) -> u64 {
+        self.overhead_ns
     }
 
     /// Decodes the ring into chronological events with absolute
@@ -300,7 +317,8 @@ impl FlightRecorder {
                     1 => FlightKind::Recv,
                     2 => FlightKind::PhaseEnter,
                     3 => FlightKind::PhaseExit,
-                    _ => FlightKind::Fault,
+                    4 => FlightKind::Fault,
+                    _ => FlightKind::Alert,
                 },
                 phase: if p.phase == 0 { None } else { self.phases[(p.phase - 1) as usize] },
                 round: if p.round == 0 { None } else { Some(p.round as u64 - 1) },
@@ -432,6 +450,31 @@ mod tests {
         assert!(!snap.events[0].saturated);
         // Fault records are not Send records: word sums stay clean.
         assert_eq!(snap.words_sent(), 0);
+    }
+
+    #[test]
+    fn alert_kind_roundtrips_with_its_id_in_the_word_field() {
+        let mut rec = FlightRecorder::new(4);
+        rec.record(5, FlightKind::Alert, Some("reduce-y"), None, None, 3, None);
+        let snap = rec.snapshot(2);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].kind, FlightKind::Alert);
+        assert_eq!(snap.events[0].words, 3, "alert id travels in the word field");
+        assert_eq!(snap.events[0].phase, Some("reduce-y"));
+        // Alert records are neither sends nor receives: word sums stay clean.
+        assert_eq!(snap.words_sent() + snap.words_recv(), 0);
+    }
+
+    #[test]
+    fn overhead_counter_is_monotone_and_saturates() {
+        let mut rec = FlightRecorder::new(4);
+        assert_eq!(rec.overhead_ns(), 0);
+        rec.add_overhead(10);
+        rec.add_overhead(5);
+        assert_eq!(rec.overhead_ns(), 15);
+        rec.add_overhead(u64::MAX);
+        assert_eq!(rec.overhead_ns(), u64::MAX, "saturates instead of wrapping");
+        assert_eq!(rec.snapshot(0).overhead.overhead_ns, u64::MAX);
     }
 
     #[test]

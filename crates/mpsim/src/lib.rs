@@ -44,6 +44,7 @@ use comm::AbortState;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
+use symtensor_telemetry::TelemetryPlane;
 
 /// Configuration and entry point for a simulated parallel machine.
 #[derive(Clone, Debug)]
@@ -54,6 +55,7 @@ pub struct Universe {
     tracing: bool,
     flight_capacity: usize,
     faults: Option<FaultPlan>,
+    telemetry: Option<Arc<TelemetryPlane>>,
 }
 
 impl Universe {
@@ -68,6 +70,7 @@ impl Universe {
             tracing: false,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
             faults: None,
+            telemetry: None,
         }
     }
 
@@ -114,6 +117,27 @@ impl Universe {
         self
     }
 
+    /// Attaches a live telemetry plane: every rank publishes its send/recv
+    /// word counts (per phase), gauges and rolling-window histograms into
+    /// the plane's lock-free cells as it runs, so a concurrent
+    /// [`symtensor_telemetry::Scraper`] can observe the run in flight. The
+    /// plane must have at least as many rank cells as this universe has
+    /// ranks. Without a plane, the cost is one branch per send/recv; the
+    /// computed results and [`CostReport`] are bit-identical either way.
+    ///
+    /// # Panics
+    /// Panics if the plane has fewer rank cells than this universe.
+    pub fn with_telemetry(mut self, plane: Arc<TelemetryPlane>) -> Self {
+        assert!(
+            plane.ranks() >= self.size,
+            "telemetry plane has {} rank cells, universe has {} ranks",
+            plane.ranks(),
+            self.size
+        );
+        self.telemetry = Some(plane);
+        self
+    }
+
     /// Number of ranks `P`.
     pub fn size(&self) -> usize {
         self.size
@@ -138,11 +162,9 @@ impl Universe {
     /// addition to the results and cost report, each rank's complete event
     /// log (indexed by rank).
     ///
-    /// Unlike draining mid-run with [`Comm::take_trace`] — which destroys
-    /// everything recorded so far on that rank — this collects the full,
-    /// untouched log after every rank closure has returned. Any events the
-    /// closure already drained itself with `take_trace` are of course not
-    /// re-collected; don't mix the two styles unless that is what you want.
+    /// The log is collected after every rank closure has returned, so it is
+    /// complete and in recording order — rank code never observes or
+    /// disturbs it mid-run.
     ///
     /// # Panics
     /// Propagates a panic from any rank.
@@ -275,6 +297,7 @@ impl Universe {
                 let timeout = self.recv_timeout;
                 let poll_interval = self.poll_interval;
                 let faults = self.faults.clone();
+                let telemetry = self.telemetry.clone();
                 handles.push(scope.spawn(move || {
                     let comm = Comm::new(
                         rank,
@@ -289,6 +312,7 @@ impl Universe {
                         tracing,
                         flight_capacity,
                         faults,
+                        telemetry,
                     );
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
@@ -302,6 +326,9 @@ impl Universe {
                             round: comm.current_round(),
                         });
                     }
+                    // Final live-metrics flush: the recorder's self-tax is
+                    // only known once the closure is done.
+                    comm.publish_flight_overhead();
                     // Drain telemetry even from a failed rank — the crash
                     // dump needs its final window most of all.
                     RankOutcome {
@@ -625,11 +652,13 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_take_trace_observes_the_same_events_as_run_traced() {
-        // The destructive mid-run drain is deprecated; this pins down that
-        // it still sees exactly the events the non-destructive collection
-        // reports (kinds, phases, rounds — timestamps differ across runs),
-        // so downstream code can migrate without observable change.
+    fn run_traced_event_shapes_are_deterministic_across_runs() {
+        // Two independent traced runs of the same workload must report the
+        // same event shapes (kinds, phases, rounds — timestamps differ
+        // across runs). This replaces the retired destructive-vs-collected
+        // comparison for the removed mid-run `take_trace` drain: the traced
+        // runners are now the only way to observe the log, so shape
+        // determinism is the property that matters.
         let workload = |comm: &Comm| {
             comm.with_phase("swap", || {
                 comm.annotate_round(2);
@@ -658,17 +687,14 @@ mod tests {
                 })
                 .collect()
         };
-        let (_, _, collected) = Universe::new(2).run_traced(workload);
-        #[allow(deprecated)]
-        let (drained, _) = Universe::new(2).with_tracing(true).run(|comm| {
-            workload(comm);
-            comm.take_trace()
-        });
+        let (_, _, first) = Universe::new(2).run_traced(workload);
+        let (_, _, second) = Universe::new(2).run_traced(workload);
         for rank in 0..2 {
+            assert!(!first[rank].is_empty(), "rank {rank}: traced run must record events");
             assert_eq!(
-                shape(&collected[rank]),
-                shape(&drained[rank]),
-                "rank {rank}: destructive and non-destructive paths must agree"
+                shape(&first[rank]),
+                shape(&second[rank]),
+                "rank {rank}: traced runs of the same workload must agree in shape"
             );
         }
     }

@@ -59,8 +59,9 @@ pub struct MatchReport {
     /// Sends with no matching recv in the traces (messages a peer never
     /// claimed, e.g. dropped on early exit).
     pub unmatched_sends: usize,
-    /// Recvs with no matching send in the traces (only possible when a
-    /// sender's log was drained mid-run with `take_trace`).
+    /// Recvs with no matching send in the traces (only possible when the
+    /// matcher is fed a truncated or partial sender log, e.g. a flight
+    /// window that wrapped).
     pub unmatched_recvs: usize,
 }
 

@@ -37,6 +37,7 @@ fn kind_str(kind: FlightKind) -> &'static str {
         FlightKind::PhaseEnter => "phase_enter",
         FlightKind::PhaseExit => "phase_exit",
         FlightKind::Fault => "fault",
+        FlightKind::Alert => "alert",
     }
 }
 
@@ -53,6 +54,10 @@ fn event_json(e: &FlightEvent) -> Value {
     }
     if matches!(e.kind, FlightKind::Send | FlightKind::Recv | FlightKind::Fault) {
         v.set("words", e.words);
+    }
+    // An alert record carries the alert id in the packed word field.
+    if e.kind == FlightKind::Alert {
+        v.set("alert", e.words);
     }
     if let Some(request) = e.request {
         v.set("request", request);
@@ -151,7 +156,7 @@ pub fn chrome_from_flight(snapshots: &[FlightSnapshot], failing: Option<usize>) 
                         push_span(&mut events, snap.rank, phase, start, e.t_ns, false);
                     }
                 }
-                FlightKind::Send | FlightKind::Recv | FlightKind::Fault => {
+                FlightKind::Send | FlightKind::Recv | FlightKind::Fault | FlightKind::Alert => {
                     let mut args = Value::object();
                     if let Some(peer) = e.peer {
                         args.set("peer", peer);
@@ -163,10 +168,15 @@ pub fn chrome_from_flight(snapshots: &[FlightSnapshot], failing: Option<usize>) 
                     if let Some(request) = e.request {
                         args.set("request", request);
                     }
-                    // Injected faults get their own category so a
-                    // post-mortem reader can separate chaos from organic
-                    // traffic at a glance.
-                    let cat = if e.kind == FlightKind::Fault { "fault" } else { "comm" };
+                    // Injected faults and SLO alerts get their own
+                    // categories so a post-mortem reader can separate
+                    // chaos and burning SLOs from organic traffic at a
+                    // glance.
+                    let cat = match e.kind {
+                        FlightKind::Fault => "fault",
+                        FlightKind::Alert => "alert",
+                        _ => "comm",
+                    };
                     events.push(
                         Value::object()
                             .with("name", kind_str(e.kind))

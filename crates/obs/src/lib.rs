@@ -48,6 +48,7 @@ pub mod replay;
 pub mod schema;
 pub mod slo;
 pub mod span;
+pub mod telemetry;
 
 pub use chrome::{
     chrome_trace, chrome_trace_multi, chrome_trace_string, chrome_trace_with_profile,
@@ -65,6 +66,7 @@ pub use slo::{quantile_cell, Exemplar, ExemplarHistogram, RequestLatency, SloRep
 pub use span::{
     counter_stats, phase_stats, phase_stats_by_name, spans, CounterStats, PhaseSpan, PhaseStats,
 };
+pub use telemetry::telemetry_json;
 
 use symtensor_mpsim::{CommEvent, CostReport};
 

@@ -27,6 +27,8 @@ pub enum ArtifactKind {
     Flight,
     /// A post-mortem crash dump (`symtensor-postmortem-v1`).
     Postmortem,
+    /// A scraped live-metrics series (`symtensor-telemetry-v1`).
+    Telemetry,
 }
 
 impl std::fmt::Display for ArtifactKind {
@@ -38,6 +40,7 @@ impl std::fmt::Display for ArtifactKind {
             ArtifactKind::Bench => "bench-snapshot",
             ArtifactKind::Flight => "flight",
             ArtifactKind::Postmortem => "postmortem",
+            ArtifactKind::Telemetry => "telemetry",
         };
         write!(f, "{name}")
     }
@@ -117,7 +120,7 @@ fn check_flight_ranks(doc: &Value, what: &str) -> Result<(), String> {
             }
             last = t;
             let kind = require_str(e, "kind", &ectx)?;
-            if !["send", "recv", "phase_enter", "phase_exit", "fault"].contains(&kind) {
+            if !["send", "recv", "phase_enter", "phase_exit", "fault", "alert"].contains(&kind) {
                 return Err(format!("{ectx}: unknown kind `{kind}`"));
             }
             // The saturation flag is optional but, when present, must be a
@@ -146,6 +149,60 @@ fn check_metrics_registry(doc: &Value, what: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn check_alerts(doc: &Value, what: &str) -> Result<(), String> {
+    for (i, a) in require_array(doc, "alerts", what)?.iter().enumerate() {
+        let ctx = format!("{what}: alerts[{i}]");
+        require_u64(a, "id", &ctx)?;
+        require_u64(a, "t_ns", &ctx)?;
+        require_str(a, "slo", &ctx)?;
+        require_u64(a, "budget_ns", &ctx)?;
+        for key in ["objective", "short_burn", "long_burn"] {
+            if require(a, key, &ctx)?.as_f64().is_none() {
+                return Err(format!("{ctx}: `{key}` is not a number"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_telemetry(doc: &Value, what: &str) -> Result<(), String> {
+    require_u64(doc, "interval_ns", what)?;
+    let mut last = 0u64;
+    for (i, s) in require_array(doc, "samples", what)?.iter().enumerate() {
+        let ctx = format!("{what}: samples[{i}]");
+        let t = require_u64(s, "t_ns", &ctx)?;
+        if t < last {
+            return Err(format!("{ctx}: sample times went backwards ({last} -> {t})"));
+        }
+        last = t;
+        let derived = require(s, "derived", &ctx)?;
+        for key in [
+            "total_words_sent",
+            "hidden_comm_ns",
+            "exposed_comm_ns",
+            "queue_depth",
+            "batch_occupancy_pct",
+            "retries",
+            "degraded",
+        ] {
+            require_u64(derived, key, &ctx)?;
+        }
+        for (r, cell) in require_array(s, "ranks", &ctx)?.iter().enumerate() {
+            let rctx = format!("{ctx}: ranks[{r}]");
+            require_u64(cell, "rank", &rctx)?;
+            for (p, phase) in require_array(cell, "phases", &rctx)?.iter().enumerate() {
+                let pctx = format!("{rctx}: phases[{p}]");
+                require_str(phase, "phase", &pctx)?;
+                for key in ["words_sent", "words_recv", "msgs_sent", "msgs_recv"] {
+                    require_u64(phase, key, &pctx)?;
+                }
+            }
+        }
+        check_alerts(s, &ctx)?;
+    }
+    check_alerts(doc, what)
+}
+
 /// Validates `doc` against the workspace's artifact contracts, returning
 /// which kind it is — or a message naming the first malformed field.
 pub fn validate(doc: &Value) -> Result<ArtifactKind, String> {
@@ -171,6 +228,10 @@ pub fn validate(doc: &Value) -> Result<ArtifactKind, String> {
             check_flight_ranks(doc, what)?;
             check_chrome(require(doc, "chrome", what)?, "postmortem: embedded chrome")?;
             return Ok(ArtifactKind::Postmortem);
+        }
+        Some("symtensor-telemetry-v1") => {
+            check_telemetry(doc, "telemetry")?;
+            return Ok(ArtifactKind::Telemetry);
         }
         Some(other) => return Err(format!("unknown artifact version `{other}`")),
         None => {}

@@ -31,6 +31,21 @@ use std::cell::{OnceCell, RefCell};
 use symtensor_core::SymTensor3;
 use symtensor_mpsim::{AllToAllEvent, Comm, CommEvent, CostReport, FlightSnapshot, Universe};
 use symtensor_pool::Pool;
+use symtensor_telemetry::keys as telemetry_keys;
+
+/// Runs `f`, adding its wall-clock nanoseconds to `acc` when `enabled`.
+/// No clock reads when disabled — the telemetry-off overlap path must stay
+/// instruction-identical to the pre-telemetry driver.
+#[inline]
+fn timed<R>(enabled: bool, acc: &mut u64, f: impl FnOnce() -> R) -> R {
+    if !enabled {
+        return f();
+    }
+    let t0 = std::time::Instant::now();
+    let r = f();
+    *acc += t0.elapsed().as_nanos() as u64;
+    r
+}
 
 /// Communication strategy for the two vector phases.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -739,6 +754,13 @@ impl<'a> RankContext<'a> {
     ) -> u64 {
         let p = comm.rank();
         let mut st = plan.overlap_state(batch, self.pool.is_some());
+        // Live overlap decomposition: compute done while gather messages
+        // are in flight is *hidden* communication; time spent blocked in
+        // an arrival wait is *exposed*. Published as telemetry gauges so a
+        // concurrent scrape can report overlap efficiency mid-run.
+        let tele = comm.telemetry_enabled();
+        let mut hidden_ns = 0u64;
+        let mut exposed_ns = 0u64;
         match self.mode {
             Mode::Scheduled => {
                 let schedule = self.schedule.expect("scheduled mode requires a schedule");
@@ -763,8 +785,10 @@ impl<'a> RankContext<'a> {
                     }
                     comm.clear_round();
                     // Owned-only blocks while every message is in flight.
-                    comm.with_phase("compute:overlap", || {
-                        plan.compute_overlapped(ws, &mut st, self.pool)
+                    timed(tele, &mut hidden_ns, || {
+                        comm.with_phase("compute:overlap", || {
+                            plan.compute_overlapped(ws, &mut st, self.pool)
+                        })
                     });
                     self.flush_ready(comm, plan, ws, &mut st, batch, &send_round);
                     let mut candidates: Vec<(usize, u64)> = actions
@@ -775,14 +799,17 @@ impl<'a> RankContext<'a> {
                         })
                         .collect();
                     while !candidates.is_empty() {
-                        let (src, tag, buf) =
-                            comm.recv_any(&candidates).expect("overlapped gather failed");
+                        let (src, tag, buf) = timed(tele, &mut exposed_ns, || {
+                            comm.recv_any(&candidates).expect("overlapped gather failed")
+                        });
                         candidates.retain(|&c| c != (src, tag));
                         let pidx = plan.peer_slot(src).expect("scheduled peer is in the plan");
                         plan.unpack(ws, ExchangeKind::Gather, pidx, batch, buf);
                         plan.note_gather_arrival(&mut st, pidx);
-                        comm.with_phase("compute:overlap", || {
-                            plan.compute_overlapped(ws, &mut st, self.pool)
+                        timed(tele, &mut hidden_ns, || {
+                            comm.with_phase("compute:overlap", || {
+                                plan.compute_overlapped(ws, &mut st, self.pool)
+                            })
                         });
                         self.flush_ready(comm, plan, ws, &mut st, batch, &send_round);
                     }
@@ -838,6 +865,10 @@ impl<'a> RankContext<'a> {
                         }
                     }
                 });
+                if tele {
+                    comm.telemetry_gauge_add(telemetry_keys::HIDDEN_NS, hidden_ns);
+                    comm.telemetry_gauge_add(telemetry_keys::EXPOSED_NS, exposed_ns);
+                }
                 ternary
             }
             Mode::AllToAllPadded | Mode::AllToAllSparse => {
@@ -855,13 +886,18 @@ impl<'a> RankContext<'a> {
                         }
                         sendbufs[peer] = buf;
                     }
-                    let shell = comm
-                        .all_to_all_v_overlapped(sendbufs, |event| match event {
+                    // The collective's wall time minus its hidden compute
+                    // is the exposed arrival wait.
+                    let mut total_ns = 0u64;
+                    let shell = timed(tele, &mut total_ns, || {
+                        comm.all_to_all_v_overlapped(sendbufs, |event| match event {
                             // Owned-only blocks start once the sends are
                             // in flight (posting first keeps peers fed).
                             AllToAllEvent::SendsPosted => {
-                                comm.with_phase("compute:overlap", || {
-                                    plan.compute_overlapped(ws, &mut st, self.pool)
+                                timed(tele, &mut hidden_ns, || {
+                                    comm.with_phase("compute:overlap", || {
+                                        plan.compute_overlapped(ws, &mut st, self.pool)
+                                    })
                                 });
                             }
                             AllToAllEvent::Arrival { src, buf } => {
@@ -869,12 +905,16 @@ impl<'a> RankContext<'a> {
                                     plan.peer_slot(src).expect("every non-self rank is a peer");
                                 plan.unpack(ws, ExchangeKind::Gather, pidx, batch, buf);
                                 plan.note_gather_arrival(&mut st, pidx);
-                                comm.with_phase("compute:overlap", || {
-                                    plan.compute_overlapped(ws, &mut st, self.pool)
+                                timed(tele, &mut hidden_ns, || {
+                                    comm.with_phase("compute:overlap", || {
+                                        plan.compute_overlapped(ws, &mut st, self.pool)
+                                    })
                                 });
                             }
                         })
-                        .expect("all-to-all failed");
+                    })
+                    .expect("all-to-all failed");
+                    exposed_ns = total_ns.saturating_sub(hidden_ns);
                     ws.a2a_send = shell;
                 });
                 let ternary = comm.with_phase("local-compute", || {
@@ -923,6 +963,10 @@ impl<'a> RankContext<'a> {
                         .expect("all-to-all failed");
                     ws.a2a_send = shell;
                 });
+                if tele {
+                    comm.telemetry_gauge_add(telemetry_keys::HIDDEN_NS, hidden_ns);
+                    comm.telemetry_gauge_add(telemetry_keys::EXPOSED_NS, exposed_ns);
+                }
                 ternary
             }
         }

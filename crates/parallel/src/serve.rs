@@ -21,11 +21,13 @@
 use crate::algorithm5::{BatchSpans, Mode, RankContext};
 use crate::partition::TetraPartition;
 use crate::schedule::CommSchedule;
+use std::sync::Arc;
 use std::time::Duration;
 use symtensor_core::seq::sttsv_sym;
 use symtensor_core::SymTensor3;
 use symtensor_mpsim::{Comm, CostReport, FaultPlan, FlightSnapshot, RankCost, Universe};
 use symtensor_pool::Pool;
+use symtensor_telemetry::{keys as telemetry_keys, SloBurnRate, TelemetryPlane};
 
 /// One STTSV request submitted to the serving layer.
 #[derive(Clone, Debug)]
@@ -198,6 +200,53 @@ fn merge_batch(
     }
 }
 
+/// Driver-side publisher for the plane's dedicated *serve* cell: queue
+/// depth and batch occupancy as a batch is admitted, latency histograms
+/// and completion counters as its records merge. One instance per serving
+/// run keeps all the registry lookups in one place.
+struct ServeTelemetry<'a> {
+    plane: &'a Arc<TelemetryPlane>,
+}
+
+impl ServeTelemetry<'_> {
+    /// A batch of `batch_len` requests begins forming with `queued`
+    /// requests still waiting behind it.
+    fn batch_admitted(&self, queued: usize, batch_len: usize, batch_cap: usize) {
+        let cell = self.plane.serve_cell();
+        cell.gauge_set(self.plane.gauge_slot(telemetry_keys::QUEUE_DEPTH), queued as u64);
+        cell.gauge_set(
+            self.plane.gauge_slot(telemetry_keys::BATCH_OCCUPANCY_PCT),
+            (batch_len * 100 / batch_cap.max(1)) as u64,
+        );
+    }
+
+    /// A batch's straggler-merged records are final: feed the latency
+    /// histograms and bump the completion/degradation counters.
+    fn batch_done(&self, records: &[RequestRecord], retries: u32) {
+        let cell = self.plane.serve_cell();
+        let now = self.plane.now_ns();
+        let e2e = self.plane.hist_slot(telemetry_keys::E2E_NS);
+        let queue_wait = self.plane.hist_slot(telemetry_keys::QUEUE_WAIT_NS);
+        let mut degraded = 0u64;
+        for rec in records {
+            cell.observe(e2e, now, rec.e2e_ns);
+            cell.observe(queue_wait, now, rec.queue_wait_ns);
+            degraded += rec.degraded as u64;
+        }
+        // One vector per request in this serving model, so the two
+        // counters advance in lockstep; both exist because the scraper's
+        // budget ratio is defined over *vectors*.
+        cell.gauge_add(self.plane.gauge_slot(telemetry_keys::VECTORS_DONE), records.len() as u64);
+        cell.gauge_add(self.plane.gauge_slot(telemetry_keys::REQUESTS_DONE), records.len() as u64);
+        if retries > 0 {
+            cell.gauge_add(self.plane.gauge_slot(telemetry_keys::RETRIES), retries as u64);
+        }
+        if degraded > 0 {
+            cell.gauge_add(self.plane.gauge_slot(telemetry_keys::DEGRADED), degraded);
+        }
+    }
+}
+
 /// Serves `requests` through the compiled-plan batched STTSV kernel.
 ///
 /// Requests are carried in submission order, `batch_cap` per batch (the
@@ -213,6 +262,27 @@ pub fn parallel_sttsv_serve(
     threads: usize,
     batch_cap: usize,
 ) -> Result<ServeRun, ServeError> {
+    parallel_sttsv_serve_with(tensor, part, requests, mode, threads, batch_cap, None)
+}
+
+/// [`parallel_sttsv_serve`] with an optional live telemetry plane.
+///
+/// When a plane is attached, every rank publishes its per-phase word
+/// counts into its plane cell as it communicates, rank 0 publishes queue
+/// depth and batch occupancy into the serve cell as each batch is
+/// admitted, and the driver feeds the per-request latency histograms once
+/// the straggler merge is done. The computed `ys` and [`CostReport`] are
+/// bit-identical with and without the plane — telemetry observes, it
+/// never steers.
+pub fn parallel_sttsv_serve_with(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    requests: &[ServeRequest],
+    mode: Mode,
+    threads: usize,
+    batch_cap: usize,
+    telemetry: Option<&Arc<TelemetryPlane>>,
+) -> Result<ServeRun, ServeError> {
     if batch_cap == 0 {
         return Err(ServeError::ZeroBatchCap);
     }
@@ -224,7 +294,9 @@ pub fn parallel_sttsv_serve(
     let p_count = part.num_procs();
     let schedule = if mode == Mode::Scheduled { Some(CommSchedule::build(part)) } else { None };
     let batches: Vec<&[ServeRequest]> = requests.chunks(batch_cap).collect();
+    let total = requests.len();
 
+    let plane = telemetry.cloned();
     let rank_main = |comm: &Comm| {
         let p = comm.rank();
         let pool = (threads > 1).then(|| Pool::new(threads));
@@ -233,7 +305,21 @@ pub fn parallel_sttsv_serve(
             ctx = ctx.with_pool(pool);
         }
         let mut out = Vec::with_capacity(batches.len());
+        let mut admitted = 0usize;
         for batch in &batches {
+            // All batches run inside one universe, so the live queue-depth
+            // view has to come from within: rank 0 publishes it as each
+            // batch is admitted.
+            if p == 0 {
+                if let Some(plane) = &plane {
+                    ServeTelemetry { plane }.batch_admitted(
+                        total - admitted,
+                        batch.len(),
+                        batch_cap,
+                    );
+                }
+            }
+            admitted += batch.len();
             let begin_ns = comm.elapsed_ns();
             let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
             let my_shards: Vec<Vec<Vec<f64>>> =
@@ -244,7 +330,11 @@ pub fn parallel_sttsv_serve(
         }
         out
     };
-    let (rank_results, report, flight) = Universe::new(p_count).run_flight(rank_main);
+    let mut universe = Universe::new(p_count);
+    if let Some(plane) = telemetry {
+        universe = universe.with_telemetry(plane.clone());
+    }
+    let (rank_results, report, flight) = universe.run_flight(rank_main);
 
     // Merge per-rank measurements into per-request records (straggler
     // semantics) and assemble the outputs.
@@ -266,6 +356,11 @@ pub fn parallel_sttsv_serve(
             &mut records,
         );
         offset += batch.len();
+    }
+    // The straggler merge needs every rank, so the latency histograms are
+    // fed once, after the universe has returned.
+    if let Some(plane) = telemetry {
+        ServeTelemetry { plane }.batch_done(&records, 0);
     }
     Ok(ServeRun { ys, report, ternary_per_rank, records, flight })
 }
@@ -407,6 +502,35 @@ pub fn parallel_sttsv_serve_chaos(
     batch_cap: usize,
     policy: &ChaosPolicy,
 ) -> Result<ServeRun, ServeError> {
+    parallel_sttsv_serve_chaos_with(
+        tensor, part, requests, mode, threads, batch_cap, policy, None, None,
+    )
+}
+
+/// [`parallel_sttsv_serve_chaos`] with an optional live telemetry plane
+/// and an optional SLO burn-rate evaluator.
+///
+/// The chaos loop runs one universe per batch attempt, so the driver is
+/// free between batches: it publishes queue depth / occupancy as each
+/// batch is admitted, feeds the latency histograms and retry/degraded
+/// counters as each batch's records merge, and — when `slo` is given —
+/// evaluates the burn rate there too. An alert raised between batches is
+/// stamped into *every* rank's flight ring by the next batch's
+/// communicators (fresh ranks start with an empty seen-alert mark), so a
+/// post-mortem window shows which alerts were already burning when the
+/// batch failed.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_sttsv_serve_chaos_with(
+    tensor: &SymTensor3,
+    part: &TetraPartition,
+    requests: &[ServeRequest],
+    mode: Mode,
+    threads: usize,
+    batch_cap: usize,
+    policy: &ChaosPolicy,
+    telemetry: Option<&Arc<TelemetryPlane>>,
+    mut slo: Option<&mut SloBurnRate>,
+) -> Result<ServeRun, ServeError> {
     if batch_cap == 0 {
         return Err(ServeError::ZeroBatchCap);
     }
@@ -426,6 +550,13 @@ pub fn parallel_sttsv_serve_chaos(
     let mut flight: Vec<FlightSnapshot> = Vec::new();
     let mut offset = 0usize;
     for (k, batch) in batches.iter().enumerate() {
+        if let Some(plane) = telemetry {
+            ServeTelemetry { plane }.batch_admitted(
+                requests.len() - offset,
+                batch.len(),
+                batch_cap,
+            );
+        }
         let rank_main = |comm: &Comm| {
             let p = comm.rank();
             let pool = (threads > 1).then(|| Pool::new(threads));
@@ -444,9 +575,12 @@ pub fn parallel_sttsv_serve_chaos(
 
         let mut attempt = 0u32;
         let survived = loop {
-            let universe = Universe::new(p_count)
+            let mut universe = Universe::new(p_count)
                 .with_recv_timeout(policy.recv_timeout)
                 .with_faults(policy.plan.for_attempt(attempt));
+            if let Some(plane) = telemetry {
+                universe = universe.with_telemetry(plane.clone());
+            }
             match universe.try_run_traced(rank_main) {
                 Ok((per_rank, batch_report, _traces, batch_flight)) => {
                     report = report.merged(&batch_report);
@@ -494,6 +628,14 @@ pub fn parallel_sttsv_serve_chaos(
                         ..RequestRecord::default()
                     });
                 }
+            }
+        }
+        if let Some(plane) = telemetry {
+            ServeTelemetry { plane }.batch_done(&records[records.len() - batch.len()..], attempt);
+            // Evaluate the SLO between batches: an alert raised here is
+            // stamped into the next batch's flight rings by every rank.
+            if let Some(slo) = slo.as_deref_mut() {
+                slo.evaluate(plane);
             }
         }
         offset += batch.len();

@@ -1,0 +1,286 @@
+//! Rolling-window histograms: fixed power-of-two buckets over a ring of
+//! time slices, so "the last 100 ms" and "the whole run" can be read from
+//! the same structure — the raw material for multi-window burn rates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets. Bucket `i` has upper bound `2^i` ns, so
+/// the last bucket tops out at `2^39` ns ≈ 9 minutes — far beyond any
+/// simulated request latency; larger values clamp into it.
+pub const BUCKETS: usize = 40;
+
+/// Number of time slices in the ring. A slice is `slice_ns` wide, so the
+/// longest window the histogram can answer for is `SLICES·slice_ns`.
+pub const SLICES: usize = 8;
+
+/// Bucket index for a value: bucket 0 counts `v ≤ 1`, bucket `i` counts
+/// `2^(i−1) < v ≤ 2^i` — the same boundaries as `symtensor-obs`'s
+/// latency histograms (kept in sync by a cross-crate test), clamped to
+/// the fixed [`BUCKETS`] range.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    let i = if v <= 1 { 0 } else { 64 - (v - 1).leading_zeros() as usize };
+    i.min(BUCKETS - 1)
+}
+
+/// Upper bound (inclusive) of bucket `i`: `2^i`. The last bucket's bound
+/// is nominal — it also absorbs everything larger.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    1u64 << i.min(63)
+}
+
+/// One time slice: an epoch tag plus the slice's counters. The epoch is
+/// the absolute slice index + 1 (0 marks "reset in progress / never
+/// written"), which is what makes reads epoch-consistent: a reader
+/// checks the epoch before and after reading the counters and discards
+/// the slice if a reset raced it.
+struct Slice {
+    epoch: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Slice {
+    fn new() -> Self {
+        Slice {
+            epoch: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A histogram over a ring of [`SLICES`] time slices of `slice_ns` each.
+///
+/// Single writer (the owning rank/driver thread), any number of
+/// concurrent readers. The writer never blocks and never takes a lock:
+/// recording is a handful of relaxed atomic adds, plus — at most once
+/// per slice turn-over — an epoch-guarded reset of the stale slice.
+/// Readers merge the slices whose epochs fall inside the requested
+/// window, retrying (bounded) any slice whose epoch changed mid-read.
+/// Counter adds racing a read can skew a window by the in-flight sample;
+/// windows are monotone-approximate, never torn across a reset.
+pub struct RollingHistogram {
+    slice_ns: u64,
+    slices: Vec<Slice>,
+}
+
+impl RollingHistogram {
+    /// A histogram with the given slice width (must be non-zero).
+    pub fn new(slice_ns: u64) -> Self {
+        assert!(slice_ns > 0, "slice width must be non-zero");
+        RollingHistogram { slice_ns, slices: (0..SLICES).map(|_| Slice::new()).collect() }
+    }
+
+    /// Slice width in nanoseconds.
+    #[inline]
+    pub fn slice_ns(&self) -> u64 {
+        self.slice_ns
+    }
+
+    /// Records `v` at time `now_ns` (nanoseconds on the plane's clock).
+    /// Writer-side only — at most one thread may call this at a time.
+    pub fn observe(&self, now_ns: u64, v: u64) {
+        let idx = now_ns / self.slice_ns;
+        let slice = &self.slices[(idx % SLICES as u64) as usize];
+        if slice.epoch.load(Ordering::Acquire) != idx + 1 {
+            // The ring wrapped: this slot still holds a stale slice.
+            // Publish "invalid" first so a concurrent reader can never
+            // merge half-cleared counters, then the new epoch last.
+            slice.epoch.store(0, Ordering::Release);
+            slice.count.store(0, Ordering::Relaxed);
+            slice.sum.store(0, Ordering::Relaxed);
+            slice.min.store(u64::MAX, Ordering::Relaxed);
+            slice.max.store(0, Ordering::Relaxed);
+            for b in &slice.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            slice.epoch.store(idx + 1, Ordering::Release);
+        }
+        slice.count.fetch_add(1, Ordering::Relaxed);
+        slice.sum.fetch_add(v, Ordering::Relaxed);
+        slice.min.fetch_min(v, Ordering::Relaxed);
+        slice.max.fetch_max(v, Ordering::Relaxed);
+        slice.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merges the last `n_slices` slices (ending at the slice containing
+    /// `now_ns`) into one [`HistogramWindow`]. `n_slices` is clamped to
+    /// [`SLICES`]; pass `SLICES` for the longest available window.
+    pub fn window(&self, now_ns: u64, n_slices: usize) -> HistogramWindow {
+        let n = n_slices.clamp(1, SLICES) as u64;
+        let cur = now_ns / self.slice_ns;
+        let lo = cur.saturating_sub(n - 1);
+        let mut out = HistogramWindow::empty();
+        for slice in &self.slices {
+            for _ in 0..4 {
+                let e1 = slice.epoch.load(Ordering::Acquire);
+                if e1 == 0 || e1 - 1 < lo || e1 - 1 > cur {
+                    break; // never written, mid-reset, or outside the window
+                }
+                let count = slice.count.load(Ordering::Relaxed);
+                let sum = slice.sum.load(Ordering::Relaxed);
+                let min = slice.min.load(Ordering::Relaxed);
+                let max = slice.max.load(Ordering::Relaxed);
+                let mut buckets = [0u64; BUCKETS];
+                for (dst, src) in buckets.iter_mut().zip(&slice.buckets) {
+                    *dst = src.load(Ordering::Relaxed);
+                }
+                if slice.epoch.load(Ordering::Acquire) != e1 {
+                    continue; // a reset raced the read: retry the slice
+                }
+                out.count += count;
+                out.sum += sum;
+                if count > 0 {
+                    out.min = Some(out.min.map_or(min, |m| m.min(min)));
+                    out.max = Some(out.max.map_or(max, |m| m.max(max)));
+                }
+                for (dst, src) in out.buckets.iter_mut().zip(buckets) {
+                    *dst += src;
+                }
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// The merged contents of one time window of a [`RollingHistogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramWindow {
+    /// Samples in the window.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample, `None` when the window is empty.
+    pub min: Option<u64>,
+    /// Largest sample, `None` when the window is empty.
+    pub max: Option<u64>,
+    /// Per-bucket counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramWindow {
+    /// The empty window.
+    pub fn empty() -> Self {
+        HistogramWindow { count: 0, sum: 0, min: None, max: None, buckets: [0; BUCKETS] }
+    }
+
+    /// Mean sample value, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Bucket-resolution quantile: the upper bound of the first bucket
+    /// whose cumulative count reaches `q·count` (so an upper bound on the
+    /// true quantile, tight to a factor of 2). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(bucket_upper_bound(i).min(self.max.unwrap_or(u64::MAX)));
+            }
+        }
+        self.max
+    }
+
+    /// Fraction of samples whose value exceeds `threshold`, at bucket
+    /// resolution: samples in buckets strictly above `threshold`'s bucket
+    /// count as over (so a slight *under*-estimate — values sharing the
+    /// threshold's bucket are counted as within budget). Returns 0.0 for
+    /// an empty window.
+    pub fn frac_over(&self, threshold: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let cut = bucket_index(threshold);
+        let over: u64 = self.buckets[cut + 1..].iter().sum();
+        over as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index((1 << 20) + 1), 21);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn observe_and_window_roundtrip() {
+        let h = RollingHistogram::new(1_000);
+        h.observe(100, 7);
+        h.observe(200, 9);
+        h.observe(1_500, 100);
+        let w = h.window(1_500, SLICES);
+        assert_eq!(w.count, 3);
+        assert_eq!(w.sum, 116);
+        assert_eq!(w.min, Some(7));
+        assert_eq!(w.max, Some(100));
+        // Short window sees only the second slice.
+        let short = h.window(1_500, 1);
+        assert_eq!(short.count, 1);
+        assert_eq!(short.sum, 100);
+    }
+
+    #[test]
+    fn ring_wraparound_resets_stale_slices() {
+        let h = RollingHistogram::new(100);
+        h.observe(50, 1); // slice 0
+        for s in 1..=SLICES as u64 {
+            h.observe(s * 100 + 50, 2); // slices 1..=SLICES; SLICES wraps onto 0
+        }
+        let w = h.window(SLICES as u64 * 100 + 50, SLICES);
+        // The original slice-0 sample was overwritten by the wrap.
+        assert_eq!(w.count, SLICES as u64);
+        assert_eq!(w.sum, 2 * SLICES as u64);
+    }
+
+    #[test]
+    fn quantile_is_a_bucketed_upper_bound() {
+        let h = RollingHistogram::new(1_000_000);
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.observe(0, v);
+        }
+        let w = h.window(0, SLICES);
+        let p50 = w.quantile(0.5).unwrap();
+        assert!((20..=32).contains(&p50), "p50={p50}");
+        // p100 is clamped to the observed max, not the bucket bound.
+        assert_eq!(w.quantile(1.0), Some(1000));
+        assert_eq!(HistogramWindow::empty().quantile(0.99), None);
+    }
+
+    #[test]
+    fn frac_over_counts_strictly_above_the_threshold_bucket() {
+        let h = RollingHistogram::new(1_000_000);
+        for v in [1u64, 1, 1, 1000, 1000] {
+            h.observe(0, v);
+        }
+        let w = h.window(0, SLICES);
+        assert_eq!(w.frac_over(1), 0.4);
+        assert_eq!(w.frac_over(1 << 12), 0.0);
+        assert_eq!(HistogramWindow::empty().frac_over(1), 0.0);
+    }
+}

@@ -4,12 +4,14 @@
 //! CLI binaries and the crash machinery use — so a shape drift in any
 //! emitter fails this test before it breaks a downstream consumer.
 
+use std::sync::Arc;
 use symtensor_mpsim::Universe;
 use symtensor_obs::json::{self, Value};
 use symtensor_obs::{
-    chrome_from_flight, chrome_trace, flight_json, postmortem_json, validate, ArtifactKind,
-    BenchKey, BenchRecord, MetricsRegistry, RegressionReport, RunObservation,
+    chrome_from_flight, chrome_trace, flight_json, postmortem_json, telemetry_json, validate,
+    ArtifactKind, BenchKey, BenchRecord, MetricsRegistry, RegressionReport, RunObservation,
 };
+use symtensor_telemetry::{ScrapeConfig, Scraper, TelemetryPlane};
 
 /// One tiny traced run shared by the generators below.
 fn traced_run() -> (
@@ -80,6 +82,20 @@ fn every_artifact_family_passes_the_shared_validator() {
         })
         .expect_err("rank 0 panics");
     assert_eq!(validate(&postmortem_json(&failure)), Ok(ArtifactKind::Postmortem));
+
+    // 7. Telemetry series, scraped from a real telemetered universe run
+    //    and round-tripped through the text form.
+    let plane = Arc::new(TelemetryPlane::new(2));
+    let mut scraper =
+        Scraper::new(plane.clone(), ScrapeConfig::default().with_budget_words_per_vector(4));
+    Universe::new(2).with_telemetry(plane).run(|comm| {
+        comm.with_phase("swap", || comm.exchange(1 - comm.rank(), 0, vec![0.0; 4]).unwrap())
+    });
+    scraper.sample();
+    let doc = telemetry_json(&scraper.into_series());
+    assert_eq!(validate(&doc), Ok(ArtifactKind::Telemetry));
+    let reparsed = json::parse(&doc.to_string_pretty()).expect("telemetry text parses back");
+    assert_eq!(validate(&reparsed), Ok(ArtifactKind::Telemetry));
 }
 
 /// The committed bench snapshots in the repo root are themselves valid
