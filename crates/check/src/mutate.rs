@@ -1,0 +1,148 @@
+//! Mutation testing of the checker itself.
+//!
+//! Each model's memory orderings live in a named-slot table
+//! ([`Orderings`]) instead of being hard-coded, so the harness can
+//! weaken one slot at a time to `Relaxed` — which for a fence slot means
+//! "fence removed" — and re-run the explorer. A weakening is **killed**
+//! when the explorer reports a violation (torn read, data race,
+//! broken invariant). The kill rate over all weakenings measures the
+//! checker's sensitivity: a checker that passes a too-weak protocol is
+//! worse than no checker, because it launders broken code as "verified".
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::model::{self, Config, ModelRun, Outcome};
+
+/// A named table of memory orderings, the mutation surface of a model.
+#[derive(Clone, Debug)]
+pub struct Orderings {
+    slots: Vec<(&'static str, Ordering)>,
+}
+
+impl Orderings {
+    /// Table with the given (slot, default) pairs — the correct protocol.
+    pub fn new(defaults: &[(&'static str, Ordering)]) -> Self {
+        Orderings { slots: defaults.to_vec() }
+    }
+
+    /// The ordering currently assigned to `slot`. Unknown slots are a
+    /// model-definition bug and abort the execution.
+    pub fn get(&self, slot: &str) -> Ordering {
+        self.slots
+            .iter()
+            .find(|(s, _)| *s == slot)
+            .map(|&(_, o)| o)
+            .unwrap_or_else(|| panic!("model references unknown ordering slot `{slot}`"))
+    }
+
+    /// A copy with `slot` weakened to `Relaxed` (fence slots: removed).
+    pub fn weaken(&self, slot: &str) -> Self {
+        let mut out = self.clone();
+        for (s, o) in &mut out.slots {
+            if *s == slot {
+                *o = Ordering::Relaxed;
+            }
+        }
+        out
+    }
+
+    /// Slots whose default is stronger than `Relaxed` — the mutation
+    /// candidates.
+    pub fn mutable_slots(&self) -> Vec<(&'static str, Ordering)> {
+        self.slots.iter().copied().filter(|&(_, o)| o != Ordering::Relaxed).collect()
+    }
+}
+
+/// One model plus its correct ordering table and a per-execution state
+/// factory.
+pub struct ModelDef {
+    /// Model name, used in reports.
+    pub name: &'static str,
+    /// The correct protocol's ordering table.
+    pub orderings: Orderings,
+    /// Builds fresh model state for one execution under the given table.
+    pub build: fn(Orderings) -> Arc<dyn ModelRun>,
+}
+
+impl ModelDef {
+    /// Explores the model under its correct orderings.
+    pub fn explore(&self, cfg: &Config) -> Outcome {
+        self.explore_with(self.orderings.clone(), cfg)
+    }
+
+    fn explore_with(&self, o: Orderings, cfg: &Config) -> Outcome {
+        let build = self.build;
+        model::explore(self.name, cfg, &move || build(o.clone()))
+    }
+}
+
+/// One weakened-slot run.
+#[derive(Clone, Debug)]
+pub struct MutationRun {
+    /// The model the slot belongs to.
+    pub model: &'static str,
+    /// The weakened slot.
+    pub slot: &'static str,
+    /// The ordering it was weakened from.
+    pub from: Ordering,
+    /// Whether the explorer caught the seeded bug.
+    pub killed: bool,
+    /// The violation that killed it, rendered for the report.
+    pub violation: Option<String>,
+    /// Interleavings explored before the verdict.
+    pub interleavings: u64,
+}
+
+/// Sweep results across every mutable slot of every model.
+#[derive(Clone, Debug, Default)]
+pub struct MutationReport {
+    /// All runs, in sweep order.
+    pub runs: Vec<MutationRun>,
+}
+
+impl MutationReport {
+    /// Total weakenings attempted.
+    pub fn total(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Weakenings the explorer caught.
+    pub fn killed(&self) -> usize {
+        self.runs.iter().filter(|r| r.killed).count()
+    }
+
+    /// killed / total in [0, 1]; 1.0 for an empty sweep.
+    pub fn kill_rate(&self) -> f64 {
+        if self.runs.is_empty() {
+            1.0
+        } else {
+            self.killed() as f64 / self.total() as f64
+        }
+    }
+
+    /// Runs the explorer failed to kill — each one is a blind spot.
+    pub fn survivors(&self) -> Vec<&MutationRun> {
+        self.runs.iter().filter(|r| !r.killed).collect()
+    }
+}
+
+/// Weakens every mutable slot of every model, one at a time, and
+/// records whether the explorer caught each seeded bug.
+pub fn sweep(defs: &[ModelDef], cfg: &Config) -> MutationReport {
+    let mut report = MutationReport::default();
+    for def in defs {
+        for (slot, from) in def.orderings.mutable_slots() {
+            let outcome = def.explore_with(def.orderings.weaken(slot), cfg);
+            report.runs.push(MutationRun {
+                model: def.name,
+                slot,
+                from,
+                killed: outcome.violation.is_some(),
+                violation: outcome.violation.as_ref().map(|v| v.to_string()),
+                interleavings: outcome.interleavings,
+            });
+        }
+    }
+    report
+}

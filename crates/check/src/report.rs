@@ -1,0 +1,170 @@
+//! The `symtensor-check-v1` artifact: one JSON document bundling the
+//! model-check outcomes, the race-demo verdict, the mutation sweep, and
+//! the lint findings. Emitted as text here (this crate is
+//! dependency-free by design); parsed and contract-checked on the other
+//! side by `obs::json::parse` + `obs::schema::validate`, like every
+//! other artifact the workspace writes.
+
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+use crate::lint::Finding;
+use crate::model::Outcome;
+use crate::mutate::MutationReport;
+
+/// Everything one checker run produced.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Per-model exploration outcomes (correct orderings).
+    pub models: Vec<Outcome>,
+    /// The deliberate-race demo outcome, when run.
+    pub race_demo: Option<Outcome>,
+    /// The ordering-weakening sweep, when run.
+    pub mutation: Option<MutationReport>,
+    /// Lint findings over the workspace, when run.
+    pub lint: Vec<Finding>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ord_name(o: Ordering) -> &'static str {
+    match o {
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "Unknown",
+    }
+}
+
+impl CheckReport {
+    /// True when every section is clean: all models pass, the race demo
+    /// (if run) detected its race, no mutation survivors, no lint
+    /// findings.
+    pub fn clean(&self) -> bool {
+        self.models.iter().all(Outcome::passed)
+            && self.race_demo.as_ref().is_none_or(|o| o.violation.is_some())
+            && self.mutation.as_ref().is_none_or(|m| m.survivors().is_empty())
+            && self.lint.is_empty()
+    }
+
+    /// Renders the `symtensor-check-v1` JSON document.
+    pub fn to_json_string(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\"version\":\"symtensor-check-v1\",\"models\":[");
+        for (i, m) in self.models.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"interleavings\":{},\"pruned\":{},\"capped\":{},\"wall_ms\":{},\"violations\":{},\"violation\":{}}}",
+                esc(&m.name),
+                m.interleavings,
+                m.pruned,
+                m.capped,
+                m.wall_ms,
+                u64::from(m.violation.is_some()),
+                match &m.violation {
+                    None => "null".to_string(),
+                    Some(v) => format!("\"{}\"", esc(&v.to_string())),
+                },
+            );
+        }
+        s.push(']');
+
+        if let Some(demo) = &self.race_demo {
+            let _ = write!(
+                s,
+                ",\"race_demo\":{{\"name\":\"{}\",\"detected\":{},\"interleavings\":{}}}",
+                esc(&demo.name),
+                demo.violation.is_some(),
+                demo.interleavings,
+            );
+        }
+
+        if let Some(m) = &self.mutation {
+            let _ = write!(
+                s,
+                ",\"mutation\":{{\"total\":{},\"killed\":{},\"kill_rate\":{:.4},\"runs\":[",
+                m.total(),
+                m.killed(),
+                m.kill_rate(),
+            );
+            for (i, r) in m.runs.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"model\":\"{}\",\"slot\":\"{}\",\"from\":\"{}\",\"killed\":{},\"interleavings\":{}}}",
+                    esc(r.model),
+                    esc(r.slot),
+                    ord_name(r.from),
+                    r.killed,
+                    r.interleavings,
+                );
+            }
+            s.push_str("]}");
+        }
+
+        let _ = write!(s, ",\"lint\":{{\"findings\":{},\"items\":[", self.lint.len());
+        for (i, f) in self.lint.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\"}}",
+                esc(&f.file),
+                f.line,
+                esc(f.rule),
+            );
+        }
+        s.push_str("]}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_ms_and_violations_fields_stay_in_sync() {
+        let report = CheckReport {
+            models: vec![Outcome {
+                name: "demo \"quoted\"".to_string(),
+                interleavings: 12,
+                pruned: 3,
+                capped: false,
+                violation: None,
+                schedule: Vec::new(),
+                wall_ms: 7,
+            }],
+            ..CheckReport::default()
+        };
+        let json = report.to_json_string();
+        assert!(json.contains("\"version\":\"symtensor-check-v1\""));
+        assert!(json.contains("demo \\\"quoted\\\""));
+        assert!(json.contains("\"violations\":0"));
+        assert!(json.contains("\"findings\":0"));
+        assert!(report.clean());
+    }
+}

@@ -1,0 +1,55 @@
+//! Fast sanity checks for the explorer: one model verified, one seeded
+//! bug caught, one race detected. The exhaustive suite (all models, the
+//! full mutation sweep, schema round-trip, lint gate) lives in the
+//! workspace-level `tests/check.rs`.
+
+use symtensor_check::model::{Config, Violation};
+use symtensor_check::models;
+
+fn quick_cfg() -> Config {
+    Config { max_execs: 100_000, ..Config::default() }
+}
+
+#[test]
+fn seqlock_verifies_under_correct_orderings() {
+    let def = models::defs().into_iter().find(|d| d.name == "seqlock").expect("seqlock def");
+    let outcome = def.explore(&quick_cfg());
+    assert!(
+        outcome.passed(),
+        "seqlock violated under correct orderings: {:?} (schedule {:?})",
+        outcome.violation,
+        outcome.schedule
+    );
+    assert!(!outcome.capped, "seqlock exploration hit the execution cap");
+    assert!(
+        outcome.interleavings >= 100,
+        "expected ≥100 interleavings, explored {}",
+        outcome.interleavings
+    );
+}
+
+#[test]
+fn weakened_seqlock_fence_is_caught() {
+    let def = models::defs().into_iter().find(|d| d.name == "seqlock").expect("seqlock def");
+    let weakened = def.orderings.weaken("writer-rel-fence");
+    let build = def.build;
+    let outcome = symtensor_check::model::explore("seqlock-weak", &quick_cfg(), &move || {
+        build(weakened.clone())
+    });
+    match outcome.violation {
+        Some(Violation::Assert(ref m)) => {
+            assert!(m.contains("torn"), "unexpected assertion: {m}")
+        }
+        ref other => panic!("expected a torn-read assertion, got {other:?}"),
+    }
+}
+
+#[test]
+fn race_demo_is_detected() {
+    let outcome = models::race_demo(&quick_cfg());
+    assert!(
+        matches!(outcome.violation, Some(Violation::Race { .. })),
+        "racy counter not detected: {:?}",
+        outcome.violation
+    );
+}

@@ -1,0 +1,179 @@
+//! The concurrency checker: explores every model, runs the race demo and
+//! the ordering-mutation sweep, lints the workspace, and writes the
+//! combined `symtensor-check-v1` artifact.
+//!
+//! Usage: `check [--out PATH] [--no-prune] [--preemption-bound N]
+//!               [--max-execs N] [--skip-mutation] [--root PATH]`
+//!
+//! Exits 0 only when the run is clean: every model passes exhaustively,
+//! the deliberate race is detected, no mutation survives, and the lint
+//! gate is empty. The artifact is validated against the shared
+//! `obs::schema` contract before it is written, like every other JSON
+//! document the workspace emits.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use symtensor_check::{lint_workspace, models, sweep, Config};
+use symtensor_obs::{json, schema};
+
+struct Options {
+    out: Option<PathBuf>,
+    root: Option<PathBuf>,
+    cfg: Config,
+    mutation: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { out: None, root: None, cfg: Config::default(), mutation: true };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => opts.out = Some(args.next().ok_or("--out needs a path")?.into()),
+            "--root" => opts.root = Some(args.next().ok_or("--root needs a path")?.into()),
+            "--no-prune" => opts.cfg.prune = false,
+            "--skip-mutation" => opts.mutation = false,
+            "--preemption-bound" => {
+                let n = args.next().ok_or("--preemption-bound needs a number")?;
+                opts.cfg.preemption_bound =
+                    Some(n.parse().map_err(|_| format!("bad preemption bound `{n}`"))?);
+            }
+            "--max-execs" => {
+                let n = args.next().ok_or("--max-execs needs a number")?;
+                opts.cfg.max_execs = n.parse().map_err(|_| format!("bad exec cap `{n}`"))?;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut report = symtensor_check::CheckReport::default();
+
+    println!("== model exploration ==");
+    for def in models::defs() {
+        let outcome = def.explore(&opts.cfg);
+        println!(
+            "  {:<12} {:>7} interleavings  {:>7} pruned  {:>6} ms  {}",
+            outcome.name,
+            outcome.interleavings,
+            outcome.pruned,
+            outcome.wall_ms,
+            match &outcome.violation {
+                None if outcome.capped => "PASS (capped — not exhaustive)",
+                None => "PASS (exhaustive)",
+                Some(v) => {
+                    println!("    violation: {v}");
+                    "FAIL"
+                }
+            },
+        );
+        report.models.push(outcome);
+    }
+
+    println!("== race detector liveness ==");
+    let demo = models::race_demo(&opts.cfg);
+    println!(
+        "  {:<12} {}",
+        demo.name,
+        if demo.violation.is_some() { "race detected (as designed)" } else { "RACE MISSED" },
+    );
+    report.race_demo = Some(demo);
+
+    if opts.mutation {
+        println!("== ordering mutation sweep ==");
+        let sweep = sweep(&models::defs(), &opts.cfg);
+        for run in &sweep.runs {
+            println!(
+                "  {:<12} weaken {:<18} {}",
+                run.model,
+                run.slot,
+                if run.killed { "killed" } else { "SURVIVED" },
+            );
+        }
+        println!(
+            "  kill rate: {}/{} = {:.0}%",
+            sweep.killed(),
+            sweep.total(),
+            sweep.kill_rate() * 100.0
+        );
+        report.mutation = Some(sweep);
+    }
+
+    println!("== lint gate ==");
+    match opts.root.or_else(find_root) {
+        Some(root) => match lint_workspace(&root) {
+            Ok(findings) => {
+                for f in &findings {
+                    println!("  {f}");
+                }
+                println!("  {} finding(s)", findings.len());
+                report.lint = findings;
+            }
+            Err(e) => {
+                eprintln!("check: lint scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            eprintln!("check: no workspace root found; pass --root");
+            return ExitCode::from(2);
+        }
+    }
+
+    let rendered = report.to_json_string();
+    let doc = match json::parse(&rendered) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("check: emitted report is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match schema::validate(&doc) {
+        Ok(schema::ArtifactKind::Check) => {}
+        Ok(kind) => {
+            eprintln!("check: report validated as unexpected kind `{kind}`");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("check: report violates the symtensor-check-v1 contract: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("check: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("report written to {}", path.display());
+    }
+
+    if report.clean() {
+        println!("check: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("check: FAILED");
+        ExitCode::FAILURE
+    }
+}

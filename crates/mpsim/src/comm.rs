@@ -5,8 +5,8 @@
 use crate::cost::{CommEvent, CommEventKind, SharedCounters};
 use crate::fault::{FaultPlan, FaultState, InjectedFault, SendAction};
 use crate::flight::{FlightKind, FlightRecorder, FlightSnapshot};
+use crate::sync::{AtomicBool, Ordering};
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
@@ -85,12 +85,15 @@ impl AbortState {
         if slot.is_none() {
             *slot = Some(info);
         }
-        // Release-publish after the info write so a peer that observes the
-        // flag also observes the attribution.
+        // Verified by the `abort-flag` model in symtensor-check.
+        // ordering: Release — publishes the info write above; pairs
+        // with the Acquire load in `tripped`.
         self.flag.store(true, Ordering::Release);
     }
 
     pub(crate) fn tripped(&self) -> bool {
+        // ordering: Acquire — pairs with `trip`'s Release store so an
+        // observed flag implies the attribution is visible.
         self.flag.load(Ordering::Acquire)
     }
 
@@ -517,6 +520,7 @@ impl Comm {
         // entered the network, so it must not appear in the cost counters.
         if self.senders[dst].send(Msg { src: self.rank, tag, data, dup: false }).is_ok() {
             let counters = self.counters.rank(self.rank);
+            // ordering: Relaxed — monotone single-writer cost counters.
             counters.words_sent.fetch_add(words, Ordering::Relaxed);
             counters.msgs_sent.fetch_add(1, Ordering::Relaxed);
             self.record(CommEventKind::Send { dst, tag, words });
@@ -659,6 +663,7 @@ impl Comm {
 
     fn account_recv(&self, msg: Msg) -> Vec<f64> {
         let counters = self.counters.rank(self.rank);
+        // ordering: Relaxed — monotone counters, as on the send path.
         counters.words_recv.fetch_add(msg.data.len() as u64, Ordering::Relaxed);
         counters.msgs_recv.fetch_add(1, Ordering::Relaxed);
         self.record(CommEventKind::Recv {
@@ -773,6 +778,7 @@ impl Comm {
     /// Records participation in one synchronous communication round (for
     /// step-counted schedules, Theorem 7.2).
     pub fn count_round(&self) {
+        // ordering: Relaxed — monotone round counter.
         self.counters.rank(self.rank).rounds.fetch_add(1, Ordering::Relaxed);
     }
 }

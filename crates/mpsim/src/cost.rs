@@ -12,7 +12,7 @@
 //! The `symtensor-obs` crate consumes these logs to build span trees,
 //! communication matrices and Perfetto traces.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// What happened in one trace event.
@@ -122,10 +122,15 @@ impl RankAtomics {
     /// owning rank mutates them, so relaxed loads are exact here).
     pub fn snapshot(&self) -> RankCost {
         RankCost {
+            // ordering: Relaxed — single-writer counters, exact when
+            // read by the owner or after the join.
             words_sent: self.words_sent.load(Ordering::Relaxed),
+            // ordering: Relaxed — same single-writer contract.
             words_recv: self.words_recv.load(Ordering::Relaxed),
+            // ordering: Relaxed — same single-writer contract.
             msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
             msgs_recv: self.msgs_recv.load(Ordering::Relaxed),
+            // ordering: Relaxed — same single-writer contract.
             rounds: self.rounds.load(Ordering::Relaxed),
         }
     }

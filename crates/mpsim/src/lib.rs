@@ -29,6 +29,7 @@ pub mod cost;
 pub mod fault;
 pub mod flight;
 pub mod matching;
+pub(crate) mod sync;
 
 pub use collectives::AllToAllEvent;
 pub use comm::{AbortInfo, Comm, CommError, Msg};

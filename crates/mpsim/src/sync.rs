@@ -1,0 +1,15 @@
+//! Atomic façade for the simulator's shared concurrency primitives (the
+//! fail-fast abort flag, per-rank cost counters).
+//!
+//! Production builds re-export `std::sync::atomic` unchanged; under
+//! `--cfg symtensor_check` (set via `RUSTFLAGS`, never a cargo feature)
+//! the same names resolve to `symtensor-check`'s instrumented shim so
+//! those primitives become scheduling points of the model checker. All
+//! atomics in this crate must come from here — the `no-raw-atomics`
+//! source lint enforces it.
+
+#[cfg(symtensor_check)]
+pub(crate) use symtensor_check::sync::{AtomicBool, AtomicU64, Ordering};
+
+#[cfg(not(symtensor_check))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

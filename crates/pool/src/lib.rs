@@ -41,8 +41,10 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+pub(crate) mod sync;
+use crate::sync::{AtomicU64, Ordering};
 
 /// How many chunks a worker claims from its own deque per lock
 /// acquisition. 1 keeps stealing granularity maximal; the deques are so
@@ -89,12 +91,20 @@ impl WorkspacePool {
     /// lease uniform sizes). Counts a *fresh* allocation whenever the
     /// served buffer's capacity had to grow.
     pub fn lease_zeroed(&self, len: usize) -> Vec<f64> {
+        // ordering: Relaxed — independent monotone counters; nothing
+        // synchronizes on them.
         self.leases.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — advisory tag; see `set_request`.
         if self.current_request.load(Ordering::Relaxed) != 0 {
+            // ordering: Relaxed — monotone counter, same as `leases`.
             self.request_leases.fetch_add(1, Ordering::Relaxed);
         }
-        let mut buf = self.free.lock().expect("workspace pool poisoned").pop().unwrap_or_default();
+        // A poisoned free list only means some lease-holder panicked;
+        // the list itself (a Vec of owned buffers) is still valid, so
+        // recover it rather than cascading the abort.
+        let mut buf = self.free.lock().unwrap_or_else(|p| p.into_inner()).pop().unwrap_or_default();
         if buf.capacity() < len {
+            // ordering: Relaxed — monotone counter.
             self.fresh.fetch_add(1, Ordering::Relaxed);
         }
         buf.clear();
@@ -104,39 +114,48 @@ impl WorkspacePool {
 
     /// Returns a leased buffer to the free list for reuse.
     pub fn give_back(&self, buf: Vec<f64>) {
-        self.free.lock().expect("workspace pool poisoned").push(buf);
+        // Poison recovery: the free list stays structurally valid (see
+        // `lease_zeroed`).
+        self.free.lock().unwrap_or_else(|p| p.into_inner()).push(buf);
     }
 
     /// Total leases served since construction.
     pub fn lease_count(&self) -> u64 {
+        // ordering: Relaxed — monotone counter read; staleness is fine.
         self.leases.load(Ordering::Relaxed)
     }
 
     /// Leases that required growing a buffer (touching the heap). Flat
     /// across iterations ⇔ allocation-free steady state.
     pub fn fresh_count(&self) -> u64 {
+        // ordering: Relaxed — monotone counter read.
         self.fresh.load(Ordering::Relaxed)
     }
 
     /// Buffers currently sitting in the free list.
     pub fn pooled(&self) -> usize {
-        self.free.lock().expect("workspace pool poisoned").len()
+        // Poison recovery: see `lease_zeroed`.
+        self.free.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
     /// Tags subsequent leases with serving request `id` — the batched
     /// serving driver sets this around each request's compute so pool
     /// activity is attributable per request.
     pub fn set_request(&self, id: u64) {
+        // ordering: Relaxed — an advisory attribution tag, not a
+        // synchronization edge; misattributing a racing lease is benign.
         self.current_request.store(id.saturating_add(1), Ordering::Relaxed);
     }
 
     /// Clears the request tag; subsequent leases are untagged.
     pub fn clear_request(&self) {
+        // ordering: Relaxed — same advisory tag as `set_request`.
         self.current_request.store(0, Ordering::Relaxed);
     }
 
     /// The request currently charged for leases, if any.
     pub fn current_request(&self) -> Option<u64> {
+        // ordering: Relaxed — advisory tag read.
         match self.current_request.load(Ordering::Relaxed) {
             0 => None,
             tagged => Some(tagged - 1),
@@ -145,6 +164,7 @@ impl WorkspacePool {
 
     /// Leases served while a request tag was active.
     pub fn request_lease_count(&self) -> u64 {
+        // ordering: Relaxed — monotone counter read.
         self.request_leases.load(Ordering::Relaxed)
     }
 }
@@ -191,11 +211,13 @@ impl Pool {
     /// Cumulative number of successful steals across all
     /// [`Pool::run_chunks`] calls (0 while everything stays balanced).
     pub fn steal_count(&self) -> u64 {
+        // ordering: Relaxed — statistics counter read.
         self.steals.load(Ordering::Relaxed)
     }
 
     /// Cumulative number of `run_chunks` invocations.
     pub fn run_count(&self) -> u64 {
+        // ordering: Relaxed — statistics counter read.
         self.runs.load(Ordering::Relaxed)
     }
 
@@ -215,6 +237,7 @@ impl Pool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        // ordering: Relaxed — statistics counter.
         self.runs.fetch_add(1, Ordering::Relaxed);
         if chunks == 0 {
             return Vec::new();
@@ -246,7 +269,11 @@ impl Pool {
                         loop {
                             // Drain our own deque front-first (stripe order).
                             let mut own = {
-                                let mut dq = deques[w].lock().expect("pool deque poisoned");
+                                // Poison recovery: a panicking peer
+                                // poisons the deques, but the chunk
+                                // queues stay structurally valid and the
+                                // panic itself is re-raised at `join`.
+                                let mut dq = deques[w].lock().unwrap_or_else(|p| p.into_inner());
                                 let take = OWN_POP.min(dq.len());
                                 dq.drain(..take).collect::<Vec<_>>()
                             };
@@ -262,8 +289,11 @@ impl Pool {
                             let mut stolen = None;
                             for off in 1..workers {
                                 let victim = (w + off) % workers;
-                                if let Some(c) =
-                                    deques[victim].lock().expect("pool deque poisoned").pop_back()
+                                // Poison recovery: same as above.
+                                if let Some(c) = deques[victim]
+                                    .lock()
+                                    .unwrap_or_else(|p| p.into_inner())
+                                    .pop_back()
                                 {
                                     stolen = Some(c);
                                     break;
@@ -271,6 +301,7 @@ impl Pool {
                             }
                             match stolen {
                                 Some(c) => {
+                                    // ordering: Relaxed — statistics.
                                     steals.fetch_add(1, Ordering::Relaxed);
                                     done.push((c, work(c)));
                                 }
@@ -296,10 +327,14 @@ impl Pool {
                 }
             }
         });
+        // ordering: Relaxed — statistics roll-up; the scope join above
+        // already ordered the workers' writes.
         self.steals.fetch_add(steals.load(Ordering::Relaxed), Ordering::Relaxed);
         slots
             .into_iter()
             .enumerate()
+            // lint: allow-panic — designed invariant: every chunk was
+            // seeded into exactly one deque and each deque was drained.
             .map(|(c, s)| s.unwrap_or_else(|| panic!("chunk {c} never executed")))
             .collect()
     }

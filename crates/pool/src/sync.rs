@@ -1,0 +1,14 @@
+//! Atomic façade for the work-stealing pool.
+//!
+//! Production builds re-export `std::sync::atomic` unchanged; under
+//! `--cfg symtensor_check` (set via `RUSTFLAGS`, never a cargo feature)
+//! the same names resolve to `symtensor-check`'s instrumented shim so the
+//! pool's counters become scheduling points of the model checker. All
+//! atomics in this crate must come from here — the `no-raw-atomics`
+//! source lint enforces it.
+
+#[cfg(symtensor_check)]
+pub(crate) use symtensor_check::sync::{AtomicU64, Ordering};
+
+#[cfg(not(symtensor_check))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};

@@ -3,7 +3,7 @@
 //! and snapshot by the scraper without ever blocking the writer.
 
 use crate::rolling::{HistogramWindow, RollingHistogram};
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{fence, AtomicU64, Ordering};
 
 /// Traffic counters for one phase slot (see
 /// [`crate::TelemetryPlane::phase_slot`]). All monotone.
@@ -48,6 +48,7 @@ impl TelemetryCell {
     #[inline]
     pub fn on_send(&self, slot: usize, words: u64) {
         let c = &self.phases[slot];
+        // ordering: Relaxed — monotone counters; no other data rides on them.
         c.words_sent.fetch_add(words, Ordering::Relaxed);
         c.msgs_sent.fetch_add(1, Ordering::Relaxed);
     }
@@ -56,6 +57,7 @@ impl TelemetryCell {
     #[inline]
     pub fn on_recv(&self, slot: usize, words: u64) {
         let c = &self.phases[slot];
+        // ordering: Relaxed — monotone counters, same as `on_send`.
         c.words_recv.fetch_add(words, Ordering::Relaxed);
         c.msgs_recv.fetch_add(1, Ordering::Relaxed);
     }
@@ -63,21 +65,48 @@ impl TelemetryCell {
     /// Adds `v` to gauge slot `slot` (monotone publish — no seqlock).
     #[inline]
     pub fn gauge_add(&self, slot: usize, v: u64) {
+        // ordering: Relaxed — a monotone add; a reader that misses it
+        // sees a slightly stale (still valid) value, never a torn one.
         self.gauges[slot].fetch_add(v, Ordering::Relaxed);
     }
 
     /// Sets gauge slot `slot` to `v`. Non-monotone, so the write is
-    /// bracketed by the cell seqlock (two uncontended atomic adds — the
-    /// writer never waits).
+    /// bracketed by the cell seqlock (two uncontended atomic adds and a
+    /// fence — the writer never waits).
+    ///
+    /// Seqlock writer recipe (verified by the `seqlock` model in
+    /// `symtensor-check`): the entry increment makes `seq` odd, the
+    /// release fence orders that odd publish before the data store for
+    /// any fence-synchronized reader, and the release exit increment
+    /// publishes the completed data before `seq` turns even again. The
+    /// original form (`fetch_add(Release); store; fetch_add(Release)`)
+    /// was a real bug: a release RMW does not stop the *later* data
+    /// store from being hoisted above it, so a reader could observe the
+    /// mid-write value under an even, unchanged `seq`.
     pub fn gauge_set(&self, slot: usize, v: u64) {
-        self.seq.fetch_add(1, Ordering::Release);
+        // ordering: Relaxed — the fence below provides the ordering;
+        // the increment itself only needs atomicity.
+        let entry = self.seq.fetch_add(1, Ordering::Relaxed);
+        debug_assert_eq!(
+            entry & 1,
+            0,
+            "concurrent gauge_set: TelemetryCell writes are single-writer by contract"
+        );
+        // ordering: Release fence — orders the odd `seq` publish before
+        // the data store for any acquire-fence-synchronized reader.
+        fence(Ordering::Release);
+        // ordering: Relaxed — the surrounding seqlock carries ordering.
         self.gauges[slot].store(v, Ordering::Relaxed);
+        // ordering: Release — publishes the data store before the even
+        // exit value of `seq`; pairs with the reader's first Acquire load.
         self.seq.fetch_add(1, Ordering::Release);
     }
 
     /// Current value of gauge slot `slot`.
     #[inline]
     pub fn gauge(&self, slot: usize) -> u64 {
+        // ordering: Relaxed — single-word read; callers needing a
+        // multi-word-consistent view go through `read_consistent`.
         self.gauges[slot].load(Ordering::Relaxed)
     }
 
@@ -94,6 +123,7 @@ impl TelemetryCell {
 
     /// Total words sent across all phase slots (straggler-λ input).
     pub fn words_sent_total(&self) -> u64 {
+        // ordering: Relaxed — monotone counter sum; staleness is fine.
         self.phases.iter().map(|c| c.words_sent.load(Ordering::Relaxed)).sum()
     }
 
@@ -101,15 +131,30 @@ impl TelemetryCell {
     /// a non-monotone write is in flight, then accepts the possibly
     /// mid-flight read rather than ever blocking — a snapshot is a
     /// diagnostic, the hot path is the product.
+    ///
+    /// Seqlock reader recipe (verified by the `seqlock` model in
+    /// `symtensor-check`): the first load is Acquire (pairs with the
+    /// writer's release exit), the acquire fence keeps the data reads
+    /// from sinking below the second `seq` check, and the second load
+    /// can then be Relaxed. The original form re-checked `seq` with a
+    /// bare Acquire load, which does not stop earlier data reads from
+    /// being reordered *after* it — a torn snapshot could pass the check.
     pub(crate) fn read_consistent<R>(&self, read: impl Fn() -> R) -> R {
         for _ in 0..8 {
+            // ordering: Acquire — synchronizes with the writer's release
+            // exit increment, so an even value implies complete data.
             let s1 = self.seq.load(Ordering::Acquire);
             if s1 & 1 == 1 {
                 std::hint::spin_loop();
                 continue;
             }
             let r = read();
-            if self.seq.load(Ordering::Acquire) == s1 {
+            // ordering: Acquire fence — keeps the data reads above the
+            // re-check; pairs with the writer's entry release fence.
+            fence(Ordering::Acquire);
+            // ordering: Relaxed — the fence above already orders this
+            // load after the data reads.
+            if self.seq.load(Ordering::Relaxed) == s1 {
                 return r;
             }
         }
@@ -133,10 +178,15 @@ impl TelemetryCell {
                 .enumerate()
                 .map(|(i, &label)| {
                     let c = &self.phases[i];
+                    // Monotone counters inside a `read_consistent`
+                    // bracket; the seqlock supplies consistency for the
+                    // non-monotone state.
                     PhaseSnapshot {
                         label,
+                        // ordering: Relaxed — monotone counter reads.
                         words_sent: c.words_sent.load(Ordering::Relaxed),
                         words_recv: c.words_recv.load(Ordering::Relaxed),
+                        // ordering: Relaxed — monotone counter reads.
                         msgs_sent: c.msgs_sent.load(Ordering::Relaxed),
                         msgs_recv: c.msgs_recv.load(Ordering::Relaxed),
                     }

@@ -38,6 +38,7 @@ pub mod plane;
 pub mod rolling;
 pub mod scrape;
 pub mod slo;
+pub(crate) mod sync;
 
 pub use cell::{CellSnapshot, GaugeSnapshot, HistSnapshot, PhaseSnapshot, TelemetryCell};
 pub use expose::{prometheus_text, render_table};

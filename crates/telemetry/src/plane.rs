@@ -2,7 +2,7 @@
 //! SLO alert log.
 
 use crate::cell::TelemetryCell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -33,13 +33,18 @@ impl Registry {
     /// when the registry is full — overflow traffic aggregates into the
     /// first slot rather than being dropped or panicking mid-run.
     fn resolve(&self, name: &'static str) -> usize {
+        // ordering: Acquire — pairs with the Release count publish so
+        // slots below the count are fully initialized.
         let n = self.count.load(Ordering::Acquire);
         for (i, slot) in self.names[..n].iter().enumerate() {
             if slot.get().map(|s| *s == name).unwrap_or(false) {
                 return i;
             }
         }
+        // lint: allow-panic — a registrar that panicked mid-insert
+        // poisons the slot map beyond any consistent recovery.
         let _guard = self.register.lock().unwrap();
+        // ordering: Acquire — re-check under the registration lock.
         let n = self.count.load(Ordering::Acquire);
         for (i, slot) in self.names[..n].iter().enumerate() {
             if slot.get().map(|s| *s == name).unwrap_or(false) {
@@ -49,13 +54,18 @@ impl Registry {
         if n == self.names.len() {
             return 0;
         }
+        // lint: allow-panic — designed invariant: slots past the
+        // published count are unclaimed while the registration lock is held.
         self.names[n].set(name).expect("slot past the published count is unclaimed");
+        // ordering: Release — publishes the initialized slot before the
+        // new count; pairs with the Acquire loads above.
         self.count.store(n + 1, Ordering::Release);
         n
     }
 
     /// The registered names, in slot order.
     fn names(&self) -> Vec<&'static str> {
+        // ordering: Acquire — pairs with the Release count publish.
         let n = self.count.load(Ordering::Acquire);
         self.names[..n].iter().filter_map(|s| s.get().copied()).collect()
     }
@@ -159,6 +169,7 @@ impl std::fmt::Debug for TelemetryPlane {
         f.debug_struct("TelemetryPlane")
             .field("ranks", &self.cells.len())
             .field("cfg", &self.cfg)
+            // ordering: Relaxed — diagnostic display read.
             .field("alerts", &self.alert_count.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
@@ -178,6 +189,8 @@ impl TelemetryPlane {
             TelemetryCell::new(cfg.max_phases.max(1), cfg.max_gauges, cfg.max_hists, cfg.slice_ns)
         };
         TelemetryPlane {
+            // lint: clock-anchor — the plane's epoch; every t_ns is
+            // measured against this one blessed clock read.
             start: Instant::now(),
             cells: (0..cfg.ranks).map(|_| cell(&cfg)).collect(),
             serve: cell(&cfg),
@@ -243,10 +256,14 @@ impl TelemetryPlane {
     /// publishes the new count for the ranks' lock-free polls. Returns
     /// the assigned id.
     pub fn raise_alert(&self, mut alert: SloAlert) -> u64 {
-        let mut log = self.alerts.lock().unwrap();
+        // Recover the log on poison: alerts are append-only, so a
+        // panicked appender leaves at worst a complete prefix.
+        let mut log = self.alerts.lock().unwrap_or_else(|p| p.into_inner());
         alert.id = log.len() as u64;
         let id = alert.id;
         log.push(alert);
+        // ordering: Release — publishes the pushed alert before the new
+        // count; pollers Acquire-load the count, then lock to read.
         self.alert_count.store(log.len() as u64, Ordering::Release);
         id
     }
@@ -255,18 +272,20 @@ impl TelemetryPlane {
     /// per-send poll ranks use to notice new alerts.
     #[inline]
     pub fn alert_count(&self) -> u64 {
+        // ordering: Relaxed — a poll; the poller that sees a new count
+        // takes the alerts mutex to read, which orders the contents.
         self.alert_count.load(Ordering::Relaxed)
     }
 
     /// Alerts with id ≥ `seen` (the ones a poller hasn't stamped yet).
     pub fn alerts_since(&self, seen: u64) -> Vec<SloAlert> {
-        let log = self.alerts.lock().unwrap();
+        let log = self.alerts.lock().unwrap_or_else(|p| p.into_inner());
         log.iter().skip(seen as usize).cloned().collect()
     }
 
     /// The full alert log.
     pub fn alerts(&self) -> Vec<SloAlert> {
-        self.alerts.lock().unwrap().clone()
+        self.alerts.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
     /// Decodes rank `r`'s cell at time `now_ns`.

@@ -2,7 +2,7 @@
 //! time slices, so "the last 100 ms" and "the whole run" can be read from
 //! the same structure — the raw material for multi-window burn rates.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{fence, AtomicU64, Ordering};
 
 /// Number of histogram buckets. Bucket `i` has upper bound `2^i` ns, so
 /// the last bucket tops out at `2^39` ns ≈ 9 minutes — far beyond any
@@ -90,24 +90,46 @@ impl RollingHistogram {
     pub fn observe(&self, now_ns: u64, v: u64) {
         let idx = now_ns / self.slice_ns;
         let slice = &self.slices[(idx % SLICES as u64) as usize];
-        if slice.epoch.load(Ordering::Acquire) != idx + 1 {
+        // ordering: Relaxed — this thread is the only writer; the value
+        // it reads back is its own last epoch store.
+        if slice.epoch.load(Ordering::Relaxed) != idx + 1 {
             // The ring wrapped: this slot still holds a stale slice.
             // Publish "invalid" first so a concurrent reader can never
             // merge half-cleared counters, then the new epoch last.
-            slice.epoch.store(0, Ordering::Release);
+            // ordering: Relaxed — the fence below orders this store.
+            slice.epoch.store(0, Ordering::Relaxed);
+            // A release *store* on epoch alone would not do this:
+            // later stores may be hoisted above a release store.
+            // ordering: Release fence — orders the invalid-epoch store
+            // above before the clears below.
+            fence(Ordering::Release);
+            // ordering: Relaxed — bracketed by the two fences.
             slice.count.store(0, Ordering::Relaxed);
             slice.sum.store(0, Ordering::Relaxed);
+            // ordering: Relaxed — same bracket as the clears above.
             slice.min.store(u64::MAX, Ordering::Relaxed);
             slice.max.store(0, Ordering::Relaxed);
             for b in &slice.buckets {
+                // ordering: Relaxed — see the clear block above.
                 b.store(0, Ordering::Relaxed);
             }
+            // ordering: Release — publishes the completed clears before
+            // the new epoch; pairs with the reader's Acquire epoch load.
             slice.epoch.store(idx + 1, Ordering::Release);
         }
+        debug_assert_eq!(
+            // ordering: Relaxed — debug-only single-writer probe.
+            slice.epoch.load(Ordering::Relaxed),
+            idx + 1,
+            "concurrent RollingHistogram::observe: the writer side is single-writer by contract"
+        );
+        // ordering: Relaxed — single-writer adds into the live slice.
         slice.count.fetch_add(1, Ordering::Relaxed);
         slice.sum.fetch_add(v, Ordering::Relaxed);
+        // ordering: Relaxed — same as the adds above.
         slice.min.fetch_min(v, Ordering::Relaxed);
         slice.max.fetch_max(v, Ordering::Relaxed);
+        // ordering: Relaxed — same as the adds above.
         slice.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -121,19 +143,30 @@ impl RollingHistogram {
         let mut out = HistogramWindow::empty();
         for slice in &self.slices {
             for _ in 0..4 {
+                // ordering: Acquire — pairs with the writer's release
+                // epoch publish: a valid epoch implies complete clears.
                 let e1 = slice.epoch.load(Ordering::Acquire);
                 if e1 == 0 || e1 - 1 < lo || e1 - 1 > cur {
                     break; // never written, mid-reset, or outside the window
                 }
+                // ordering: Relaxed — the epoch re-check catches resets.
                 let count = slice.count.load(Ordering::Relaxed);
                 let sum = slice.sum.load(Ordering::Relaxed);
+                // ordering: Relaxed — see the counter reads above.
                 let min = slice.min.load(Ordering::Relaxed);
                 let max = slice.max.load(Ordering::Relaxed);
                 let mut buckets = [0u64; BUCKETS];
                 for (dst, src) in buckets.iter_mut().zip(&slice.buckets) {
+                    // ordering: Relaxed — see the counter reads above.
                     *dst = src.load(Ordering::Relaxed);
                 }
-                if slice.epoch.load(Ordering::Acquire) != e1 {
+                // A bare acquire re-load would let the reads sink past
+                // the check; pairs with the writer's release fence.
+                // ordering: Acquire fence — keeps the counter reads
+                // above the epoch re-check below.
+                fence(Ordering::Acquire);
+                // ordering: Relaxed — the fence above orders this load.
+                if slice.epoch.load(Ordering::Relaxed) != e1 {
                     continue; // a reset raced the read: retry the slice
                 }
                 out.count += count;

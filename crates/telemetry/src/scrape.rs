@@ -7,7 +7,7 @@
 use crate::cell::CellSnapshot;
 use crate::keys;
 use crate::plane::{SloAlert, TelemetryPlane};
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -128,6 +128,7 @@ impl Scraper {
     pub fn sample(&mut self) -> &ClusterSnapshot {
         let snap = sample_plane(&self.plane, &self.cfg);
         self.samples.push(snap);
+        // lint: allow-panic — designed invariant: pushed one line up.
         self.samples.last().expect("just pushed")
     }
 
@@ -162,11 +163,14 @@ impl Scraper {
             let stop = stop.clone();
             std::thread::spawn(move || {
                 let mut scraper = Scraper::new(plane, cfg);
+                // ordering: Acquire — pairs with the Release stop store
+                // so the final sample sees all pre-stop writes.
                 while !stop.load(Ordering::Acquire) {
                     scraper.sample();
                     // Sleep in short slices so a finished run is not held
                     // hostage to a long scrape interval at join time.
                     let mut left = scraper.cfg.interval;
+                    // ordering: Acquire — same stop handshake as above.
                     while !left.is_zero() && !stop.load(Ordering::Acquire) {
                         let chunk = left.min(Duration::from_millis(1));
                         std::thread::sleep(chunk);
@@ -177,7 +181,11 @@ impl Scraper {
             })
         };
         let result = work();
+        // ordering: Release — publishes work's effects before the stop
+        // flag; the sampler's Acquire loads pair with it.
         stop.store(true, Ordering::Release);
+        // lint: allow-panic — a crashed sampler loses the series; there
+        // is no degraded result worth returning from a poisoned scrape.
         let mut samples = sampler.join().expect("sampler thread panicked");
         let mut scraper = Scraper::new(plane, cfg);
         scraper.samples = std::mem::take(&mut samples);
@@ -202,6 +210,8 @@ fn derive(ranks: &[CellSnapshot], serve: &CellSnapshot, cfg: &ScrapeConfig) -> D
     let total_words_sent: u64 = per_rank_sent.iter().sum();
     let straggler_lambda = if total_words_sent > 0 && !ranks.is_empty() {
         let mean = total_words_sent as f64 / ranks.len() as f64;
+        // lint: allow-panic — designed invariant: guarded by the
+        // `!ranks.is_empty()` arm of the enclosing condition.
         Some(*per_rank_sent.iter().max().expect("non-empty") as f64 / mean)
     } else {
         None

@@ -1,0 +1,15 @@
+//! Atomic façade for the lock-free plane.
+//!
+//! Production builds re-export `std::sync::atomic` unchanged; under
+//! `--cfg symtensor_check` (set via `RUSTFLAGS`, never a cargo feature,
+//! so feature unification cannot leak it into release builds) the same
+//! names resolve to `symtensor-check`'s instrumented shim, turning every
+//! atomic access in this crate into a scheduling point of the model
+//! checker. All concurrency-bearing code in this crate must import
+//! atomics from here — the `no-raw-atomics` source lint enforces it.
+
+#[cfg(symtensor_check)]
+pub(crate) use symtensor_check::sync::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(not(symtensor_check))]
+pub(crate) use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
